@@ -1,0 +1,136 @@
+"""E12 — ablations of the paper's design choices.
+
+Four switches, each isolated on an identical starved workload (where the
+control plane actually matters):
+
+1. **CK_BGN suppression** (§3.5.1 Case 1) — off ⇒ every timed-out process
+   notifies P_0; on ⇒ one CK_BGN per round typically.
+2. **CK_REQ skipping** (§3.5.1 Case 2) — off ⇒ the wave visits all N;
+   on ⇒ it skips known-tentative runs.
+3. **P_0's CK_END-on-finalize broadcast** (the suppression-hole fix) —
+   its cost is N-1 messages per round; turning it off relies on timer
+   escalation for liveness.
+4. **Selective vs pessimistic logging** — log only the tentative window
+   (the paper) vs log everything since the last checkpoint; the log-byte
+   ratio is the selective scheme's storage win, and the recovery benchmark
+   (E8) shows what the log buys.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_experiment
+from repro.metrics import Table
+
+from .conftest import once, paper_config
+
+
+def starved_cfg(seed=900, **machine_kwargs):
+    return paper_config(
+        n=10, seed=seed, state_bytes=2_000_000,
+        workload="half_silent", workload_kwargs={"rate": 0.6},
+        timeout=10.0, checkpoint_interval=50.0, horizon=300.0,
+        machine_kwargs=machine_kwargs)
+
+
+def run_control_ablations():
+    variants = {
+        "paper default": {},
+        "no CK_BGN suppression": {"suppress_ck_bgn": False},
+        "no CK_REQ skipping": {"skip_ck_req": False},
+        "no P0 CK_END broadcast": {"p0_broadcast_on_finalize": False},
+        "all optimizations off": {"suppress_ck_bgn": False,
+                                  "skip_ck_req": False,
+                                  "p0_broadcast_on_finalize": False},
+        "+ fast-path finalize": {"finalize_on_complete_knowledge": True},
+    }
+    return {name: run_experiment(starved_cfg(**kw))
+            for name, kw in variants.items()}
+
+
+def test_e12a_control_plane_ablations(benchmark):
+    results = once(benchmark, run_control_ablations)
+    t = Table("variant", "CK_BGN", "CK_REQ", "CK_END", "total ctl",
+              "rounds",
+              title="E12a — control-message optimizations (starved, N=10)")
+    counts = {}
+    for name, res in results.items():
+        rt = res.runtime
+        row = {k: rt.control_message_count(k)
+               for k in ("CK_BGN", "CK_REQ", "CK_END")}
+        counts[name] = row
+        t.add_row(name, row["CK_BGN"], row["CK_REQ"], row["CK_END"],
+                  res.metrics.ctl_messages, res.metrics.rounds_completed)
+        # Liveness holds in every variant.
+        assert all(h.status == "normal" for h in rt.hosts.values())
+        assert res.consistent
+    print()
+    print(t.render())
+
+    # Suppression saves CK_BGNs.
+    assert (counts["paper default"]["CK_BGN"]
+            <= counts["no CK_BGN suppression"]["CK_BGN"])
+    # Skipping saves CK_REQ hops.
+    assert (counts["paper default"]["CK_REQ"]
+            <= counts["no CK_REQ skipping"]["CK_REQ"])
+    # Dropping the broadcast saves CK_ENDs.
+    assert (counts["no P0 CK_END broadcast"]["CK_END"]
+            <= counts["paper default"]["CK_END"])
+
+
+def run_logging_ablation():
+    base = dict(n=10, seed=901, state_bytes=2_000_000,
+                workload_kwargs={"rate": 2.0, "msg_size": 1024},
+                timeout=15.0, checkpoint_interval=50.0, horizon=300.0)
+    return {
+        "selective (paper)": run_experiment(paper_config(**base)),
+        "pessimistic (log everything)": run_experiment(
+            paper_config(log_all_messages=True, **base)),
+    }
+
+
+def test_e12b_selective_logging_ablation(benchmark):
+    results = once(benchmark, run_logging_ablation)
+    t = Table("variant", "log bytes", "logged msgs", "storage bytes",
+              title="E12b — selective vs pessimistic message logging")
+    for name, res in results.items():
+        rt = res.runtime
+        t.add_row(name, res.metrics.log_bytes, rt.total_logged_messages(),
+                  res.metrics.storage_bytes)
+        assert res.consistent
+    print()
+    print(t.render())
+
+    sel = results["selective (paper)"].metrics.log_bytes
+    full = results["pessimistic (log everything)"].metrics.log_bytes
+    # Selective logging stores a fraction of the pessimistic log.
+    assert sel < 0.8 * full
+
+
+def run_incremental_ablation():
+    base = dict(n=10, seed=902, state_bytes=16_000_000,
+                workload_kwargs={"rate": 1.5, "msg_size": 1024},
+                timeout=15.0, checkpoint_interval=50.0, horizon=400.0)
+    return {
+        "full every time (paper)": run_experiment(paper_config(**base)),
+        "incremental k=4, delta 10%": run_experiment(
+            paper_config(incremental_every=4, delta_fraction=0.1, **base)),
+    }
+
+
+def test_e12c_incremental_checkpointing_ablation(benchmark):
+    """Production extension: delta checkpoints between periodic full ones
+    slash write volume; chain-aware GC keeps footprint bounded."""
+    results = once(benchmark, run_incremental_ablation)
+    t = Table("variant", "storage bytes written", "peak stable bytes",
+              "rounds",
+              title="E12c — incremental checkpointing (N=10)")
+    for name, res in results.items():
+        t.add_row(name, res.metrics.storage_bytes,
+                  res.storage.space.peak_bytes(),
+                  res.metrics.rounds_completed)
+        assert res.consistent
+    print()
+    print(t.render())
+    full = results["full every time (paper)"].metrics.storage_bytes
+    incr = results["incremental k=4, delta 10%"].metrics.storage_bytes
+    assert incr < 0.55 * full

@@ -1,0 +1,68 @@
+"""E5 — control messages vs application traffic rate.
+
+The paper: "Control messages are not sent if each global checkpoint can be
+finalized within the timeout interval" — with enough application traffic,
+piggybacked knowledge finalizes rounds before any timer expires, so
+CK_BGN/CK_REQ vanish.  This sweep varies the per-process message rate and
+reports control messages per completed round.
+
+Two protocol variants are shown: the paper's default (P_0 broadcasts
+CK_END on finalization — its fix for the suppression liveness hole, which
+keeps a floor of N-1 messages per round) and the pure piggyback variant
+(broadcast off), whose control cost drops to exactly zero under chatty
+traffic.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_experiment
+from repro.metrics import Table
+
+from .conftest import once, paper_config
+
+RATES = (0.05, 0.2, 0.5, 1.0, 3.0, 8.0)
+
+
+def run_rate_sweep():
+    out = {}
+    for broadcast in (True, False):
+        per_rate = {}
+        for i, rate in enumerate(RATES):
+            cfg = paper_config(
+                n=8, seed=100 + i, state_bytes=4_000_000,
+                workload_kwargs={"rate": rate, "msg_size": 1024},
+                timeout=25.0, initiation_phase="jittered",
+                machine_kwargs={"p0_broadcast_on_finalize": broadcast})
+            per_rate[rate] = run_experiment(cfg)
+        out[broadcast] = per_rate
+    return out
+
+
+def test_e5_control_messages_vanish_with_traffic(benchmark):
+    results = once(benchmark, run_rate_sweep)
+    t = Table("msg rate", "ctl/round (paper dflt)", "ctl/round (no bcast)",
+              "rounds",
+              title="E5 — control messages per round vs app traffic (N=8)")
+    per_round = {True: {}, False: {}}
+    for rate in RATES:
+        row = []
+        for broadcast in (True, False):
+            res = results[broadcast][rate]
+            rounds = max(res.metrics.rounds_completed, 1)
+            per_round[broadcast][rate] = res.metrics.ctl_messages / rounds
+            row.append(per_round[broadcast][rate])
+        t.add_row(rate, row[0], row[1],
+                  results[True][rate].metrics.rounds_completed)
+    print()
+    print(t.render())
+
+    # Starved traffic needs the control plane...
+    assert per_round[False][RATES[0]] > 0
+    # ...chatty traffic needs none at all (pure piggyback convergence).
+    assert per_round[False][RATES[-1]] == 0.0
+    # Monotone-ish decline across the sweep (allow small non-monotonicity
+    # from per-point seeds): the last point is the minimum.
+    assert per_round[False][RATES[-1]] <= min(per_round[False].values())
+    # The paper-default variant floors at the CK_END broadcast (N-1 = 7).
+    assert per_round[True][RATES[-1]] <= 8.0
+    assert per_round[True][RATES[-1]] >= 6.0

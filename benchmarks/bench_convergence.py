@@ -1,0 +1,71 @@
+"""E9 — convergence latency of checkpoint rounds.
+
+How long does it take from the first tentative checkpoint of a round until
+every process has finalized it?  Sweeps the convergence-timer timeout under
+a traffic-starved workload (bursty with long silences) and a chatty one.
+
+Expected shape:
+
+* chatty traffic: convergence ≪ timeout — piggybacks finish the round and
+  the timeout value is irrelevant;
+* starved traffic: convergence ≈ timeout + O(control round trip) — the
+  timer is the binding constraint, and shrinking it buys faster rounds at
+  the price of more control messages (printed alongside).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness import run_experiment
+from repro.metrics import Table
+
+from .conftest import once, paper_config
+
+TIMEOUTS = (5.0, 10.0, 20.0, 40.0)
+
+
+def run_convergence():
+    out = {}
+    for i, timeout in enumerate(TIMEOUTS):
+        for workload, kwargs in (
+                ("bursty", {"rate": 4.0, "on_time": 3.0, "off_time": 40.0}),
+                ("uniform", {"rate": 4.0})):
+            cfg = paper_config(
+                n=8, seed=400 + i, state_bytes=2_000_000,
+                workload=workload, workload_kwargs=kwargs,
+                timeout=timeout, checkpoint_interval=60.0, horizon=360.0)
+            out[(workload, timeout)] = run_experiment(cfg)
+    return out
+
+
+def mean_convergence(res) -> float:
+    lats = list(res.runtime.convergence_latencies().values())
+    return float(np.mean(lats)) if lats else float("nan")
+
+
+def test_e9_convergence_latency(benchmark):
+    results = once(benchmark, run_convergence)
+    t = Table("timeout", "starved: mean conv (s)", "starved: ctl msgs",
+              "chatty: mean conv (s)", "chatty: ctl msgs",
+              title="E9 — round convergence latency vs timeout (N=8)")
+    for timeout in TIMEOUTS:
+        starved = results[("bursty", timeout)]
+        chatty = results[("uniform", timeout)]
+        t.add_row(timeout, mean_convergence(starved),
+                  starved.metrics.ctl_messages,
+                  mean_convergence(chatty), chatty.metrics.ctl_messages)
+    print()
+    print(t.render())
+
+    for timeout in TIMEOUTS:
+        chatty = mean_convergence(results[("uniform", timeout)])
+        # Chatty rounds converge in a few message latencies, independent of
+        # the timer.
+        assert chatty < 10.0
+    # Starved convergence tracks the timeout: larger timeout, slower rounds.
+    s_small = mean_convergence(results[("bursty", TIMEOUTS[0])])
+    s_large = mean_convergence(results[("bursty", TIMEOUTS[-1])])
+    assert s_large > s_small
+    # And it is at least the timeout (the timer must fire first).
+    assert s_large >= TIMEOUTS[-1] * 0.8

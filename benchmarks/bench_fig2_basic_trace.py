@@ -1,0 +1,40 @@
+"""E1 — Figure 2 replay: the basic algorithm's narrated event sequence.
+
+Regenerates the paper's §3.2 walkthrough and prints the event table
+(tentative checkpoints, finalizations, log contents).  The benchmark times
+one full deterministic replay of the scenario; the assertions pin every
+narrated fact (see tests/harness/test_scenarios.py for the exhaustive
+version).
+"""
+
+from __future__ import annotations
+
+from repro.harness import fig2_scenario
+from repro.metrics import Table
+
+from .conftest import once
+
+
+def test_e1_fig2_basic_algorithm_trace(benchmark):
+    scenario = once(benchmark, fig2_scenario)
+    rt, tags = scenario.runtime, scenario.tags
+    uid_to_tag = {uid: tag for tag, uid in tags.items()}
+
+    table = Table("process", "CT taken", "finalized", "reason",
+                  "logSet contents",
+                  title="E1 / Figure 2 — basic algorithm walkthrough")
+    for pid in range(4):
+        fc = rt.hosts[pid].finalized[1]
+        log = ", ".join(sorted(uid_to_tag[u] for u in fc.logged_uids))
+        table.add_row(f"P{pid}", fc.tentative.taken_at, fc.finalized_at,
+                      fc.reason, "{" + log + "}")
+    print()
+    print(table.render())
+
+    # The paper's headline facts.
+    fc2 = rt.hosts[2].finalized[1]
+    assert fc2.logged_uids == {tags["M_5"], tags["M_6"]}   # C_{2,1} log
+    assert tags["M_8"] not in rt.hosts[3].finalized[1].logged_uids
+    assert tags["M_9"] not in rt.hosts[0].finalized[1].logged_uids
+    assert rt.control_message_count() == 0
+    assert all(len(v) == 0 for v in rt.verify_consistency().values())

@@ -1,0 +1,43 @@
+"""E2 — Figure 5 replay: convergence via control messages.
+
+Regenerates §3.5.1's walkthrough and prints the control-message sequence;
+also runs the counterfactual (control plane disabled) showing the basic
+algorithm stalls — "Without these control messages, the original algorithm
+does not converge in this example."
+"""
+
+from __future__ import annotations
+
+from repro.harness import fig5_scenario, fig5_scenario_without_control
+from repro.metrics import Table
+
+from .conftest import once
+
+
+def test_e2_fig5_control_message_trace(benchmark):
+    scenario = once(benchmark, fig5_scenario)
+    rt = scenario.runtime
+
+    table = Table("t", "message", "from", "to",
+                  title="E2 / Figure 5 — control-message sequence")
+    for rec in scenario.sim.trace.filter("ctl.send"):
+        table.add_row(rec.time, rec.data["ctype"], f"P{rec.process}",
+                      f"P{rec.data['dst']}")
+    print()
+    print(table.render())
+
+    assert rt.control_message_count("CK_BGN") == 1
+    assert rt.control_message_count("CK_REQ") == 3
+    assert rt.control_message_count("CK_END") == 3
+    assert all(h.status == "normal" for h in rt.hosts.values())
+    assert rt.finalized_seqs() == [0, 1]
+
+
+def test_e2_counterfactual_no_control_stalls(benchmark):
+    scenario = once(benchmark, fig5_scenario_without_control)
+    rt = scenario.runtime
+    stuck = [pid for pid, h in rt.hosts.items() if h.status == "tentative"]
+    print(f"\nE2 counterfactual: processes stuck tentative forever: "
+          f"{['P%d' % p for p in stuck]}")
+    assert stuck == [1, 2]
+    assert rt.finalized_seqs() == [0]

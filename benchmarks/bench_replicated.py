@@ -1,0 +1,50 @@
+"""E15 — the headline comparison, replicated with confidence intervals.
+
+Single-seed tables can flatter either side; this experiment re-runs the E3
+contention comparison across a seed batch and reports mean ± 95% CI for
+the decisive metrics.  The protocol ordering must hold not just on one
+lucky seed but on the batch mean with non-overlapping intervals.
+"""
+
+from __future__ import annotations
+
+from repro.harness import replicate, replication_summary, replication_table
+
+from .conftest import once, paper_config
+
+SEEDS = (11, 22, 33, 44, 55)
+PROTOCOLS = ("optimistic", "chandy-lamport", "koo-toueg", "staggered")
+METRICS = ("mean_wait", "max_wait", "peak_pending_writers",
+           "mean_pending_writers")
+
+
+def run_replicated():
+    out = {}
+    for protocol in PROTOCOLS:
+        cfg = paper_config(
+            protocol=protocol, n=10, state_bytes=16_000_000,
+            flush="opportunistic",
+            flush_kwargs={"poll_interval": 0.5, "max_wait": 30.0},
+            initiation_phase="aligned")
+        results = replicate(cfg, SEEDS)
+        out[protocol] = replication_summary(results, METRICS)
+    return out
+
+
+def test_e15_replicated_contention(benchmark):
+    summaries = once(benchmark, run_replicated)
+    table = replication_table(
+        summaries, METRICS,
+        title=f"E15 — contention, mean ± 95% CI over {len(SEEDS)} seeds "
+              f"(N=10)")
+    print()
+    print(table.render())
+
+    opt = summaries["optimistic"]
+    for other in ("chandy-lamport", "koo-toueg"):
+        o = summaries[other]
+        # Non-overlapping CIs: the optimistic protocol's upper bound sits
+        # below the synchronous protocols' lower bounds.
+        assert opt["mean_wait"].hi < o["mean_wait"].lo, other
+        assert (opt["mean_pending_writers"].hi
+                < o["mean_pending_writers"].lo), other

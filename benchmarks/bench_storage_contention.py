@@ -1,0 +1,205 @@
+"""E3 — stable-storage contention across protocols.
+
+The paper's central claim: synchronous schemes make all N processes write
+their state near-simultaneously, queueing at the file server; the
+optimistic protocol (tentative state held locally, flushed at convenience)
+all but eliminates that contention; staggered checkpointing also avoids it
+but pays elsewhere (E4/E10).
+
+Regenerates the table: protocol × {peak concurrent writers, mean/max queue
+wait, server utilization}.  Expected shape: peak writers ≈ N for
+Chandy-Lamport and Koo-Toueg, ≈ 1-2 for staggered and for the optimistic
+protocol with a spreading flush policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import compare, comparison_table
+
+from .conftest import once, paper_config
+
+PROTOCOLS = ("optimistic", "chandy-lamport", "koo-toueg", "staggered",
+             "cic-bcs")
+
+
+def run_contention():
+    cfg = paper_config(
+        n=12,
+        # The paper's own flush rule: save to stable storage when there is
+        # "no contention for stable storage while saving" (§1) — the
+        # opportunistic policy polls the server and defers while busy.
+        flush="opportunistic",
+        flush_kwargs={"poll_interval": 0.5, "idle_threshold": 0,
+                      "max_wait": 30.0},
+        # Regime note (documented in EXPERIMENTS.md): deferred flushing
+        # eliminates contention when the serialized drain of N state images
+        # (N × state/bandwidth) fits inside a round's convergence window —
+        # whatever is still unflushed at finalization must be bundled into
+        # the (clustered) finalize writes, re-creating a partial spike.
+        # 12 × 16 MB / 50 MB/s ≈ 4 s < ~10 s convergence here.  E3c below
+        # sweeps state size across the crossover.
+        state_bytes=16_000_000,
+        # Aligned initiation: every process wants to checkpoint at the same
+        # instant — the worst case the paper targets.
+        initiation_phase="aligned",
+    )
+    return compare(cfg, protocols=PROTOCOLS)
+
+
+def peak_state_writers(storage, state_bytes: int) -> int:
+    """Peak simultaneous outstanding *state-sized* writes.
+
+    Separates the contention that matters (64 MB process images queueing)
+    from small log-flush commits; the paper's argument is about the former.
+    """
+    events = []
+    for r in storage.requests:
+        if r.nbytes >= state_bytes and r.finish is not None:
+            events.append((r.arrive, 1))
+            events.append((r.finish, -1))
+    events.sort()
+    cur = peak = 0
+    for _, delta in events:
+        cur += delta
+        peak = max(peak, cur)
+    return peak
+
+
+def test_e3_storage_contention(benchmark):
+    results = once(benchmark, run_contention)
+    state = results["optimistic"].config.state_bytes
+    table = comparison_table(
+        results,
+        columns=("peak_pending_writers", "mean_pending_writers",
+                 "mean_wait", "max_wait", "storage_utilization",
+                 "rounds_completed"),
+        title="E3 — file-server contention, N=12, aligned checkpoints")
+    print()
+    print(table.render())
+    big = {name: peak_state_writers(res.storage, state)
+           for name, res in results.items()}
+    print("peak concurrent STATE writes:", big)
+
+    m = {name: res.metrics for name, res in results.items()}
+    n = 12
+    # Synchronous schemes pile the full state images up at the server...
+    assert big["chandy-lamport"] >= n * 0.75
+    assert big["koo-toueg"] >= n * 0.75
+    # ...the optimistic protocol spreads them; staggering serializes them.
+    assert big["optimistic"] <= n * 0.5
+    assert big["staggered"] <= 2
+    # Aggregate queueing cost follows the same order, by a wide factor.
+    assert m["chandy-lamport"].wait.mean > 2 * m["optimistic"].wait.mean
+    assert m["koo-toueg"].wait.mean > m["optimistic"].wait.mean
+    assert m["chandy-lamport"].mean_pending_writers \
+        > 2 * m["optimistic"].mean_pending_writers
+    # CIC's forced checkpoints write far more state than anyone else —
+    # the paper's "communication pattern may induce large number of
+    # communication-induced checkpoints" cost, visible at the server.
+    assert m["cic-bcs"].storage_bytes > 2 * m["optimistic"].storage_bytes
+
+
+def run_state_size_sweep():
+    from repro.harness import run_experiment
+    out = {}
+    for mb in (8, 16, 32, 64, 128):
+        cfg = paper_config(
+            flush="opportunistic",
+            flush_kwargs={"poll_interval": 0.5, "idle_threshold": 0,
+                          "max_wait": 30.0},
+            state_bytes=mb * 1_000_000, initiation_phase="aligned")
+        out[mb] = run_experiment(cfg)
+    return out
+
+
+def run_plank_topologies():
+    from repro.harness import run_experiment
+    out = {}
+    for topo in ("complete", "star", "ring", "line"):
+        cfg = paper_config(protocol="plank-staggered", n=8,
+                           state_bytes=16_000_000, topology=topo,
+                           checkpoint_interval=60.0,
+                           workload_kwargs={"rate": 1.0, "msg_size": 512})
+        out[topo] = run_experiment(cfg)
+    return out
+
+
+def test_e3d_plank_staggering_is_topology_limited(benchmark):
+    """The paper's §4 remark about Plank [10], measured: "a completely
+    connected topology would subvert staggering in this algorithm".
+    BFS-wave staggering only helps where the topology has depth; Vaidya's
+    token (the `staggered` protocol) serializes writes on any topology —
+    his stated improvement."""
+    results = once(benchmark, run_plank_topologies)
+    from repro.metrics import Table
+    t = Table("topology", "peak state writers", "mean wait", "waves",
+              title="E3d — Plank [10]: staggering limited by topology (N=8)")
+    peaks = {}
+    for topo, res in results.items():
+        p = peak_state_writers(res.storage, 16_000_000)
+        peaks[topo] = p
+        t.add_row(topo, p, res.metrics.wait.mean,
+                  res.runtime.max_depth + 1)
+        assert res.consistent
+    print()
+    print(t.render())
+    assert peaks["complete"] >= 7   # subverted: all N-1 in wave 1
+    assert peaks["star"] >= 7       # same (hub at depth 0)
+    assert peaks["line"] == 1       # perfect staggering
+    assert peaks["ring"] <= 2       # two branches
+
+
+def test_e3c_contention_crossover_with_state_size(benchmark):
+    """The regime boundary: once N×state/bandwidth outgrows the round's
+    convergence window, unflushed tentatives bundle into finalization and
+    the optimistic protocol's peak creeps back up — a finding our
+    reproduction surfaces that the paper does not discuss."""
+    results = once(benchmark, run_state_size_sweep)
+    from repro.metrics import Table
+    t = Table("state MB", "peak state writers", "mean wait",
+              title="E3c — optimistic protocol vs state size (N=12)")
+    peaks = {}
+    for mb, res in results.items():
+        p = peak_state_writers(res.storage, res.config.state_bytes)
+        peaks[mb] = p
+        t.add_row(mb, p, res.metrics.wait.mean)
+    print()
+    print(t.render())
+    # Small states: drain fits the convergence window, near-serial writes.
+    assert peaks[8] <= 4
+    # Monotone-ish growth into the bundling regime.
+    assert peaks[128] >= peaks[8]
+
+
+def run_flush_policies():
+    from repro.harness import run_experiment
+    out = {}
+    for flush, kwargs in [("immediate", {}),
+                          ("uniform_delay", {"max_delay": 20.0}),
+                          ("opportunistic", {"poll_interval": 0.5,
+                                             "max_wait": 30.0}),
+                          ("at_finalize", {})]:
+        cfg = paper_config(flush=flush, flush_kwargs=kwargs,
+                           initiation_phase="aligned")
+        out[flush] = run_experiment(cfg)
+    return out
+
+
+def test_e3b_flush_policy_ablation(benchmark):
+    """Within the optimistic protocol: how much of the win comes from the
+    flush policy?  'immediate' re-creates synchronous write timing."""
+    results = once(benchmark, run_flush_policies)
+    table = comparison_table(
+        results, columns=("peak_pending_writers", "mean_wait", "max_wait"),
+        title="E3b — optimistic protocol flush-policy ablation (N=12)")
+    print()
+    print(table.render())
+    m = {k: r.metrics for k, r in results.items()}
+    # Immediate flush at aligned capture == the contention spike; any
+    # deferred policy beats it on peak concurrent writers.
+    assert m["immediate"].peak_pending_writers \
+        > m["uniform_delay"].peak_pending_writers
+    assert m["immediate"].peak_pending_writers \
+        >= m["opportunistic"].peak_pending_writers

@@ -1,0 +1,45 @@
+"""Shared configuration for the experiment benchmarks.
+
+Every benchmark module regenerates one experiment from DESIGN.md's table
+(E1..E12): it runs the simulation(s) once under pytest-benchmark timing,
+prints the experiment's table/series (visible with ``pytest -s`` and in the
+benchmark logs), and asserts the *shape* of the result that reproduces the
+paper's qualitative claims.
+
+The default system parameters model a mid-2000s cluster like the paper's
+setting: tens of processes, ~1 ms-to-0.5 s message latencies, a single NFS
+file server writing ~50 MB/s, and 64 MB process images.
+"""
+
+from __future__ import annotations
+
+from repro.harness import ExperimentConfig
+
+
+def paper_config(**overrides) -> ExperimentConfig:
+    """The baseline configuration every experiment derives from."""
+    base = ExperimentConfig(
+        protocol="optimistic",
+        n=12,
+        seed=42,
+        horizon=300.0,
+        latency="uniform",
+        latency_kwargs={"low": 0.05, "high": 0.5},
+        disk_seek=0.02,
+        disk_bandwidth=50e6,
+        workload="uniform",
+        workload_kwargs={"rate": 1.0, "msg_size": 1024},
+        checkpoint_interval=60.0,
+        state_bytes=64_000_000,
+        timeout=20.0,
+        capture_time=0.1,
+        initiation_phase="aligned",   # worst case for storage contention
+        verify=False,                  # benchmarks measure, tests verify
+    )
+    return base.derive(**overrides)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under benchmark timing (sims are seconds-long,
+    repeated rounds would add nothing but wall-clock)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Substrate study: one workload, many environments.
+
+Records the application send schedule of a reference run, then replays
+*exactly the same sends* under different network conditions — latency
+distributions and NIC bandwidths — to isolate the environment's effect on
+the protocol (convergence latency, control messages) from workload
+randomness.
+
+Run:  python examples/substrate_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import OptimisticConfig, OptimisticRuntime
+from repro.des import Simulator
+from repro.net import (
+    ConstantLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    Network,
+    UniformLatency,
+    complete,
+)
+from repro.metrics import Table
+from repro.storage import StableStorage
+from repro.workload import make as make_workload, record_workload
+
+N, HORIZON = 6, 300.0
+
+ENVIRONMENTS = {
+    "LAN (0.5-2 ms)": dict(latency=UniformLatency(0.0005, 0.002),
+                           nic_bandwidth=None),
+    "datacenter (lognormal ~50 ms)": dict(
+        latency=LogNormalLatency(0.05, 0.4), nic_bandwidth=None),
+    "WAN (exp, 100 ms floor)": dict(
+        latency=ExponentialLatency(0.1, 0.15), nic_bandwidth=None),
+    "WAN + 10 MB/s NICs": dict(
+        latency=ExponentialLatency(0.1, 0.15), nic_bandwidth=10e6),
+}
+
+
+def reference_run():
+    sim = Simulator(seed=99)
+    net = Network(sim, complete(N), UniformLatency(0.05, 0.3))
+    st = StableStorage(sim)
+    cfg = OptimisticConfig(checkpoint_interval=60.0, timeout=20.0,
+                           state_bytes=4_000_000)
+    rt = OptimisticRuntime(sim, net, st, cfg, horizon=HORIZON)
+    rt.build(make_workload("uniform", N, HORIZON, rate=1.5))
+    rt.start()
+    sim.run()
+    return sim
+
+
+def replay(apps, latency, nic_bandwidth):
+    sim = Simulator(seed=0)
+    net = Network(sim, complete(N), latency, nic_bandwidth=nic_bandwidth)
+    st = StableStorage(sim)
+    cfg = OptimisticConfig(checkpoint_interval=60.0, timeout=20.0,
+                           state_bytes=4_000_000)
+    rt = OptimisticRuntime(sim, net, st, cfg, horizon=HORIZON)
+    rt.build(apps)
+    rt.start()
+    sim.run()
+    return sim, net, rt
+
+
+def main() -> None:
+    ref = reference_run()
+    print(f"recorded {ref.trace.count('msg.send')} sends from the "
+          f"reference run; replaying under {len(ENVIRONMENTS)} "
+          f"environments...\n")
+
+    table = Table("environment", "rounds", "mean convergence (s)",
+                  "ctl msgs", "orphans",
+                  title="same workload, different substrates")
+    for name, env in ENVIRONMENTS.items():
+        apps = record_workload(ref.trace, N)
+        sim, net, rt = replay(apps, env["latency"], env["nic_bandwidth"])
+        lats = list(rt.convergence_latencies().values())
+        orphans = sum(len(v) for v in rt.verify_consistency().values())
+        table.add_row(name, len(rt.finalized_seqs()) - 1,
+                      float(np.mean(lats)) if lats else float("nan"),
+                      rt.control_message_count(), orphans)
+    print(table.render())
+    print("\n-> consistency is substrate-independent (always 0 orphans); "
+          "convergence latency and control cost track the environment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so the
+package remains installable in offline environments lacking the ``wheel``
+package (``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

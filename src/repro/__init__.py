@@ -1,0 +1,16 @@
+"""repro — reproduction of Jiang & Manivannan's optimistic checkpointing.
+
+Top-level namespace re-exporting the most commonly used pieces; see the
+subpackages for the full API:
+
+* :mod:`repro.core` — the paper's algorithm (basic + generalized);
+* :mod:`repro.baselines` — Chandy-Lamport, Koo-Toueg, staggered, CIC,
+  uncoordinated checkpointing;
+* :mod:`repro.des`, :mod:`repro.net`, :mod:`repro.storage` — simulation
+  substrates;
+* :mod:`repro.causality` — happened-before / consistency verification;
+* :mod:`repro.workload`, :mod:`repro.recovery`, :mod:`repro.metrics`,
+  :mod:`repro.harness` — experiment machinery.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,29 @@
+"""Analytical cost models validated against the simulation."""
+
+from .model import (
+    ControlBounds,
+    chandy_lamport_markers,
+    checkpoints_per_interval_optimistic,
+    cic_forced_checkpoint_rate,
+    cic_piggyback_bytes,
+    koo_toueg_blocked_time,
+    koo_toueg_messages,
+    optimistic_control_bounds,
+    optimistic_piggyback_bytes,
+    staggered_messages,
+    staggered_round_duration,
+)
+
+__all__ = [
+    "ControlBounds",
+    "chandy_lamport_markers",
+    "checkpoints_per_interval_optimistic",
+    "cic_forced_checkpoint_rate",
+    "cic_piggyback_bytes",
+    "koo_toueg_blocked_time",
+    "koo_toueg_messages",
+    "optimistic_control_bounds",
+    "optimistic_piggyback_bytes",
+    "staggered_messages",
+    "staggered_round_duration",
+]

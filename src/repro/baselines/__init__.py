@@ -1,0 +1,54 @@
+"""Baseline checkpointing protocols the paper compares against.
+
+All baselines expose the same application surface as the optimistic host so
+the harness can run identical workloads under every protocol:
+
+* :mod:`~repro.baselines.chandy_lamport` — distributed snapshots [3];
+* :mod:`~repro.baselines.koo_toueg` — blocking two-phase coordination [5];
+* :mod:`~repro.baselines.staggered` — Plank/Vaidya staggered writes [10, 11];
+* :mod:`~repro.baselines.cic_bcs` — communication-induced (index-based) [1, 8];
+* :mod:`~repro.baselines.uncoordinated` — independent checkpoints (+ optional
+  message logging) [4].
+"""
+
+from .base import BaselineHost, BaselineRuntime
+from .chandy_lamport import ChandyLamportHost, ChandyLamportRuntime, SnapshotRound
+from .cic_bcs import CicCheckpoint, CicHost, CicRuntime
+from .koo_toueg import KooTouegHost, KooTouegRuntime
+from .plank import PlankRound, PlankStaggeredHost, PlankStaggeredRuntime
+from .manivannan_singhal import (
+    ManivannanSinghalHost,
+    ManivannanSinghalRuntime,
+    MsCheckpoint,
+)
+from .staggered import StaggeredHost, StaggeredRuntime, StaggerRound
+from .uncoordinated import (
+    LocalCheckpoint,
+    UncoordinatedHost,
+    UncoordinatedRuntime,
+)
+
+__all__ = [
+    "BaselineHost",
+    "BaselineRuntime",
+    "ChandyLamportHost",
+    "ChandyLamportRuntime",
+    "CicCheckpoint",
+    "CicHost",
+    "CicRuntime",
+    "KooTouegHost",
+    "KooTouegRuntime",
+    "LocalCheckpoint",
+    "ManivannanSinghalHost",
+    "ManivannanSinghalRuntime",
+    "MsCheckpoint",
+    "PlankRound",
+    "PlankStaggeredHost",
+    "PlankStaggeredRuntime",
+    "SnapshotRound",
+    "StaggerRound",
+    "StaggeredHost",
+    "StaggeredRuntime",
+    "UncoordinatedHost",
+    "UncoordinatedRuntime",
+]

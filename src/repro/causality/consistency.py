@@ -1,0 +1,186 @@
+"""Global-checkpoint consistency verification.
+
+Paper §2.2: a global checkpoint is **consistent** iff it has no *orphan*
+message — one whose receive is recorded in the global checkpoint while its
+send is not.
+
+Under the optimistic protocol, the events recorded by ``C_{i,k}`` are exactly
+those that happened before the finalization event ``CFE_{i,k}`` (paper
+equation (1)), with one carve-out: the message that *announces* a peer's
+finalization is excluded from the log (the paper's ``M_8``/``M_9`` rule).
+Protocol hosts therefore report, per finalized checkpoint, the precise uid
+sets of application messages whose send/receive the checkpoint records; the
+verifier here checks the no-orphan property over those sets.
+
+Two layers:
+
+* :func:`find_orphans` — pure set logic over :class:`CheckpointRecord`s;
+* :class:`ConsistencyVerifier` — binds records to a trace so it can resolve
+  each uid's endpoints and cross-check the recorded sets against raw
+  delivery timestamps.
+
+A third helper, :func:`cut_orphans`, checks arbitrary *time cuts* (used by
+the Figure 1 scenario where checkpoints are plain time points, and by
+baseline protocols whose checkpoints record state up to an instant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..des.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """What one finalized checkpoint ``C_{pid, seq}`` records.
+
+    ``sent_uids`` / ``recv_uids`` are the uids of application messages whose
+    send / receive events the checkpoint captures — for the optimistic
+    protocol this is (events before ``CT``) ∪ (events in ``logSet``), i.e.
+    everything up to ``CFE`` minus the paper's excluded trigger messages.
+    """
+
+    pid: int
+    seq: int
+    taken_at: float
+    finalized_at: float | None
+    sent_uids: frozenset[int] = field(default_factory=frozenset)
+    recv_uids: frozenset[int] = field(default_factory=frozenset)
+    logged_uids: frozenset[int] = field(default_factory=frozenset)
+    state_bytes: int = 0
+    log_bytes: int = 0
+
+    @property
+    def finalized(self) -> bool:
+        return self.finalized_at is not None
+
+
+@dataclass(frozen=True)
+class Orphan:
+    """One consistency violation: uid received-but-not-sent w.r.t. a cut."""
+
+    uid: int
+    src: int
+    dst: int
+    seq: int
+
+    def __str__(self) -> str:
+        return (f"orphan message #{self.uid} P{self.src}->P{self.dst} "
+                f"w.r.t. global checkpoint S_{self.seq}")
+
+
+def find_orphans(records: dict[int, CheckpointRecord],
+                 endpoints: dict[int, tuple[int, int]]) -> list[Orphan]:
+    """Orphans of the global checkpoint formed by ``records``.
+
+    Parameters
+    ----------
+    records:
+        One :class:`CheckpointRecord` per pid; all must share a ``seq``.
+    endpoints:
+        Map uid -> (src, dst) for application messages (from the trace).
+
+    Only messages between processes present in ``records`` are considered;
+    a receive recorded for a message whose sender is outside the cut cannot
+    be classified and raises ``KeyError`` by design (a global checkpoint
+    must cover every process, paper §2.2).
+    """
+    seqs = {r.seq for r in records.values()}
+    if len(seqs) > 1:
+        raise ValueError(f"records span multiple sequence numbers: {sorted(seqs)}")
+    seq = seqs.pop() if seqs else -1
+    orphans: list[Orphan] = []
+    for dst_pid, rec in records.items():
+        for uid in sorted(rec.recv_uids):
+            src, dst = endpoints[uid]
+            if dst != dst_pid:
+                raise ValueError(
+                    f"record for P{dst_pid} claims receipt of #{uid} "
+                    f"destined to P{dst}")
+            sender_rec = records[src]
+            if uid not in sender_rec.sent_uids:
+                orphans.append(Orphan(uid=uid, src=src, dst=dst, seq=seq))
+    return orphans
+
+
+def cut_orphans(cut_times: dict[int, float], trace: TraceRecorder,
+                kind: str = "app") -> list[Orphan]:
+    """Orphans of a *time cut*: checkpoint of pid = its state at cut_times[pid].
+
+    A message is an orphan iff it was delivered to ``dst`` strictly before
+    ``cut_times[dst]`` but sent by ``src`` at-or-after ``cut_times[src]``.
+    Used by the Figure 1 scenario and by baselines whose checkpoints are
+    instantaneous state saves.
+    """
+    sends: dict[int, tuple[int, int, float]] = {}
+    orphans: list[Orphan] = []
+    for rec in trace:
+        if rec.kind == "msg.send" and rec.data.get("kind") == kind:
+            sends[rec.data["uid"]] = (rec.process, rec.data["dst"], rec.time)
+        elif rec.kind == "msg.deliver" and rec.data.get("kind") == kind:
+            uid = rec.data["uid"]
+            src, dst, stime = sends[uid]
+            if rec.time < cut_times[dst] and stime >= cut_times[src]:
+                orphans.append(Orphan(uid=uid, src=src, dst=dst, seq=-1))
+    return orphans
+
+
+class ConsistencyVerifier:
+    """Trace-backed verifier for finalized global checkpoints."""
+
+    def __init__(self, trace: TraceRecorder) -> None:
+        self.trace = trace
+        self._endpoints: dict[int, tuple[int, int]] = {}
+        self._send_time: dict[int, float] = {}
+        self._deliver_time: dict[int, float] = {}
+        for rec in trace:
+            if rec.kind == "msg.send" and rec.data.get("kind") == "app":
+                uid = rec.data["uid"]
+                self._endpoints[uid] = (rec.process, rec.data["dst"])
+                self._send_time[uid] = rec.time
+            elif rec.kind == "msg.deliver" and rec.data.get("kind") == "app":
+                self._deliver_time[rec.data["uid"]] = rec.time
+
+    @property
+    def endpoints(self) -> dict[int, tuple[int, int]]:
+        """uid -> (src, dst) for every traced application message."""
+        return self._endpoints
+
+    def verify(self, records: dict[int, CheckpointRecord]) -> list[Orphan]:
+        """Orphans for one global checkpoint (empty list == consistent)."""
+        return find_orphans(records, self._endpoints)
+
+    def verify_all(self, by_seq: dict[int, dict[int, CheckpointRecord]]
+                   ) -> dict[int, list[Orphan]]:
+        """Verify every complete global checkpoint; returns seq -> orphans."""
+        return {seq: self.verify(records)
+                for seq, records in sorted(by_seq.items())}
+
+    def assert_consistent(self, by_seq: dict[int, dict[int, CheckpointRecord]]
+                          ) -> int:
+        """Raise ``AssertionError`` on any orphan; returns #cuts checked."""
+        results = self.verify_all(by_seq)
+        for seq, orphans in results.items():
+            assert not orphans, (
+                f"S_{seq} inconsistent: " + "; ".join(map(str, orphans)))
+        return len(results)
+
+    def cross_check_record(self, rec: CheckpointRecord,
+                           cfe_time: float) -> None:
+        """Validate a record's sets against raw trace timestamps.
+
+        Everything recorded must have actually happened before the
+        finalization instant — catches protocol-host bookkeeping bugs
+        independently of the orphan check.
+        """
+        for uid in rec.sent_uids:
+            st = self._send_time.get(uid)
+            assert st is not None and st <= cfe_time, (
+                f"P{rec.pid} C_{rec.seq} records send #{uid} at {st} "
+                f"after CFE {cfe_time}")
+        for uid in rec.recv_uids:
+            dt = self._deliver_time.get(uid)
+            assert dt is not None and dt <= cfe_time, (
+                f"P{rec.pid} C_{rec.seq} records receive #{uid} at {dt} "
+                f"after CFE {cfe_time}")

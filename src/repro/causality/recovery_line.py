@@ -1,0 +1,111 @@
+"""Recovery-line computation and domino-effect analysis.
+
+Used by the **uncoordinated-checkpointing baseline** (paper §1's motivation):
+with independent checkpoints and no logging, a failure can cascade — rolling
+one process back orphans messages into others, forcing them back too, and so
+on (the *domino effect*).  The optimistic protocol avoids this entirely
+(recovery = last finalized ``S_k``); the recovery experiment (E8) quantifies
+the difference.
+
+Conventions
+-----------
+Process ``i`` has checkpoints ``0..K_i``; *interval* ``m`` is the execution
+between checkpoint ``m`` and checkpoint ``m+1``.  A message sent in interval
+``m_s`` is recorded by checkpoint index ``c`` iff ``c >= m_s + 1``; likewise
+for receives.  A *cut* assigns each process a checkpoint index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntervalMessage:
+    """A message located by the checkpoint intervals of its endpoints."""
+
+    src: int
+    src_interval: int
+    dst: int
+    dst_interval: int
+    uid: int = -1
+
+
+@dataclass
+class RecoveryLineResult:
+    """Outcome of the rollback propagation."""
+
+    #: Final consistent cut: pid -> checkpoint index.
+    line: dict[int, int]
+    #: Rollback distance per process (checkpoints discarded).
+    rollbacks: dict[int, int]
+    #: Number of propagation iterations (domino "depth").
+    iterations: int
+
+    @property
+    def total_rollback(self) -> int:
+        return sum(self.rollbacks.values())
+
+    @property
+    def processes_rolled_back(self) -> int:
+        return sum(1 for d in self.rollbacks.values() if d > 0)
+
+
+def compute_recovery_line(start: dict[int, int],
+                          messages: list[IntervalMessage]) -> RecoveryLineResult:
+    """Maximal consistent cut at-or-below ``start``.
+
+    Standard fixpoint: while some message is an orphan w.r.t. the cut
+    (receive recorded, send not), roll the receiver back just far enough to
+    un-record the receive.  Terminates because indices only decrease and are
+    bounded by 0 (checkpoint 0 = initial state, always consistent).
+
+    Parameters
+    ----------
+    start:
+        Initial cut, e.g. every process at its latest checkpoint, with the
+        failed process already rolled to its restart checkpoint.
+    messages:
+        Every application message, located by sender/receiver intervals.
+    """
+    cut = dict(start)
+    if any(v < 0 for v in cut.values()):
+        raise ValueError(f"cut indices must be >= 0: {cut}")
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for m in messages:
+            recv_recorded = cut[m.dst] >= m.dst_interval + 1
+            send_recorded = cut[m.src] >= m.src_interval + 1
+            if recv_recorded and not send_recorded:
+                # Roll receiver back so the receive is no longer recorded.
+                cut[m.dst] = m.dst_interval
+                changed = True
+    rollbacks = {pid: start[pid] - cut[pid] for pid in start}
+    return RecoveryLineResult(line=cut, rollbacks=rollbacks,
+                              iterations=iterations - 1)
+
+
+def compute_recovery_line_with_logs(start: dict[int, int],
+                                    messages: list[IntervalMessage],
+                                    logged_uids: set[int]
+                                    ) -> RecoveryLineResult:
+    """Recovery line when receivers log messages (message-logging rescue).
+
+    A logged message is replayable after rollback, so it never forces the
+    *sender's* state to be recorded — i.e. logged messages are simply not
+    orphan candidates.  With every message logged the line equals ``start``
+    (no domino), matching the classic result that pessimistic/complete
+    logging bounds rollback to the failed process.
+    """
+    pruned = [m for m in messages if m.uid not in logged_uids]
+    return compute_recovery_line(start, pruned)
+
+
+def domino_depth(result: RecoveryLineResult) -> int:
+    """Maximum per-process rollback distance — the domino severity metric."""
+    if not result.rollbacks:
+        return 0
+    return max(result.rollbacks.values())

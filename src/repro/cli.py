@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+Four subcommands mirroring the library's main entry points::
+
+    repro run      --protocol optimistic --n 12 --horizon 300
+    repro compare  --protocols optimistic,chandy-lamport --n 12
+    repro sweep    --param n --values 4,8,16 --metric peak_pending_writers
+    repro figures  [1|2|5|all]
+    repro recover  --fail-time 250
+
+Every subcommand prints the same ASCII tables the benchmarks produce, so
+the CLI is a thin, scriptable veneer over :mod:`repro.harness`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .harness import (
+    DEFAULT_PROTOCOLS,
+    PROTOCOLS,
+    ExperimentConfig,
+    compare,
+    comparison_table,
+    fig1_scenario,
+    fig2_scenario,
+    fig5_scenario,
+    run_experiment,
+    sweep,
+)
+from .metrics import Table, kv_block
+
+
+def _add_experiment_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--n", type=int, default=8, help="number of processes")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--horizon", type=float, default=300.0,
+                   help="simulated seconds of application work")
+    p.add_argument("--interval", type=float, default=60.0,
+                   help="checkpoint interval (s)")
+    p.add_argument("--timeout", type=float, default=20.0,
+                   help="convergence timer (s)")
+    p.add_argument("--state-mb", type=float, default=16.0,
+                   help="process state size (MB)")
+    p.add_argument("--rate", type=float, default=1.0,
+                   help="app messages per process per second")
+    p.add_argument("--workload", default="uniform",
+                   help="workload name (uniform/ring/client_server/"
+                        "bursty/pipeline/half_silent)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip consistency verification")
+
+
+def _config_from(args: argparse.Namespace,
+                 protocol: str = "optimistic") -> ExperimentConfig:
+    workload_kwargs = {}
+    if args.workload in ("uniform", "client_server"):
+        workload_kwargs["rate"] = args.rate
+    return ExperimentConfig(
+        protocol=protocol, n=args.n, seed=args.seed, horizon=args.horizon,
+        checkpoint_interval=args.interval, timeout=args.timeout,
+        state_bytes=int(args.state_mb * 1_000_000),
+        workload=args.workload, workload_kwargs=workload_kwargs,
+        verify=not args.no_verify)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: one experiment, metrics or full report."""
+    cfg = _config_from(args, protocol=args.protocol)
+    res = run_experiment(cfg)
+    if args.report:
+        from .metrics import render_run_report
+        print(render_run_report(res))
+        return 0
+    d = res.metrics.as_dict()
+    print(kv_block(f"run: {args.protocol}", d))
+    if res.orphans:
+        bad = {k: v for k, v in res.orphans.items() if v}
+        print(f"\nconsistency: {len(res.orphans)} global checkpoints "
+              f"verified, " + ("all consistent" if not bad
+                               else f"ORPHANS {bad}"))
+        if bad:
+            return 1
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: protocol matrix over one workload."""
+    protocols = tuple(args.protocols.split(","))
+    unknown = [p for p in protocols if p not in PROTOCOLS]
+    if unknown:
+        print(f"unknown protocols: {unknown}; "
+              f"choices: {sorted(PROTOCOLS)}", file=sys.stderr)
+        return 2
+    cfg = _config_from(args)
+    results = compare(cfg, protocols=protocols)
+    print(comparison_table(
+        results,
+        columns=("peak_pending_writers", "mean_wait", "max_wait",
+                 "ctl_messages", "piggyback_bytes", "checkpoints",
+                 "rounds_completed", "blocked_time"),
+        title=f"protocol comparison (n={cfg.n}, seed={cfg.seed})").render())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: one config parameter across values."""
+    protocols = tuple(args.protocols.split(","))
+    values: list[float | int] = []
+    for raw in args.values.split(","):
+        values.append(int(raw) if raw.isdigit() else float(raw))
+    cfg = _config_from(args)
+    result = sweep(cfg, args.param, values, protocols=protocols)
+    print(result.table(args.metric,
+                       title=f"{args.metric} vs {args.param}").render())
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """``repro figures``: replay the paper's figures."""
+    which = args.figure
+    if which in ("1", "all"):
+        r = fig1_scenario()
+        print("Figure 1: S_1 orphans:", r.extra["orphans_s1"] or "none")
+        print("Figure 1: S_2 orphans:",
+              [str(o) for o in r.extra["orphans_s2"]])
+    if which in ("2", "all"):
+        r = fig2_scenario()
+        t = Table("process", "CT", "finalized", "reason",
+                  title="Figure 2 — basic algorithm")
+        for pid in range(4):
+            fc = r.runtime.hosts[pid].finalized[1]
+            t.add_row(f"P{pid}", fc.tentative.taken_at, fc.finalized_at,
+                      fc.reason)
+        print(t.render())
+    if which in ("5", "all"):
+        r = fig5_scenario()
+        t = Table("t", "message", "from", "to",
+                  title="Figure 5 — control messages")
+        for rec in r.sim.trace.filter("ctl.send"):
+            t.add_row(rec.time, rec.data["ctype"], f"P{rec.process}",
+                      f"P{rec.data['dst']}")
+        print(t.render())
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """``repro recover``: hypothetical-failure recovery table."""
+    from .recovery import (
+        recover_cic,
+        recover_coordinated,
+        recover_optimistic,
+        recover_quasi_sync_ms,
+        recover_uncoordinated,
+    )
+    table = Table("protocol", "recovery point", "total lost work (s)",
+                  "max lost work (s)",
+                  title=f"recovery after failure at t={args.fail_time}")
+    for protocol in ("optimistic", "chandy-lamport", "koo-toueg",
+                     "staggered", "plank-staggered", "cic-bcs",
+                     "quasi-sync-ms", "uncoordinated"):
+        cfg = _config_from(args, protocol=protocol).derive(verify=False)
+        res = run_experiment(cfg)
+        if protocol == "optimistic":
+            out = recover_optimistic(res.runtime, args.fail_time)
+        elif protocol == "cic-bcs":
+            out = recover_cic(res.runtime, args.fail_time)
+        elif protocol == "quasi-sync-ms":
+            out = recover_quasi_sync_ms(res.runtime, args.fail_time)
+        elif protocol == "uncoordinated":
+            out = recover_uncoordinated(res.runtime, res.sim.trace,
+                                        args.fail_time)
+        else:
+            out = recover_coordinated(res.runtime, args.fail_time, protocol)
+        table.add_row(protocol, out.seq, out.total_lost_work,
+                      out.max_lost_work)
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimistic checkpointing (Jiang & Manivannan 2007) — "
+                    "simulation experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one protocol, print its metrics")
+    p.add_argument("--protocol", default="optimistic",
+                   choices=sorted(PROTOCOLS))
+    p.add_argument("--report", action="store_true",
+                   help="print a full one-page report incl. a space-time "
+                        "diagram")
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="run several protocols on one workload")
+    p.add_argument("--protocols", default=",".join(DEFAULT_PROTOCOLS))
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("sweep", help="sweep one config parameter")
+    p.add_argument("--param", required=True,
+                   help="config field, e.g. n or workload_kwargs.rate")
+    p.add_argument("--values", required=True, help="comma-separated values")
+    p.add_argument("--metric", default="peak_pending_writers")
+    p.add_argument("--protocols", default="optimistic")
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("figures", help="replay the paper's figures")
+    p.add_argument("figure", nargs="?", default="all",
+                   choices=("1", "2", "5", "all"))
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("recover", help="hypothetical-failure recovery table")
+    p.add_argument("--fail-time", type=float, default=250.0)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_recover)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""The paper's contribution: optimistic checkpointing with selective logging.
+
+* :mod:`~repro.core.state_machine` — Figures 3 & 4 as a pure state machine;
+* :mod:`~repro.core.host` — the DES binding (flushes, timers, verification
+  bookkeeping);
+* :mod:`~repro.core.config` — run configuration incl. flush policies;
+* :mod:`~repro.core.types` — ``Status`` / ``Piggyback`` / checkpoints.
+"""
+
+from .config import (
+    FlushAtFinalize,
+    FlushImmediately,
+    FlushOpportunistic,
+    FlushPolicy,
+    FlushUniformDelay,
+    OptimisticConfig,
+)
+from .effects import (
+    Anomaly,
+    ArmTimer,
+    BroadcastControl,
+    CancelTimer,
+    Effect,
+    Finalize,
+    SendControl,
+    TakeTentative,
+)
+from .host import OptimisticProcess, OptimisticRuntime, ProtocolAnomalyError
+from .invariants import InvariantMonitor, InvariantViolation
+from .state_machine import COORDINATOR, MachineConfig, OptimisticStateMachine
+from .types import (
+    ControlMessage,
+    ControlType,
+    FinalizedCheckpoint,
+    LogEntry,
+    Piggyback,
+    Status,
+    TentativeCheckpoint,
+)
+
+__all__ = [
+    "Anomaly",
+    "ArmTimer",
+    "BroadcastControl",
+    "COORDINATOR",
+    "CancelTimer",
+    "ControlMessage",
+    "ControlType",
+    "Effect",
+    "Finalize",
+    "FinalizedCheckpoint",
+    "FlushAtFinalize",
+    "FlushImmediately",
+    "FlushOpportunistic",
+    "FlushPolicy",
+    "FlushUniformDelay",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "LogEntry",
+    "MachineConfig",
+    "OptimisticConfig",
+    "OptimisticProcess",
+    "OptimisticRuntime",
+    "OptimisticStateMachine",
+    "Piggyback",
+    "ProtocolAnomalyError",
+    "SendControl",
+    "Status",
+    "TakeTentative",
+    "TentativeCheckpoint",
+]

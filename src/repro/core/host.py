@@ -1,0 +1,581 @@
+"""DES host for the optimistic checkpointing protocol.
+
+:class:`OptimisticProcess` binds one :class:`OptimisticStateMachine` to the
+simulation substrates: it executes the machine's effects against the network
+(control messages), stable storage (flushes), local store (tentative state +
+log buffering) and trace.  :class:`OptimisticRuntime` is the per-run context
+shared by all hosts (network, storage, config) plus the verification surface
+experiments consume.
+
+Responsibilities kept *out* of the state machine on purpose:
+
+* message-log byte accounting (``logSet`` contents — §3.1's selective log);
+* the send/receive *windows* used for consistency verification — for each
+  finalized ``C_{i,k}`` the host records exactly which application-message
+  uids the checkpoint captures (everything between ``CFE_{i,k-1}`` and
+  ``CFE_{i,k}``, minus the paper's excluded trigger message);
+* periodic initiation scheduling ("basic checkpoints at scheduled times");
+* tentative-state flush timing (:class:`~repro.core.config.FlushPolicy`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..causality.consistency import (
+    CheckpointRecord,
+    ConsistencyVerifier,
+    Orphan,
+)
+from ..des.engine import Simulator
+from ..des.process import SimProcess
+from ..net.message import Message
+from ..net.network import Network
+from ..storage.local_store import LocalStore
+from ..storage.stable_storage import StableStorage
+from .config import OptimisticConfig
+from .effects import (
+    Anomaly,
+    ArmTimer,
+    BroadcastControl,
+    CancelTimer,
+    Effect,
+    Finalize,
+    SendControl,
+    TakeTentative,
+)
+from .state_machine import OptimisticStateMachine
+from .types import (
+    ControlMessage,
+    FinalizedCheckpoint,
+    LogEntry,
+    Piggyback,
+    Status,
+    TentativeCheckpoint,
+    fold_digest,
+)
+
+
+class ProtocolAnomalyError(RuntimeError):
+    """Raised in strict mode when a proven-impossible message arrives."""
+
+
+class OptimisticRuntime:
+    """Shared context for one simulated run of the optimistic protocol."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 storage: StableStorage, config: OptimisticConfig,
+                 horizon: float | None = None) -> None:
+        config.validate(network.n)
+        self.sim = sim
+        self.network = network
+        self.storage = storage
+        self.config = config
+        #: Simulated time after which no *new* checkpoint rounds or app work
+        #: start (in-flight rounds still converge, so the event queue drains).
+        self.horizon = horizon
+        self.hosts: dict[int, "OptimisticProcess"] = {}
+
+    @property
+    def n(self) -> int:
+        return self.network.n
+
+    def build(self, apps: dict[int, Any] | None = None
+              ) -> list["OptimisticProcess"]:
+        """Create one host per topology node (optionally with app behaviours).
+
+        ``apps`` maps pid -> an object with ``on_start(host)`` and
+        ``on_message(host, msg)`` (see :mod:`repro.workload.app`).
+        """
+        hosts = []
+        for pid in range(self.n):
+            app = apps.get(pid) if apps else None
+            host = OptimisticProcess(pid, self.sim, self, app=app)
+            self.network.add_process(host)
+            self.hosts[pid] = host
+            hosts.append(host)
+        return hosts
+
+    def start(self) -> None:
+        """Start every process (emits initial checkpoints, arms timers)."""
+        self.network.start_all()
+
+    # -- verification surface -------------------------------------------------
+
+    def finalized_seqs(self) -> list[int]:
+        """Sequence numbers finalized by *every* process (complete S_k)."""
+        if not self.hosts:
+            return []
+        common: set[int] | None = None
+        for host in self.hosts.values():
+            seqs = set(host.finalized)
+            common = seqs if common is None else (common & seqs)
+        return sorted(common or ())
+
+    def global_records(self) -> dict[int, dict[int, CheckpointRecord]]:
+        """Cumulative :class:`CheckpointRecord` per complete S_k."""
+        out: dict[int, dict[int, CheckpointRecord]] = {}
+        per_host = {pid: host.checkpoint_records()
+                    for pid, host in self.hosts.items()}
+        for seq in self.finalized_seqs():
+            out[seq] = {pid: per_host[pid][seq] for pid in per_host}
+        return out
+
+    def verify_consistency(self) -> dict[int, list[Orphan]]:
+        """Run the independent trace-based verifier over every complete S_k."""
+        verifier = ConsistencyVerifier(self.sim.trace)
+        return verifier.verify_all(self.global_records())
+
+    def assert_consistent(self) -> int:
+        """Raise on any orphan; returns the number of cuts checked."""
+        verifier = ConsistencyVerifier(self.sim.trace)
+        return verifier.assert_consistent(self.global_records())
+
+    def anomalies(self) -> list[str]:
+        """All protocol anomalies observed across hosts."""
+        out: list[str] = []
+        for pid in sorted(self.hosts):
+            out.extend(self.hosts[pid].anomalies)
+        return out
+
+    def control_message_count(self, ctype: str | None = None) -> int:
+        """Control messages sent (optionally one of CK_BGN/CK_REQ/CK_END)."""
+        total = 0
+        for host in self.hosts.values():
+            if ctype is None:
+                total += sum(host.ctl_sent.values())
+            else:
+                total += host.ctl_sent.get(ctype, 0)
+        return total
+
+    # -- metric surface (mirrors BaselineRuntime where meaningful) ---------------
+
+    def total_checkpoints(self) -> int:
+        """Tentative checkpoints taken across all processes (excl. initial)."""
+        return sum(len(h.tentatives) for h in self.hosts.values())
+
+    def total_blocked_time(self) -> float:
+        """The optimistic protocol never blocks the application."""
+        return 0.0
+
+    def response_delays(self) -> list[float]:
+        """Pre-processing delays per app message — always zero here (the
+        paper's no-checkpoint-before-processing property)."""
+        delivered = self.network.delivered_by_kind.get("app", 0)
+        return [0.0] * delivered
+
+    def total_log_bytes(self) -> int:
+        """Bytes of selective message logs across all finalized checkpoints."""
+        return sum(fc.log_bytes for h in self.hosts.values()
+                   for fc in h.finalized.values())
+
+    def total_logged_messages(self) -> int:
+        """Messages captured in selective logs across all finalized checkpoints."""
+        return sum(len(fc.log_entries) for h in self.hosts.values()
+                   for fc in h.finalized.values())
+
+    def convergence_latencies(self) -> dict[int, float]:
+        """Per complete S_k: time from the first tentative checkpoint with
+        sequence k to the last finalization of k (the round's span)."""
+        out: dict[int, float] = {}
+        for seq in self.finalized_seqs():
+            if seq == 0:
+                continue
+            starts, ends = [], []
+            for host in self.hosts.values():
+                fc = host.finalized[seq]
+                starts.append(fc.tentative.taken_at)
+                ends.append(fc.finalized_at)
+            out[seq] = max(ends) - min(starts)
+        return out
+
+    def max_local_buffer_bytes(self) -> int:
+        """High-water mark of tentative-state + log bytes held in local
+        memory — the optimism's memory cost."""
+        return max((h.local.max_bytes for h in self.hosts.values()),
+                   default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"OptimisticRuntime(n={self.n}, "
+                f"finalized_seqs={self.finalized_seqs()})")
+
+
+class OptimisticProcess(SimProcess):
+    """One process running the paper's protocol (state machine + substrates)."""
+
+    def __init__(self, pid: int, sim: Simulator, runtime: OptimisticRuntime,
+                 app: Any = None) -> None:
+        super().__init__(pid, sim)
+        self.runtime = runtime
+        self.config = runtime.config
+        self.machine = OptimisticStateMachine(pid, runtime.n,
+                                              config=runtime.config.machine)
+        self.app = app
+        self.local = LocalStore(pid)
+        # Checkpoint objects ---------------------------------------------------
+        self.tentatives: dict[int, TentativeCheckpoint] = {}
+        self.finalized: dict[int, FinalizedCheckpoint] = {}
+        self.current_tentative: TentativeCheckpoint | None = None
+        # Selective message log + verification windows -------------------------
+        self._log_entries: list[LogEntry] = []
+        self._window_sent: list[int] = []
+        self._window_recv: list[int] = []
+        self._flush_submitted: set[int] = set()
+        #: Checkpoint generations still held on stable storage (GC state).
+        self._held_gens: set[int] = set()
+        # Timers ----------------------------------------------------------------
+        self._conv_timer = sim.timer(self._on_conv_timer)
+        self._init_timer = sim.timer(self._on_init_timer)
+        # Diagnostics ------------------------------------------------------------
+        self.anomalies: list[str] = []
+        self.ctl_sent: dict[str, int] = {}
+        self.finalize_reasons: dict[str, int] = {}
+        #: Simulated application state: a fold over processed message uids
+        #: (see :func:`repro.core.types.fold_digest`) — makes recovery's
+        #: restore-and-replay semantics checkable.
+        self.state_digest = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def on_start(self) -> None:
+        # The paper's initial checkpoint C_{i,0} (sequence number 0); it is
+        # not written to the shared file server so t=0 does not register as
+        # artificial contention in any protocol's statistics.
+        initial_ct = TentativeCheckpoint(pid=self.pid, csn=0,
+                                         taken_at=self.sim.now,
+                                         state_bytes=0, flushed_at=self.sim.now)
+        self.finalized[0] = FinalizedCheckpoint(
+            pid=self.pid, csn=0, tentative=initial_ct,
+            finalized_at=self.sim.now, reason="initial")
+        if self.app is not None:
+            self.app.on_start(self)
+        self._arm_first_initiation()
+
+    def _arm_first_initiation(self) -> None:
+        interval = self.config.checkpoint_interval
+        if interval is None:
+            return
+        horizon = self.runtime.horizon
+        if horizon is not None and self.sim.now + interval > horizon:
+            return
+        phase = self.config.initiation_phase
+        if phase == "aligned":
+            offset = 0.0
+        elif phase == "staggered":
+            offset = interval * self.pid / self.runtime.n
+        else:  # jittered
+            rng = self.sim.rng.stream(f"init.{self.pid}")
+            offset = float(rng.uniform(0.0, interval))
+        self._init_timer.start(interval + offset)
+
+    def _on_init_timer(self) -> None:
+        """Scheduled basic-checkpoint initiation (§3.4.1)."""
+        if self.halted:
+            return
+        self._execute(self.machine.initiate())
+        interval = self.config.checkpoint_interval
+        horizon = self.runtime.horizon
+        if interval is not None and (
+                horizon is None or self.sim.now + interval <= horizon):
+            self._init_timer.start(interval)
+
+    def initiate_checkpoint(self) -> bool:
+        """Manually initiate a consistent global checkpoint (scenarios use
+        this).  Returns whether a tentative checkpoint was actually taken."""
+        before = self.machine.csn
+        self._execute(self.machine.initiate())
+        return self.machine.csn == before + 1
+
+    # -- application-facing API ---------------------------------------------------
+
+    def app_send(self, dst: int, payload: Any = None, *,
+                 size: int = 0) -> Message:
+        """Send an application message with the protocol piggyback (§3.4.2)."""
+        pb = self.machine.piggyback()
+        msg = self.network.send(
+            self.pid, dst, payload, size=size, kind="app",
+            meta={"pb": pb}, overhead_bytes=pb.encoded_bytes(self.runtime.n))
+        self._window_sent.append(msg.uid)
+        if self.machine.tentative or self.config.log_all_messages:
+            self._log_entries.append(LogEntry(
+                uid=msg.uid, nbytes=msg.total_bytes, direction="sent",
+                time=self.sim.now))
+            self._refresh_log_buffer()
+        return msg
+
+    # -- message dispatch -----------------------------------------------------------
+
+    def on_message(self, msg: Message) -> None:
+        if msg.kind == "ctl":
+            cm: ControlMessage = msg.payload
+            self.trace("ctl.recv", ctype=cm.ctype.value, csn=cm.csn,
+                       src=msg.src)
+            self._execute(self.machine.on_control(cm, msg.src))
+            return
+        if msg.kind != "app":
+            raise ValueError(f"unexpected message kind {msg.kind!r}")
+        # Paper §3.4.3: "it processes the message first and then takes the
+        # following actions" — the application sees the message before any
+        # checkpointing action (no forced checkpoint delays the response).
+        if self.app is not None:
+            self.app.on_message(self, msg)
+        self.state_digest = fold_digest(self.state_digest, msg.uid)
+        self._window_recv.append(msg.uid)
+        if self.machine.tentative or self.config.log_all_messages:
+            self._log_entries.append(LogEntry(
+                uid=msg.uid, nbytes=msg.total_bytes, direction="recv",
+                time=self.sim.now))
+            self._refresh_log_buffer()
+        pb: Piggyback = msg.meta["pb"]
+        self._execute(self.machine.on_app_receive(pb, msg.uid))
+
+    # -- effect execution --------------------------------------------------------------
+
+    def _execute(self, effects: list[Effect]) -> None:
+        for eff in effects:
+            if isinstance(eff, TakeTentative):
+                self._do_take_tentative(eff.csn)
+            elif isinstance(eff, Finalize):
+                self._do_finalize(eff)
+            elif isinstance(eff, SendControl):
+                self._send_control(eff.dst, ControlMessage(eff.ctype, eff.csn))
+            elif isinstance(eff, BroadcastControl):
+                cm = ControlMessage(eff.ctype, eff.csn)
+                for dst in range(self.runtime.n):
+                    if dst != self.pid:
+                        self._send_control(dst, cm)
+            elif isinstance(eff, ArmTimer):
+                self._conv_timer.start(self.config.timeout)
+            elif isinstance(eff, CancelTimer):
+                self._conv_timer.cancel()
+            elif isinstance(eff, Anomaly):
+                self.anomalies.append(eff.description)
+                self.trace("ckpt.anomaly", description=eff.description)
+                if self.config.strict:
+                    raise ProtocolAnomalyError(eff.description)
+            else:  # pragma: no cover - future-proofing
+                raise TypeError(f"unknown effect {eff!r}")
+
+    def _send_control(self, dst: int, cm: ControlMessage) -> None:
+        self.ctl_sent[cm.ctype.value] = self.ctl_sent.get(cm.ctype.value, 0) + 1
+        self.trace("ctl.send", ctype=cm.ctype.value, csn=cm.csn, dst=dst)
+        self.network.send(self.pid, dst, cm, kind="ctl",
+                          overhead_bytes=ControlMessage.ENCODED_BYTES)
+
+    def _on_conv_timer(self) -> None:
+        if self.halted:
+            return
+        self._execute(self.machine.on_timer())
+
+    # -- checkpoint actions -------------------------------------------------------------
+
+    def _do_take_tentative(self, csn: int) -> None:
+        state_bytes = self.config.capture_bytes_for(self.pid, csn)
+        ckpt = TentativeCheckpoint(pid=self.pid, csn=csn,
+                                   taken_at=self.sim.now,
+                                   state_bytes=state_bytes,
+                                   digest=self.state_digest,
+                                   full=self.config.is_full_checkpoint(csn))
+        self.tentatives[csn] = ckpt
+        self.current_tentative = ckpt
+        if not self.config.log_all_messages:
+            self._log_entries = []
+        self.local.put("ct", state_bytes, self.sim.now)
+        self.trace("ckpt.tentative", csn=csn, bytes=state_bytes)
+        # A checkpoint taken for any reason satisfies the scheduled
+        # requirement (paper §1: at most one checkpoint per interval).
+        if (self.config.reset_schedule_on_checkpoint
+                and self.config.checkpoint_interval is not None):
+            interval = self.config.checkpoint_interval
+            horizon = self.runtime.horizon
+            if horizon is None or self.sim.now + interval <= horizon:
+                self._init_timer.start(interval)
+            else:
+                self._init_timer.cancel()
+        self.config.flush_policy.on_tentative(self, ckpt)
+
+    def flush_tentative(self, ckpt: TentativeCheckpoint) -> None:
+        """Write ``CT_{i,k}`` to stable storage (idempotent; §3.1: "usually
+        saved in memory first and then flushed to stable storage")."""
+        if ckpt.csn in self._flush_submitted:
+            return
+        self._flush_submitted.add(ckpt.csn)
+        self.runtime.storage.space.retain(self.pid, f"ct:{ckpt.csn}",
+                                          ckpt.state_bytes, self.sim.now)
+        self.trace("ckpt.flush.ct", csn=ckpt.csn, bytes=ckpt.state_bytes)
+
+        def done(req) -> None:
+            ckpt.flushed_at = req.finish
+            self.local.discard("ct")
+
+        self.runtime.storage.write(self.pid, ckpt.state_bytes,
+                                   label=f"ct:{self.pid}:{ckpt.csn}",
+                                   callback=done)
+
+    def _do_finalize(self, eff: Finalize) -> None:
+        ckpt = self.current_tentative
+        assert ckpt is not None and ckpt.csn == eff.csn, (
+            f"P{self.pid} finalizing csn={eff.csn} but current tentative "
+            f"is {ckpt}")
+        exclude = eff.exclude_uid
+        entries = [e for e in self._log_entries if e.uid != exclude]
+        excluded_entries = [e for e in self._log_entries if e.uid == exclude]
+        new_sent = frozenset(self._window_sent)
+        new_recv = frozenset(self._window_recv)
+        if exclude is not None:
+            new_recv = new_recv - {exclude}
+        fc = FinalizedCheckpoint(
+            pid=self.pid, csn=eff.csn, tentative=ckpt,
+            finalized_at=self.sim.now, log_entries=entries,
+            new_sent_uids=new_sent, new_recv_uids=new_recv,
+            reason=eff.reason)
+        self.finalized[eff.csn] = fc
+        self.finalize_reasons[eff.reason] = (
+            self.finalize_reasons.get(eff.reason, 0) + 1)
+        # Reset the verification windows; the excluded message belongs to the
+        # *next* checkpoint's window (it is part of the state at CT_{i,k+1}).
+        self._window_sent = []
+        self._window_recv = [exclude] if exclude is not None else []
+        # Selective logging resets at the next CT; pessimistic (ablation)
+        # logging keeps the excluded entry alive for the next log.
+        self._log_entries = excluded_entries if self.config.log_all_messages else []
+        # Flush: the message log always goes to stable storage now; the
+        # tentative state is bundled in unless a FlushPolicy already sent it.
+        space = self.runtime.storage.space
+        nbytes = fc.log_bytes
+        if ckpt.csn not in self._flush_submitted:
+            self._flush_submitted.add(ckpt.csn)
+            nbytes += ckpt.state_bytes
+            space.retain(self.pid, f"ct:{ckpt.csn}", ckpt.state_bytes,
+                         self.sim.now)
+
+            def done_ct(req) -> None:
+                ckpt.flushed_at = req.finish
+                self.local.discard("ct")
+
+            callback = done_ct
+        else:
+            callback = None
+        space.retain(self.pid, f"log:{ckpt.csn}", fc.log_bytes, self.sim.now)
+        # Garbage collection (paper §1): finalizing C_{i,k} certifies that
+        # S_{k-1} is committed system-wide, so generations that can never
+        # again be a recovery line are deleted.  With full checkpoints the
+        # floor is simply k-1 (delete k-2 and older); with incremental
+        # checkpointing, restoring S_{k-1} needs the delta chain back to
+        # the last FULL capture at or before k-1, so the chain stays.
+        self._held_gens.add(eff.csn)
+        floor = eff.csn - 1
+        while floor >= 1 and not self.config.is_full_checkpoint(floor):
+            floor -= 1
+        released = [g for g in self._held_gens if 0 < g < floor]
+        for g in released:
+            self._held_gens.discard(g)
+            space.release(self.pid, f"ct:{g}", self.sim.now)
+            space.release(self.pid, f"log:{g}", self.sim.now)
+            self.trace("ckpt.gc", csn=g)
+        self.local.discard("log")
+        self.trace("ckpt.finalize", csn=eff.csn, reason=eff.reason,
+                   log_msgs=len(entries), log_bytes=fc.log_bytes,
+                   flush_bytes=nbytes)
+        self.runtime.storage.write(self.pid, nbytes,
+                                   label=f"fin:{self.pid}:{eff.csn}",
+                                   callback=callback)
+        self.current_tentative = None
+
+    def _refresh_log_buffer(self) -> None:
+        """Track the optimistic log's local-memory footprint."""
+        total = sum(e.nbytes for e in self._log_entries)
+        self.local.put("log", total, self.sim.now)
+
+    # -- rollback recovery ------------------------------------------------------------------
+
+    def rollback_to(self, csn: int, restart_app: bool = True) -> None:
+        """Restore this process to its finalized checkpoint ``C_{i,csn}``.
+
+        Executes the paper's recovery at one process: the stable state
+        ``CT_{i,csn}`` plus a replay of ``logSet_{i,csn}`` reconstructs the
+        state at ``CFE_{i,csn}``.  Everything after that point is discarded:
+        later tentative/finalized checkpoints, the current log, the
+        verification windows, control-plane dedup state for later rounds,
+        and any timers.  Called on *every* process by
+        :class:`repro.recovery.restart.RecoveryManager` (system-wide
+        rollback to the last committed global checkpoint, §1).
+        """
+        if csn not in self.finalized:
+            raise ValueError(
+                f"P{self.pid} has no finalized checkpoint {csn}")
+        self.halted = False
+        # Kill every continuation chain of the discarded execution (app
+        # send loops, flush polls, ...).
+        self.incarnation += 1
+        # Protocol state back to "just finalized csn".
+        m = self.machine
+        m.csn = csn
+        m.stat = Status.NORMAL
+        m.tent_set = set()
+        m._suppressed_csn = None
+        m._ck_req_sent = {c for c in m._ck_req_sent if c <= csn}
+        m._ck_end_sent = {c for c in m._ck_end_sent if c <= csn}
+        m._ck_bgn_sent = {c for c in m._ck_bgn_sent if c <= csn}
+        # Discard rolled-back checkpoints and their stable-space claims.
+        space = self.runtime.storage.space
+        for k in [k for k in self.finalized if k > csn]:
+            del self.finalized[k]
+            self._held_gens.discard(k)
+            space.release(self.pid, f"ct:{k}", self.sim.now)
+            space.release(self.pid, f"log:{k}", self.sim.now)
+        for k in [k for k in self.tentatives if k > csn]:
+            del self.tentatives[k]
+            if k in self._flush_submitted:
+                self._flush_submitted.discard(k)
+                space.release(self.pid, f"ct:{k}", self.sim.now)
+        self.current_tentative = None
+        self._log_entries = []
+        self._window_sent = []
+        self._window_recv = []
+        self.local.clear()
+        self._conv_timer.cancel()
+        self._init_timer.cancel()
+        # Restore the application state recovery reconstructs: CT's digest
+        # plus the selective log's replay.
+        self.state_digest = self.finalized[csn].replay_digest()
+        self.trace("ckpt.rollback", csn=csn, digest=self.state_digest)
+        # Resume: scheduled checkpointing restarts; the application is
+        # restarted from the recovered state (re-execution of lost work).
+        self._arm_first_initiation()
+        if restart_app and self.app is not None:
+            self.app.on_start(self)
+
+    # -- verification ---------------------------------------------------------------------
+
+    def checkpoint_records(self) -> dict[int, CheckpointRecord]:
+        """Cumulative recorded-event sets per finalized checkpoint.
+
+        ``C_{i,k}`` records everything ``C_{i,k-1}`` does plus its own
+        window increment, so the cumulative sets are prefix unions of the
+        per-checkpoint increments.
+        """
+        out: dict[int, CheckpointRecord] = {}
+        sent: set[int] = set()
+        recv: set[int] = set()
+        for csn in sorted(self.finalized):
+            fc = self.finalized[csn]
+            sent |= fc.new_sent_uids
+            recv |= fc.new_recv_uids
+            out[csn] = CheckpointRecord(
+                pid=self.pid, seq=csn, taken_at=fc.tentative.taken_at,
+                finalized_at=fc.finalized_at,
+                sent_uids=frozenset(sent), recv_uids=frozenset(recv),
+                logged_uids=fc.logged_uids,
+                state_bytes=fc.tentative.state_bytes,
+                log_bytes=fc.log_bytes)
+        return out
+
+    @property
+    def status(self) -> str:
+        """Convenience: the machine's status as a string (for tests/examples)."""
+        return self.machine.stat.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"OptimisticProcess(P{self.pid}, csn={self.machine.csn}, "
+                f"{self.status}, finalized={sorted(self.finalized)})")

@@ -1,0 +1,127 @@
+"""Live protocol-invariant monitoring.
+
+A :class:`InvariantMonitor` subscribes to the simulation trace and checks,
+*as events happen*, the state-transition rules the paper's protocol must
+obey:
+
+1. per process, tentative checkpoints carry csn exactly one above the last
+   finalized checkpoint (sequence discipline, §3.4.1);
+2. a finalization matches the currently-open tentative checkpoint — never
+   a skipped or repeated csn;
+3. no new tentative checkpoint opens while one is unfinalized (the paper's
+   "not allowed to initiate ... until it finalizes");
+4. rollbacks may only rewind to a previously-finalized csn.
+
+Violations are collected (and optionally raised immediately), with the
+offending trace record attached — a debugging tool for protocol hacking
+that the test suite also runs over full simulations to guard the host's
+bookkeeping independently of the consistency verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..des.trace import TraceRecord, TraceRecorder
+
+
+class InvariantViolation(AssertionError):
+    """A protocol state-transition rule was broken."""
+
+
+@dataclass
+class _ProcState:
+    last_finalized: int = 0
+    open_tentative: int | None = None
+    finalized_set: set[int] = field(default_factory=lambda: {0})
+
+
+class InvariantMonitor:
+    """Trace subscriber enforcing the checkpoint state-machine rules."""
+
+    def __init__(self, trace: TraceRecorder, *,
+                 raise_immediately: bool = True) -> None:
+        self.raise_immediately = raise_immediately
+        self.violations: list[str] = []
+        self._procs: dict[int, _ProcState] = {}
+        trace.subscribe(self._on_record)
+
+    def _state(self, pid: int) -> _ProcState:
+        st = self._procs.get(pid)
+        if st is None:
+            st = _ProcState()
+            self._procs[pid] = st
+        return st
+
+    def _fail(self, message: str, rec: TraceRecord) -> None:
+        full = f"{message} (at t={rec.time:.6g}, record={rec.kind})"
+        self.violations.append(full)
+        if self.raise_immediately:
+            raise InvariantViolation(full)
+
+    # -- rules -----------------------------------------------------------------
+
+    def _on_record(self, rec: TraceRecord) -> None:
+        if rec.kind == "ckpt.tentative":
+            self._on_tentative(rec)
+        elif rec.kind == "ckpt.finalize":
+            self._on_finalize(rec)
+        elif rec.kind == "ckpt.rollback":
+            self._on_rollback(rec)
+
+    def _on_tentative(self, rec: TraceRecord) -> None:
+        st = self._state(rec.process)
+        csn = rec.data["csn"]
+        # Baseline protocols reuse the same trace kinds but have different
+        # numbering (CIC indexes can jump); monitor only dense protocols.
+        if rec.data.get("forced") is not None:
+            return
+        if st.open_tentative is not None:
+            self._fail(
+                f"P{rec.process} took CT_{csn} while CT_"
+                f"{st.open_tentative} is still unfinalized", rec)
+        if csn != st.last_finalized + 1:
+            self._fail(
+                f"P{rec.process} took CT_{csn} but last finalized csn is "
+                f"{st.last_finalized} (expected {st.last_finalized + 1})",
+                rec)
+        st.open_tentative = csn
+
+    def _on_finalize(self, rec: TraceRecord) -> None:
+        st = self._state(rec.process)
+        csn = rec.data["csn"]
+        if rec.data.get("reason") == "initial":
+            st.finalized_set.add(csn)
+            return
+        if rec.data.get("reason", "").startswith(("cl.", "kt.", "stag.")):
+            return  # baseline rounds have their own (tested) disciplines
+        if st.open_tentative != csn:
+            self._fail(
+                f"P{rec.process} finalized C_{csn} but open tentative is "
+                f"{st.open_tentative}", rec)
+        st.open_tentative = None
+        st.last_finalized = csn
+        st.finalized_set.add(csn)
+
+    def _on_rollback(self, rec: TraceRecord) -> None:
+        st = self._state(rec.process)
+        csn = rec.data["csn"]
+        if csn not in st.finalized_set:
+            self._fail(
+                f"P{rec.process} rolled back to never-finalized csn {csn}",
+                rec)
+        st.open_tentative = None
+        st.last_finalized = csn
+        st.finalized_set = {c for c in st.finalized_set if c <= csn}
+
+    # -- reporting -----------------------------------------------------------------
+
+    def assert_clean(self) -> None:
+        """Raise if any violation was recorded (for non-immediate mode)."""
+        if self.violations:
+            raise InvariantViolation(
+                f"{len(self.violations)} violations; first: "
+                f"{self.violations[0]}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InvariantMonitor(violations={len(self.violations)})"

@@ -1,0 +1,30 @@
+"""Exception types raised by the discrete-event simulation kernel.
+
+Keeping kernel errors in a dedicated module lets callers catch simulation
+faults (``SimulationError``) separately from programming errors without
+importing the engine itself.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for all errors raised by the DES kernel."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled incorrectly (e.g. in the past)."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """The simulation exceeded a configured safety limit.
+
+    Raised when ``max_events`` or ``until`` guards trip while the caller
+    asked for strict behaviour.  Experiments use these limits as watchdogs
+    against protocol-level livelock (e.g. a checkpointing round that never
+    converges would otherwise spin forever).
+    """
+
+
+class StoppedSimulation(SimulationError):
+    """Internal signal used by :meth:`Simulator.stop` to unwind the loop."""

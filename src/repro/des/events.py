@@ -1,0 +1,146 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel orders events by the triple ``(time, priority, seq)``:
+
+* ``time`` — simulated timestamp (float, seconds by convention);
+* ``priority`` — tie-breaker for events at the same instant; smaller runs
+  first.  The :class:`EventPriority` constants give the conventional bands
+  used across the library (deliveries before timers before bookkeeping);
+* ``seq`` — a monotonically increasing sequence number assigned by the
+  simulator, which makes the order *total* and therefore the whole
+  simulation deterministic for a fixed seed.
+
+Events carry a zero-argument callback.  Cancellation is *lazy*: cancelling
+marks the event and the engine skips it when popped, which is O(1) and avoids
+re-heapifying.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Conventional priority bands for same-timestamp ordering.
+
+    The absolute values are arbitrary; only their relative order matters.
+    Leaving gaps allows callers to slot custom priorities in between.
+    """
+
+    #: Message deliveries (network hands a message to a process).
+    DELIVERY = 10
+    #: Default band for ad-hoc callbacks.
+    NORMAL = 20
+    #: Timer expirations (protocol timeouts fire after deliveries at the
+    #: same instant, mirroring real systems where I/O is serviced first).
+    TIMER = 30
+    #: Metric sampling / bookkeeping, runs last at an instant.
+    MONITOR = 40
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.des.engine.Simulator.schedule`;
+    user code normally holds them only to call :meth:`cancel`.
+
+    Implementation note (profile-guided): ``__lt__`` runs O(log n) times
+    per heap operation and dominated kernel comparisons when it rebuilt
+    its key tuple per call, so the key is precomputed at construction and
+    the class is slotted.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "_key")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 fn: Callable[[], None], cancelled: bool = False) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        #: Lazy-cancellation flag; the engine skips cancelled events when
+        #: popped.
+        self.cancelled = cancelled
+        self._key = (time, priority, seq)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine will skip it.
+
+        Idempotent; cancelling an already-executed event has no effect.
+        """
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """``True`` while the event is still pending and not cancelled."""
+        return not self.cancelled
+
+    # Heap ordering -------------------------------------------------------
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Total-order key used by the engine's heap."""
+        return self._key
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key < other._key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6g}, prio={self.priority}, seq={self.seq}, {state})"
+
+
+class Timer:
+    """A restartable, cancellable timer bound to a simulator.
+
+    Protocol code frequently needs the pattern "arm a timeout, cancel it if
+    the awaited thing happens, maybe re-arm later".  ``Timer`` wraps the
+    underlying :class:`Event` so re-arming and cancelling are safe no matter
+    the current state.
+    """
+
+    def __init__(self, sim: "SimulatorLike", fn: Callable[[], None],
+                 priority: int = EventPriority.TIMER) -> None:
+        self._sim = sim
+        self._fn = fn
+        self._priority = priority
+        self._event: Event | None = None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` from now.
+
+        If the timer is already armed it is first cancelled, so only one
+        expiration is ever pending.
+        """
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire, priority=self._priority)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed; idempotent."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def armed(self) -> bool:
+        """``True`` when an expiration is pending."""
+        return self._event is not None and self._event.active
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn()
+
+
+class SimulatorLike:
+    """Structural interface implemented by :class:`repro.des.engine.Simulator`.
+
+    Declared here (rather than importing the engine) to avoid a circular
+    import; exists purely for documentation and typing.
+    """
+
+    now: float
+
+    def schedule(self, delay: float, fn: Callable[[], None], *,
+                 priority: int = EventPriority.NORMAL) -> Event:  # pragma: no cover
+        """See :meth:`repro.des.engine.Simulator.schedule`."""
+        raise NotImplementedError

@@ -1,0 +1,88 @@
+"""Parameter sweeps.
+
+A sweep varies one configuration field over a value list, optionally under
+several protocols, producing the (x, series...) data behind every
+figure-style experiment.  Seeds are derived per sweep point (base seed +
+point index) so points are independent samples, while all protocols at one
+point share the seed and hence the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..metrics.report import Table
+from .experiment import ExperimentConfig, RunResult, run_experiment
+
+
+@dataclass
+class SweepPoint:
+    """All protocol results at one parameter value."""
+
+    value: Any
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep."""
+
+    param: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, protocol: str,
+               metric: Callable[[RunResult], Any] | str
+               ) -> tuple[list[Any], list[Any]]:
+        """Extract (xs, ys) for one protocol and one metric.
+
+        ``metric`` is either a callable over :class:`RunResult` or a key of
+        ``RunMetrics.as_dict()``.
+        """
+        if isinstance(metric, str):
+            key = metric
+            metric = lambda r: r.metrics.as_dict().get(key)  # noqa: E731
+        xs, ys = [], []
+        for pt in self.points:
+            if protocol in pt.results:
+                xs.append(pt.value)
+                ys.append(metric(pt.results[protocol]))
+        return xs, ys
+
+    def table(self, metric: str, title: str = "") -> Table:
+        """Render one metric across all protocols as a value-rows table."""
+        protocols = sorted({p for pt in self.points for p in pt.results})
+        t = Table(self.param, *protocols, title=title or metric)
+        for pt in self.points:
+            t.add_row(pt.value,
+                      *(pt.results[p].metrics.as_dict().get(metric, "")
+                        if p in pt.results else ""
+                        for p in protocols))
+        return t
+
+
+def _set_param(cfg: ExperimentConfig, param: str,
+               value: Any) -> ExperimentConfig:
+    """Set a (possibly dotted) config field, e.g. ``workload_kwargs.rate``."""
+    if "." in param:
+        head, key = param.split(".", 1)
+        current = dict(getattr(cfg, head))
+        current[key] = value
+        return cfg.derive(**{head: current})
+    return cfg.derive(**{param: value})
+
+
+def sweep(base: ExperimentConfig, param: str, values: Sequence[Any],
+          protocols: Sequence[str] = ("optimistic",),
+          reseed: bool = True) -> SweepResult:
+    """Run the sweep; each point gets seed ``base.seed + index`` if ``reseed``."""
+    result = SweepResult(param=param)
+    for i, value in enumerate(values):
+        cfg = _set_param(base, param, value)
+        if reseed:
+            cfg = cfg.derive(seed=base.seed + i)
+        point = SweepPoint(value=value)
+        for name in protocols:
+            point.results[name] = run_experiment(cfg.derive(protocol=name))
+        result.points.append(point)
+    return result

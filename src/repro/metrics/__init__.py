@@ -1,0 +1,25 @@
+"""Metric extraction, summary statistics and table rendering."""
+
+from .collectors import RunMetrics, collect
+from .report import Table, bar_chart, kv_block, series
+from .runreport import render_run_report
+from .stats import (
+    Summary,
+    ratio,
+    step_series_max,
+    step_series_time_average,
+)
+
+__all__ = [
+    "RunMetrics",
+    "Summary",
+    "Table",
+    "bar_chart",
+    "collect",
+    "kv_block",
+    "ratio",
+    "render_run_report",
+    "series",
+    "step_series_max",
+    "step_series_time_average",
+]

@@ -1,0 +1,113 @@
+"""ASCII table/series rendering for experiment output.
+
+The benchmarks print "the same rows/series the paper would report"; this
+module is the single renderer so every experiment's output looks alike.
+No external dependencies — plain monospace tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    """Render one cell: floats get 4 significant digits, the rest str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """A simple right-aligned monospace table.
+
+    >>> t = Table("protocol", "peak writers", title="E3")
+    >>> t.add_row("optimistic", 1)
+    >>> t.add_row("chandy-lamport", 8)
+    >>> print(t.render())   # doctest: +SKIP
+    """
+
+    def __init__(self, *headers: str, title: str = "") -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: Any) -> "Table":
+        """Append one row (cell count must match the headers)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns")
+        self.rows.append([_fmt(c) for c in cells])
+        return self
+
+    def render(self) -> str:
+        """Render the table to a multi-line string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w)
+                                for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w)
+                                    for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[str]:
+        """Raw (formatted) cells of one column — tests assert on these."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def series(label: str, xs: Sequence[Any], ys: Sequence[Any],
+           x_name: str = "x", y_name: str = "y") -> str:
+    """Render a 1-D series (a figure's data) as a two-column table."""
+    t = Table(x_name, y_name, title=label)
+    for x, y in zip(xs, ys):
+        t.add_row(x, y)
+    return t.render()
+
+
+def bar_chart(label: str, pairs: dict[str, float], width: int = 40,
+              unit: str = "") -> str:
+    """Render a horizontal ASCII bar chart (sweeps/examples eye candy).
+
+    Bars scale to the maximum value; zero/negative values get no bar.
+    """
+    if width < 5:
+        raise ValueError(f"width must be >= 5, got {width}")
+    if not pairs:
+        return label
+    peak = max(max(pairs.values()), 0.0)
+    key_w = max(len(str(k)) for k in pairs)
+    lines = [label] if label else []
+    for key, value in pairs.items():
+        n = int(round(width * value / peak)) if peak > 0 and value > 0 else 0
+        bar = "#" * n
+        lines.append(f"  {str(key).ljust(key_w)} | {bar} {_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def kv_block(title: str, pairs: dict[str, Any]) -> str:
+    """Render a key/value block (run configuration echo)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        lines.append(f"  {k.ljust(width)} : {_fmt(v)}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""One-page plain-text report for a finished run.
+
+Combines the configuration echo, the flat metrics, the checkpoint-round
+table, the consistency verdict and a space-time diagram into a single
+string — what ``repro run --report`` prints and what a lab notebook would
+paste.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..viz.spacetime import render_spacetime
+from .report import Table, kv_block
+
+
+def render_run_report(result: Any, *, diagram_width: int = 72,
+                      max_rounds: int = 20) -> str:
+    """Render a :class:`~repro.harness.experiment.RunResult` as text."""
+    cfg = result.config
+    parts: list[str] = []
+
+    parts.append(kv_block("configuration", {
+        "protocol": cfg.protocol,
+        "n": cfg.n,
+        "seed": cfg.seed,
+        "horizon": cfg.horizon,
+        "workload": cfg.workload,
+        "checkpoint_interval": cfg.checkpoint_interval,
+        "state_bytes": cfg.state_bytes,
+        "topology": cfg.topology,
+        "latency": cfg.latency,
+    }))
+    parts.append("")
+
+    parts.append(kv_block("metrics", result.metrics.as_dict()))
+    parts.append("")
+
+    runtime = result.runtime
+    if hasattr(runtime, "finalized_seqs"):
+        table = Table("S_k", "convergence (s)", "log bytes",
+                      title="checkpoint rounds")
+        convergence = runtime.convergence_latencies()
+        seqs = [s for s in runtime.finalized_seqs() if s > 0]
+        for seq in seqs[:max_rounds]:
+            log_bytes = sum(h.finalized[seq].log_bytes
+                            for h in runtime.hosts.values())
+            table.add_row(seq, convergence.get(seq, ""), log_bytes)
+        if len(seqs) > max_rounds:
+            table.add_row("...", "", "")
+        parts.append(table.render())
+        parts.append("")
+
+    if result.orphans:
+        bad = {k: v for k, v in result.orphans.items() if v}
+        verdict = ("all consistent" if not bad
+                   else f"ORPHANED CUTS: {bad}")
+        parts.append(f"consistency: {len(result.orphans)} global "
+                     f"checkpoints verified — {verdict}")
+        parts.append("")
+
+    parts.append(render_spacetime(result.sim.trace, cfg.n,
+                                  width=diagram_width))
+    return "\n".join(parts)

@@ -1,0 +1,83 @@
+"""Summary statistics helpers (numpy-backed).
+
+Every experiment reduces raw per-event measurements (waits, latencies,
+counts) to the same small :class:`Summary`; centralizing the reduction
+keeps benchmark output columns identical across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    p50: float
+    p95: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Summary":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            return cls(n=0, mean=0.0, std=0.0, min=0.0, p50=0.0, p95=0.0,
+                       max=0.0)
+        return cls(
+            n=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            min=float(arr.min()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            max=float(arr.max()),
+        )
+
+    def __str__(self) -> str:
+        if self.n == 0:
+            return "n=0"
+        return (f"n={self.n} mean={self.mean:.4g} p50={self.p50:.4g} "
+                f"p95={self.p95:.4g} max={self.max:.4g}")
+
+
+def step_series_max(series: list[tuple[float, float]]) -> float:
+    """Maximum value of a (time, value) step series (0 for empty)."""
+    if not series:
+        return 0.0
+    return max(v for _, v in series)
+
+
+def step_series_time_average(series: list[tuple[float, float]],
+                             end: float) -> float:
+    """Time-weighted average of a step series over [first time, end].
+
+    Each value holds from its timestamp until the next; the last value
+    holds until ``end``.  Used for mean queue length / mean pending writers.
+    """
+    if not series:
+        return 0.0
+    total = 0.0
+    t0 = series[0][0]
+    if end <= t0:
+        return float(series[0][1])
+    for (t, v), (t_next, _) in zip(series, series[1:]):
+        total += v * (min(t_next, end) - min(t, end))
+    last_t, last_v = series[-1]
+    if last_t < end:
+        total += last_v * (end - last_t)
+    return total / (end - t0)
+
+
+def ratio(a: float, b: float) -> float:
+    """``a / b`` with the 0/0 = 1 and x/0 = inf conventions benchmarks use."""
+    if b == 0:
+        return 1.0 if a == 0 else float("inf")
+    return a / b

@@ -1,0 +1,285 @@
+"""The message-passing network tying processes, topology and channels together.
+
+``Network.send`` is the single entry point every protocol uses.  It
+
+1. validates the destination and (optionally) topology connectivity —
+   messages between non-adjacent processes are *routed* along a shortest
+   path with per-hop latency, so protocols that logically assume full
+   connectivity (like the paper's, whose control messages go to ``P_0``)
+   still run over sparse physical topologies;
+2. stamps and traces the message (``msg.send`` record);
+3. schedules the delivery event at the channel-computed arrival time
+   (``msg.deliver`` record, then the destination's handler).
+
+A ``delivery_gate`` hook lets the failure injector suppress delivery to
+crashed processes without the network knowing anything about failures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..des.engine import Simulator
+from ..des.events import Event, EventPriority
+from ..des.process import SimProcess
+from .channel import Channel
+from .latency import LatencyModel, UniformLatency
+from .message import Message
+from .topology import Topology, complete
+
+
+class Network:
+    """Point-to-point network over a topology.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing the clock, RNG registry and trace.
+    topology:
+        Connectivity graph; defaults to a complete graph once the first
+        process set is known (pass explicitly for sparse experiments).
+    latency:
+        Shared latency model (per-channel RNG streams keep draws independent).
+    fifo:
+        Delivery discipline for *all* channels.  The paper's model is
+        non-FIFO (default); Chandy-Lamport runs demand ``fifo=True``.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology | None = None,
+                 latency: LatencyModel | None = None, *, fifo: bool = False,
+                 n: int | None = None,
+                 nic_bandwidth: float | None = None,
+                 medium_bandwidth: float | None = None,
+                 app_n: int | None = None) -> None:
+        if topology is None:
+            if n is None:
+                raise ValueError("pass a topology or n (for a complete graph)")
+            topology = complete(n)
+        if nic_bandwidth is not None and nic_bandwidth <= 0:
+            raise ValueError(f"nic_bandwidth must be > 0, got {nic_bandwidth}")
+        if medium_bandwidth is not None and medium_bandwidth <= 0:
+            raise ValueError(
+                f"medium_bandwidth must be > 0, got {medium_bandwidth}")
+        if app_n is not None and not (1 <= app_n <= topology.n):
+            raise ValueError(
+                f"app_n must be in [1, {topology.n}], got {app_n}")
+        self.sim = sim
+        self.topology = topology
+        #: Number of *application* processes (pids ``0..app_n-1``).  Extra
+        #: topology nodes beyond this are infrastructure (e.g. a networked
+        #: file server) — excluded from ``n``, broadcasts and workloads.
+        self.app_n = app_n if app_n is not None else topology.n
+        self.latency = latency if latency is not None else UniformLatency()
+        self.fifo = fifo
+        #: Bytes/second each process's network interface can transmit;
+        #: ``None`` = unlimited (pure latency model).  With a bandwidth,
+        #: each sender's outgoing messages serialize at its NIC: a message
+        #: departs only when the NIC is free, and occupies it for
+        #: ``total_bytes / nic_bandwidth``.
+        self.nic_bandwidth = nic_bandwidth
+        self._nic_free_at: dict[int, float] = {}
+        #: Bytes/second of a *shared* transmission medium (classic shared
+        #: fabric/uplink): every message, regardless of endpoints, occupies
+        #: it for ``total_bytes / medium_bandwidth``.  This is where bulk
+        #: checkpoint transfers visibly delay application traffic (E17) —
+        #: per-sender NICs alone cannot show it, since every protocol ships
+        #: the same per-sender volume.  ``None`` = no shared bottleneck.
+        self.medium_bandwidth = medium_bandwidth
+        self._medium_free_at = 0.0
+        self.processes: dict[int, SimProcess] = {}
+        self._channels: dict[tuple[int, int], Channel] = {}
+        #: uid -> pending delivery event, for in-flight flushing on rollback.
+        self._pending_deliveries: dict[int, "Event"] = {}
+        #: Called before delivery; return False to silently drop (used by the
+        #: failure injector for crashed destinations).
+        self.delivery_gate: Callable[[Message], bool] | None = None
+        # Aggregate counters (per message kind).
+        self.sent_by_kind: dict[str, int] = {}
+        self.bytes_by_kind: dict[str, int] = {}
+        self.overhead_by_kind: dict[str, int] = {}
+        self.delivered_by_kind: dict[str, int] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def add_process(self, proc: SimProcess) -> None:
+        """Register ``proc``; its pid must be a node of the topology."""
+        if proc.pid >= self.topology.n:
+            raise ValueError(
+                f"pid {proc.pid} outside topology of size {self.topology.n}")
+        if proc.pid in self.processes:
+            raise ValueError(f"duplicate pid {proc.pid}")
+        self.processes[proc.pid] = proc
+        proc.attach(self)
+
+    def add_processes(self, procs: Iterable[SimProcess]) -> None:
+        """Register several processes (pid order irrelevant)."""
+        for p in procs:
+            self.add_process(p)
+
+    def start_all(self) -> None:
+        """Invoke ``on_start`` on every process (in pid order, at t=now)."""
+        for pid in sorted(self.processes):
+            self.processes[pid].on_start()
+
+    @property
+    def n(self) -> int:
+        """Number of application processes (see ``app_n``)."""
+        return self.app_n
+
+    # -- channels ----------------------------------------------------------
+
+    def channel(self, src: int, dst: int) -> Channel:
+        """The directed channel object for ``(src, dst)`` (created lazily)."""
+        key = (src, dst)
+        ch = self._channels.get(key)
+        if ch is None:
+            rng = self.sim.rng.stream(f"net.{src}->{dst}")
+            ch = Channel(src, dst, rng, fifo=self.fifo)
+            self._channels[key] = ch
+        return ch
+
+    def channels(self) -> list[Channel]:
+        """All channels used so far."""
+        return [self._channels[k] for k in sorted(self._channels)]
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: Any = None, *, size: int = 0,
+             kind: str = "app", meta: dict[str, Any] | None = None,
+             overhead_bytes: int = 0) -> Message:
+        """Send one message; returns the envelope (already scheduled)."""
+        if dst not in self.processes:
+            raise ValueError(f"unknown destination process {dst}")
+        if src == dst:
+            raise ValueError(f"process {src} cannot send to itself")
+        msg = Message(src=src, dst=dst, kind=kind, payload=payload,
+                      size=size, overhead_bytes=overhead_bytes,
+                      send_time=self.sim.now)
+        if meta:
+            msg.meta.update(meta)
+        ch = self.channel(src, dst)
+        delay = self._path_latency(src, dst, msg.total_bytes, ch)
+        # NIC serialization: the message departs when the sender's NIC is
+        # free and occupies it for its transmission time.
+        if self.nic_bandwidth is not None:
+            tx = msg.total_bytes / self.nic_bandwidth
+            depart = max(self.sim.now, self._nic_free_at.get(src, 0.0))
+            self._nic_free_at[src] = depart + tx
+            delay += (depart - self.sim.now) + tx
+        # Shared-medium serialization: every message contends for one
+        # fabric, so bulk transfers delay unrelated traffic.
+        if self.medium_bandwidth is not None:
+            tx = msg.total_bytes / self.medium_bandwidth
+            depart = max(self.sim.now, self._medium_free_at)
+            self._medium_free_at = depart + tx
+            delay += (depart - self.sim.now) + tx
+        arrival = ch.arrival_time(self.sim.now, delay)
+        ch.stats.on_send(msg)
+        self._bump(self.sent_by_kind, kind)
+        self.bytes_by_kind[kind] = (
+            self.bytes_by_kind.get(kind, 0) + msg.total_bytes)
+        self.overhead_by_kind[kind] = (
+            self.overhead_by_kind.get(kind, 0) + msg.overhead_bytes)
+        self.sim.trace.record(self.sim.now, "msg.send", src,
+                              uid=msg.uid, dst=dst, kind=kind,
+                              bytes=msg.total_bytes)
+        ev = self.sim.schedule_at(arrival, lambda: self._deliver(msg, ch),
+                                  priority=EventPriority.DELIVERY)
+        self._pending_deliveries[msg.uid] = ev
+        return msg
+
+    def broadcast(self, src: int, payload: Any = None, *, size: int = 0,
+                  kind: str = "app", meta: dict[str, Any] | None = None,
+                  overhead_bytes: int = 0) -> list[Message]:
+        """Send the same content to every other process (N-1 messages)."""
+        out = []
+        for dst in sorted(self.processes):
+            if dst != src:
+                out.append(self.send(src, dst, payload, size=size, kind=kind,
+                                     meta=dict(meta) if meta else None,
+                                     overhead_bytes=overhead_bytes))
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _path_latency(self, src: int, dst: int, nbytes: int,
+                      ch: Channel) -> float:
+        """Latency for the (possibly multi-hop) path from src to dst."""
+        if self.topology.connected(src, dst):
+            return self.latency.sample(ch.rng, src, dst, nbytes)
+        # Route along a shortest path; per-hop draws from the direct
+        # channel's stream keep determinism without materializing channels
+        # for every hop pair.
+        path = self.topology.shortest_path(src, dst)
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            total += self.latency.sample(ch.rng, u, v, nbytes)
+        return total
+
+    def _deliver(self, msg: Message, ch: Channel) -> None:
+        self._pending_deliveries.pop(msg.uid, None)
+        if self.delivery_gate is not None and not self.delivery_gate(msg):
+            ch.stats.on_drop(msg)
+            self.sim.trace.record(self.sim.now, "msg.drop", msg.dst,
+                                  uid=msg.uid, src=msg.src, kind=msg.kind)
+            return
+        msg.deliver_time = self.sim.now
+        ch.stats.on_deliver(msg)
+        self._bump(self.delivered_by_kind, msg.kind)
+        self.sim.trace.record(self.sim.now, "msg.deliver", msg.dst,
+                              uid=msg.uid, src=msg.src, kind=msg.kind,
+                              bytes=msg.total_bytes)
+        self.processes[msg.dst]._deliver(msg)
+
+    @staticmethod
+    def _bump(counter: dict[str, int], kind: str) -> None:
+        counter[kind] = counter.get(kind, 0) + 1
+
+    # -- summaries ---------------------------------------------------------
+
+    def total_sent(self, kind: str | None = None) -> int:
+        """Messages sent, optionally restricted to one kind."""
+        if kind is None:
+            return sum(self.sent_by_kind.values())
+        return self.sent_by_kind.get(kind, 0)
+
+    def total_bytes(self, kind: str | None = None) -> int:
+        """Wire bytes sent, optionally restricted to one kind."""
+        if kind is None:
+            return sum(self.bytes_by_kind.values())
+        return self.bytes_by_kind.get(kind, 0)
+
+    def total_overhead_bytes(self, kind: str | None = None) -> int:
+        """Protocol-added bytes (piggybacks + control payloads)."""
+        if kind is None:
+            return sum(self.overhead_by_kind.values())
+        return self.overhead_by_kind.get(kind, 0)
+
+    def in_flight(self) -> int:
+        """Messages currently in flight across all channels."""
+        return sum(ch.stats.in_flight for ch in self._channels.values())
+
+    def drop_in_flight(self) -> int:
+        """Discard every message currently in flight; returns the count.
+
+        Used by rollback recovery: messages in the channels belong to the
+        rolled-back execution and must not be delivered into the recovered
+        one (channel-flushing, the standard recovery assumption).  Each
+        dropped message is traced as ``msg.drop``.
+        """
+        dropped = 0
+        for uid, ev in list(self._pending_deliveries.items()):
+            if ev.active:
+                ev.cancel()
+                dropped += 1
+                self.sim.trace.record(self.sim.now, "msg.drop", -1,
+                                      uid=uid, reason="rollback")
+            self._pending_deliveries.pop(uid, None)
+        for ch in self._channels.values():
+            ch.stats.dropped += ch.stats.in_flight
+            ch.stats.in_flight = 0
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Network(n={self.n}, topo={self.topology.name}, "
+                f"fifo={self.fifo}, sent={self.total_sent()})")

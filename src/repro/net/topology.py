@@ -1,0 +1,152 @@
+"""Network topologies.
+
+A topology constrains which process pairs may exchange messages directly.
+The paper's algorithm itself only needs *some* connectivity (piggybacked
+knowledge spreads transitively), but two baselines care deeply:
+
+* Chandy-Lamport sends a marker down every outgoing channel, so marker cost
+  scales with edge count;
+* Plank's staggered scheme staggers only as much as the topology allows —
+  the paper notes a completely connected topology "subverts staggering".
+
+Topologies wrap an undirected :mod:`networkx` graph; communication is
+bidirectional over an edge, and the directed channel ``(u, v)`` exists iff
+the edge ``{u, v}`` does.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+class Topology:
+    """Process-connectivity graph with convenience queries."""
+
+    def __init__(self, graph: nx.Graph, name: str = "custom") -> None:
+        n = graph.number_of_nodes()
+        if n == 0:
+            raise ValueError("topology must have at least one node")
+        expected = set(range(n))
+        if set(graph.nodes) != expected:
+            raise ValueError(
+                f"nodes must be exactly 0..{n - 1}, got {sorted(graph.nodes)}")
+        if not nx.is_connected(graph) and n > 1:
+            raise ValueError("topology must be connected")
+        self.graph = graph
+        self.name = name
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_channels(self) -> int:
+        """Number of *directed* channels (2 per undirected edge)."""
+        return 2 * self.graph.number_of_edges()
+
+    def connected(self, u: int, v: int) -> bool:
+        """Can ``u`` send directly to ``v``?"""
+        return self.graph.has_edge(u, v)
+
+    def neighbors(self, u: int) -> list[int]:
+        """Sorted direct neighbors of ``u``."""
+        return sorted(self.graph.neighbors(u))
+
+    def degree(self, u: int) -> int:
+        """Out-degree of ``u`` (== in-degree; channels are symmetric)."""
+        return self.graph.degree(u)
+
+    def diameter(self) -> int:
+        """Graph diameter (hops); 0 for a single node."""
+        if self.n == 1:
+            return 0
+        return nx.diameter(self.graph)
+
+    def shortest_path(self, u: int, v: int) -> list[int]:
+        """One shortest node path from ``u`` to ``v`` (inclusive)."""
+        return nx.shortest_path(self.graph, u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology({self.name!r}, n={self.n}, edges={self.graph.number_of_edges()})"
+
+
+# -- factories ---------------------------------------------------------------
+
+
+def complete(n: int) -> Topology:
+    """Every pair connected — the default for protocol experiments."""
+    _check_n(n)
+    return Topology(nx.complete_graph(n), name=f"complete({n})")
+
+
+def ring(n: int) -> Topology:
+    """Cycle ``0-1-...-(n-1)-0``; matches the CK_REQ forwarding intuition."""
+    _check_n(n)
+    if n == 1:
+        return Topology(nx.complete_graph(1), name="ring(1)")
+    if n == 2:
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        g.add_edge(0, 1)
+        return Topology(g, name="ring(2)")
+    return Topology(nx.cycle_graph(n), name=f"ring({n})")
+
+
+def star(n: int, hub: int = 0) -> Topology:
+    """One hub connected to all others (client-server physical layout)."""
+    _check_n(n)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        if i != hub:
+            g.add_edge(hub, i)
+    return Topology(g, name=f"star({n},hub={hub})")
+
+
+def line(n: int) -> Topology:
+    """Path ``0-1-...-(n-1)`` — maximizes staggering opportunity."""
+    _check_n(n)
+    return Topology(nx.path_graph(n), name=f"line({n})")
+
+
+def grid(rows: int, cols: int) -> Topology:
+    """2-D mesh with nodes renumbered row-major to ``0..rows*cols-1``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    g2 = nx.grid_2d_graph(rows, cols)
+    mapping = {node: node[0] * cols + node[1] for node in g2.nodes}
+    return Topology(nx.relabel_nodes(g2, mapping), name=f"grid({rows}x{cols})")
+
+
+def random_connected(n: int, p: float, seed: int) -> Topology:
+    """Erdős–Rényi ``G(n, p)`` conditioned on connectivity.
+
+    Edges are added greedily from a spanning tree if the raw draw is
+    disconnected, so the function always succeeds and stays deterministic
+    in ``seed``.
+    """
+    _check_n(n)
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    # Stitch components together deterministically.
+    comps = [sorted(c) for c in nx.connected_components(g)]
+    comps.sort()
+    for a, b in zip(comps, comps[1:]):
+        g.add_edge(a[0], b[0])
+    return Topology(g, name=f"random({n},p={p},seed={seed})")
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"need at least 1 process, got {n}")

@@ -1,0 +1,39 @@
+"""Stable-storage and local-memory substrates.
+
+The network file server of the paper is :class:`StableStorage` (FIFO queue +
+disk service model with full contention telemetry); tentative checkpoints
+and optimistic message logs live in :class:`LocalStore` until finalization.
+"""
+
+from .disk_model import DiskModel
+from .local_store import LocalItem, LocalStore
+from .networked import RemoteStorage, StorageServer, install_ack_shim
+from .serialize import (
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    dumps_checkpoint,
+    export_run,
+    import_run,
+    loads_checkpoint,
+)
+from .space import SpaceKey, SpaceTracker
+from .stable_storage import StableStorage, WriteRequest
+
+__all__ = [
+    "DiskModel",
+    "LocalItem",
+    "LocalStore",
+    "RemoteStorage",
+    "SpaceKey",
+    "SpaceTracker",
+    "StableStorage",
+    "StorageServer",
+    "WriteRequest",
+    "checkpoint_from_dict",
+    "install_ack_shim",
+    "checkpoint_to_dict",
+    "dumps_checkpoint",
+    "export_run",
+    "import_run",
+    "loads_checkpoint",
+]

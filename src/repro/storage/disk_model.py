@@ -1,0 +1,45 @@
+"""Service-time model for the stable-storage server's disk.
+
+The paper's stable storage lives at a network file server; the dominant cost
+of a checkpoint write is positioning (seek + rotational + request setup,
+lumped into ``seek_time``) plus streaming the bytes at ``bandwidth``.
+
+The model is deliberately first-order: the contention phenomena the paper
+argues about (many clients writing *simultaneously* queue up behind one
+another) emerge from queueing at the server, not from disk micro-behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Seek-plus-streaming service time.
+
+    Attributes
+    ----------
+    seek_time:
+        Fixed per-request overhead in simulated seconds.
+    bandwidth:
+        Sustained write bandwidth in bytes per simulated second.
+    """
+
+    seek_time: float = 0.01
+    bandwidth: float = 50e6
+
+    def __post_init__(self) -> None:
+        if self.seek_time < 0:
+            raise ValueError(f"seek_time must be >= 0, got {self.seek_time}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+    def service_time(self, nbytes: int) -> float:
+        """Time to serve one write of ``nbytes`` once it reaches the disk."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.seek_time + nbytes / self.bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiskModel(seek={self.seek_time}, bw={self.bandwidth:.3g} B/s)"

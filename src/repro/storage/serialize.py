@@ -1,0 +1,116 @@
+"""Checkpoint serialization: durable JSON form of finalized checkpoints.
+
+A real deployment writes checkpoints to files; downstream tools (recovery
+orchestrators, audits) need to read them back.  This module gives every
+finalized checkpoint a self-contained JSON representation with a
+round-trip guarantee, plus a whole-run export that mirrors what a file
+server's checkpoint directory would contain.
+
+The format is versioned and intentionally boring: one JSON object per
+checkpoint with the tentative-state metadata, the selective log, and the
+verification sets.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.types import FinalizedCheckpoint, LogEntry, TentativeCheckpoint
+
+FORMAT_VERSION = 1
+
+
+def checkpoint_to_dict(fc: FinalizedCheckpoint) -> dict[str, Any]:
+    """Plain-dict form of one finalized checkpoint (JSON-ready)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "pid": fc.pid,
+        "csn": fc.csn,
+        "finalized_at": fc.finalized_at,
+        "reason": fc.reason,
+        "tentative": {
+            "taken_at": fc.tentative.taken_at,
+            "state_bytes": fc.tentative.state_bytes,
+            "flushed_at": fc.tentative.flushed_at,
+            "digest": fc.tentative.digest,
+            "full": fc.tentative.full,
+        },
+        "log": [
+            {"uid": e.uid, "bytes": e.nbytes, "direction": e.direction,
+             "time": e.time}
+            for e in fc.log_entries
+        ],
+        "new_sent_uids": sorted(fc.new_sent_uids),
+        "new_recv_uids": sorted(fc.new_recv_uids),
+    }
+
+
+def checkpoint_from_dict(data: dict[str, Any]) -> FinalizedCheckpoint:
+    """Inverse of :func:`checkpoint_to_dict` (validates the version)."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format version {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    t = data["tentative"]
+    ct = TentativeCheckpoint(
+        pid=data["pid"], csn=data["csn"], taken_at=t["taken_at"],
+        state_bytes=t["state_bytes"], flushed_at=t["flushed_at"],
+        digest=t.get("digest", 0), full=t.get("full", True))
+    entries = [LogEntry(uid=e["uid"], nbytes=e["bytes"],
+                        direction=e["direction"], time=e["time"])
+               for e in data["log"]]
+    return FinalizedCheckpoint(
+        pid=data["pid"], csn=data["csn"], tentative=ct,
+        finalized_at=data["finalized_at"], log_entries=entries,
+        new_sent_uids=frozenset(data["new_sent_uids"]),
+        new_recv_uids=frozenset(data["new_recv_uids"]),
+        reason=data["reason"])
+
+
+def dumps_checkpoint(fc: FinalizedCheckpoint) -> str:
+    """JSON string of one checkpoint."""
+    return json.dumps(checkpoint_to_dict(fc), sort_keys=True)
+
+
+def loads_checkpoint(payload: str) -> FinalizedCheckpoint:
+    """Parse a checkpoint produced by :func:`dumps_checkpoint`."""
+    return checkpoint_from_dict(json.loads(payload))
+
+
+def export_run(runtime: Any, *, gc_view: bool = False) -> dict[str, Any]:
+    """Export finalized checkpoints of a run, keyed like a checkpoint
+    directory (``"P<pid>/C<csn>"``), plus the complete-S_k index.
+
+    ``gc_view=False`` (default) exports the full history every host still
+    holds in memory — what the verification layer consumes.
+    ``gc_view=True`` exports only the generations still *retained on stable
+    storage* after garbage collection (each host's live ``_held_gens``):
+    the directory a recovery orchestrator would actually find.
+    """
+    files: dict[str, Any] = {}
+    for pid, host in runtime.hosts.items():
+        held = getattr(host, "_held_gens", None)
+        for csn, fc in host.finalized.items():
+            if gc_view and held is not None and csn not in held:
+                continue
+            files[f"P{pid}/C{csn}"] = checkpoint_to_dict(fc)
+    return {
+        "format_version": FORMAT_VERSION,
+        "n": runtime.n,
+        "gc_view": gc_view,
+        "complete_global_checkpoints": runtime.finalized_seqs(),
+        "checkpoints": files,
+    }
+
+
+def import_run(data: dict[str, Any]) -> dict[int, dict[int, FinalizedCheckpoint]]:
+    """Parse an :func:`export_run` payload into pid -> csn -> checkpoint."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError("unsupported export format version")
+    out: dict[int, dict[int, FinalizedCheckpoint]] = {}
+    for key, blob in data["checkpoints"].items():
+        fc = checkpoint_from_dict(blob)
+        out.setdefault(fc.pid, {})[fc.csn] = fc
+    return out

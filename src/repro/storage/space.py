@@ -1,0 +1,106 @@
+"""Stable-storage space accounting and checkpoint garbage collection.
+
+The paper's §1, on why coordinated schemes are storage-frugal: *"Only
+limited storage space is required for storing the checkpoints.  All
+checkpoints taken before the latest committed global checkpoint can be
+deleted to save space."*  Under the optimistic protocol, a process may
+delete ``C_{i,k-1}`` the moment it finalizes ``C_{i,k}`` — finalizing ``k``
+implies every process took a tentative checkpoint ``k``, which implies
+every process finalized ``k-1``, so ``S_{k-1}`` is committed and ``S_k``
+will be the recovery line once complete (and ``S_{k-1}`` remains usable
+until then, hence we retain exactly the last two generations).
+
+Uncoordinated checkpointing, by contrast, cannot safely delete *anything*
+without a global garbage-collection protocol: the domino effect may roll
+any process back to any of its checkpoints.  Index-based CIC likewise needs
+extra coordination to learn the globally-minimal index.  Experiment E13
+quantifies the resulting footprint gap.
+
+:class:`SpaceTracker` is a passive ledger: protocol hosts ``retain`` a
+keyed blob when it reaches stable storage and ``release`` it when garbage
+collected; the tracker maintains the total-bytes step series whose maximum
+is the *peak stable-storage footprint*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpaceKey:
+    """Identity of one retained blob: (owner pid, label)."""
+
+    pid: int
+    label: str
+
+
+class SpaceTracker:
+    """Ledger of retained stable-storage bytes over simulated time."""
+
+    def __init__(self) -> None:
+        self._held: dict[SpaceKey, int] = {}
+        self._total = 0
+        #: (time, total_bytes) step series.
+        self.series: list[tuple[float, int]] = [(0.0, 0)]
+        self.retained_ever = 0
+        self.released_ever = 0
+
+    # -- ledger operations ---------------------------------------------------
+
+    def retain(self, pid: int, label: str, nbytes: int, at: float) -> None:
+        """Record ``nbytes`` of stable storage held under ``(pid, label)``.
+
+        Re-retaining an existing key replaces its size (idempotent updates
+        are convenient for bundled CT+log writes).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        key = SpaceKey(pid, label)
+        old = self._held.get(key, 0)
+        self._held[key] = nbytes
+        self._total += nbytes - old
+        self.retained_ever += max(nbytes - old, 0)
+        self.series.append((at, self._total))
+
+    def release(self, pid: int, label: str, at: float) -> bool:
+        """Free a retained blob; returns whether the key was held."""
+        key = SpaceKey(pid, label)
+        nbytes = self._held.pop(key, None)
+        if nbytes is None:
+            return False
+        self._total -= nbytes
+        self.released_ever += nbytes
+        self.series.append((at, self._total))
+        return True
+
+    def release_matching(self, pid: int, prefix: str, at: float) -> int:
+        """Free every blob of ``pid`` whose label starts with ``prefix``."""
+        keys = [k for k in self._held
+                if k.pid == pid and k.label.startswith(prefix)]
+        for k in keys:
+            self.release(k.pid, k.label, at)
+        return len(keys)
+
+    # -- telemetry --------------------------------------------------------------
+
+    @property
+    def held_bytes(self) -> int:
+        """Currently retained stable-storage bytes."""
+        return self._total
+
+    def held_by(self, pid: int) -> int:
+        """Bytes currently retained by one process."""
+        return sum(v for k, v in self._held.items() if k.pid == pid)
+
+    def peak_bytes(self) -> int:
+        """High-water mark of the footprint."""
+        return max((v for _, v in self.series), default=0)
+
+    def blobs(self) -> int:
+        """Number of retained blobs right now."""
+        return len(self._held)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpaceTracker(held={self._total}B in {len(self._held)} "
+                f"blobs, peak={self.peak_bytes()}B)")

@@ -1,0 +1,5 @@
+"""ASCII visualization of simulation runs (space-time diagrams)."""
+
+from .spacetime import message_arrows, render_spacetime
+
+__all__ = ["message_arrows", "render_spacetime"]

@@ -1,0 +1,129 @@
+"""ASCII space-time diagrams.
+
+The paper explains its algorithm with space-time diagrams (Figures 1, 2,
+5): one horizontal line per process, checkpoints and message events marked
+along simulated time.  :func:`render_spacetime` reconstructs that view from
+a simulation trace, so any run — not just the scripted figures — can be
+eyeballed:
+
+::
+
+    t=      0.0 ........................................ 24.0
+    P0  ----C--------------------------------F----------
+    P1  ------------C---------------F--------------------
+    P2  ----------------C------F--------------------------
+    P3  ----------------C--------------F------------------
+
+Marks (later marks overwrite earlier ones in the same column; uppercase
+protocol events take precedence over message dots):
+
+* ``C`` — tentative checkpoint taken (``ckpt.tentative``)
+* ``F`` — checkpoint finalized (``ckpt.finalize``)
+* ``R`` — rollback (``ckpt.rollback``)
+* ``X`` — crash (``failure.crash``)
+* ``s`` / ``r`` — application message send / receive
+* ``b`` / ``q`` / ``e`` — control send: CK_BGN / CK_REQ(+markers/tokens) /
+  CK_END
+
+:func:`message_arrows` complements the diagram with a send→deliver listing
+(who sent what to whom, when), optionally labelled with scenario tags.
+"""
+
+from __future__ import annotations
+
+from ..des.trace import TraceRecorder
+
+#: (trace kind, optional payload predicate) -> mark, in increasing priority.
+_MARKS: list[tuple[str, str]] = [
+    ("msg.send", "s"),
+    ("msg.deliver", "r"),
+    ("ctl.send", "q"),
+    ("ckpt.tentative", "C"),
+    ("ckpt.finalize", "F"),
+    ("ckpt.rollback", "R"),
+    ("failure.crash", "X"),
+]
+_PRIORITY = {mark: i for i, (_, mark) in enumerate(_MARKS)}
+
+
+def _mark_for(rec) -> str | None:
+    if rec.kind == "ctl.send":
+        ctype = rec.data.get("ctype", "")
+        if ctype == "CK_BGN":
+            return "b"
+        if ctype == "CK_END":
+            return "e"
+        return "q"
+    for kind, mark in _MARKS:
+        if rec.kind == kind:
+            return mark
+    return None
+
+
+def render_spacetime(trace: TraceRecorder, n: int, *,
+                     t0: float | None = None, t1: float | None = None,
+                     width: int = 72) -> str:
+    """Render one line per process over ``[t0, t1]`` scaled to ``width``.
+
+    Defaults: the full traced time range.  Returns a multi-line string.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    events = [rec for rec in trace
+              if rec.process >= 0 and _mark_for(rec) is not None]
+    if not events:
+        return "(no events)"
+    lo = t0 if t0 is not None else min(r.time for r in events)
+    hi = t1 if t1 is not None else max(r.time for r in events)
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+
+    rows = [["-"] * width for _ in range(n)]
+    priority = [[-1] * width for _ in range(n)]
+    # Priority of 'b'/'e' equals 'q' (control sends).
+    prio = dict(_PRIORITY)
+    prio["b"] = prio["e"] = prio["q"]
+
+    for rec in events:
+        if rec.process >= n or not (lo <= rec.time <= hi):
+            continue
+        mark = _mark_for(rec)
+        col = min(int((rec.time - lo) / span * (width - 1)), width - 1)
+        if prio[mark] > priority[rec.process][col]:
+            rows[rec.process][col] = mark
+            priority[rec.process][col] = prio[mark]
+
+    header = f"t=  {lo:>8.1f} " + "." * max(width - 22, 1) + f" {hi:>8.1f}"
+    lines = [header]
+    for pid in range(n):
+        lines.append(f"P{pid:<2d} " + "".join(rows[pid]))
+    lines.append("marks: C=tentative F=finalize R=rollback X=crash "
+                 "s/r=app send/recv b/q/e=ctl")
+    return "\n".join(lines)
+
+
+def message_arrows(trace: TraceRecorder,
+                   tags: dict[str, int] | None = None,
+                   kind: str = "app") -> list[str]:
+    """One ``P_src --label--> P_dst [send → deliver]`` line per message.
+
+    ``tags`` (scenario tag -> uid) labels messages by their paper names;
+    unlabelled messages use ``#uid``.  Undelivered messages show ``→ ?``.
+    """
+    uid_to_tag = {uid: tag for tag, uid in (tags or {}).items()}
+    sends: dict[int, tuple[int, int, float]] = {}
+    delivers: dict[int, float] = {}
+    for rec in trace:
+        if rec.kind == "msg.send" and rec.data.get("kind") == kind:
+            sends[rec.data["uid"]] = (rec.process, rec.data["dst"], rec.time)
+        elif rec.kind == "msg.deliver" and rec.data.get("kind") == kind:
+            delivers[rec.data["uid"]] = rec.time
+    out = []
+    for uid, (src, dst, st) in sorted(sends.items(),
+                                      key=lambda kv: kv[1][2]):
+        label = uid_to_tag.get(uid, f"#{uid}")
+        dt = delivers.get(uid)
+        arrival = f"{dt:.2f}" if dt is not None else "?"
+        out.append(f"P{src} --{label}--> P{dst}  [{st:.2f} -> {arrival}]")
+    return out

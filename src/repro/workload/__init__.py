@@ -1,0 +1,44 @@
+"""Application workloads driving the checkpointing protocols.
+
+See :mod:`~repro.workload.app` for behaviours, :mod:`~repro.workload.generators`
+for named factories and :mod:`~repro.workload.scripted` for the deterministic
+figure-replay machinery.
+"""
+
+from .app import (
+    AppBehavior,
+    BurstyApp,
+    ClientServerApp,
+    PipelineApp,
+    RingApp,
+    SilentApp,
+    UniformRandomApp,
+)
+from .generators import WORKLOADS, make
+from .record import record_workload, recorded_send_count
+from .scripted import (
+    InitiateAt,
+    ScriptedApp,
+    SendAt,
+    deliveries_by_tag,
+    tagged_uids,
+)
+
+__all__ = [
+    "AppBehavior",
+    "BurstyApp",
+    "ClientServerApp",
+    "InitiateAt",
+    "PipelineApp",
+    "RingApp",
+    "ScriptedApp",
+    "SendAt",
+    "SilentApp",
+    "UniformRandomApp",
+    "WORKLOADS",
+    "deliveries_by_tag",
+    "make",
+    "record_workload",
+    "recorded_send_count",
+    "tagged_uids",
+]

@@ -1,0 +1,268 @@
+"""Application behaviours.
+
+The checkpointing protocols are application-agnostic: what matters is the
+*message pattern*.  An :class:`AppBehavior` drives a protocol host through
+its narrow application-facing surface:
+
+* ``host.app_send(dst, payload, size=...)`` — send an application message
+  (the protocol piggybacks whatever it needs);
+* ``host.set_timeout(delay, fn)`` / ``host.now`` / ``host.pid`` — timing;
+* incoming messages arrive via ``on_message(host, msg)``.
+
+Every protocol host in this library (the optimistic one and all baselines)
+exposes that same surface, so one behaviour runs unchanged under every
+protocol — the comparison experiments depend on exactly this property.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..net.message import Message
+
+
+class AppBehavior:
+    """Base class: a process's application logic."""
+
+    def on_start(self, host: Any) -> None:
+        """Called when the process starts; arm timers / send first messages."""
+
+    def on_message(self, host: Any, msg: Message) -> None:
+        """Called for every delivered application message (payload intact)."""
+
+
+class SilentApp(AppBehavior):
+    """Sends nothing; never replies.
+
+    The adversarial case for the basic algorithm: a silent process starves
+    everyone of piggybacked status and the round cannot converge without
+    control messages (the paper's Figure 5 motivation).
+    """
+
+
+class UniformRandomApp(AppBehavior):
+    """Poisson sends to uniformly random peers.
+
+    The workhorse workload: per-process exponential inter-send times with
+    rate ``rate`` (messages per simulated second), destinations uniform
+    over the other processes, until ``horizon``.
+
+    Parameters
+    ----------
+    rate:
+        Mean messages/second this process sends.
+    horizon:
+        No sends are scheduled at or beyond this time.
+    msg_size:
+        Payload bytes per message (int) — kept constant so byte metrics
+        decompose cleanly into protocol vs application bytes.
+    reply_prob:
+        Probability of replying to a received message (adds request/response
+        correlation without changing the long-run rate much).
+    """
+
+    def __init__(self, rate: float, horizon: float, msg_size: int = 1024,
+                 reply_prob: float = 0.0) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if not (0.0 <= reply_prob <= 1.0):
+            raise ValueError(f"reply_prob must be in [0,1], got {reply_prob}")
+        self.rate = rate
+        self.horizon = horizon
+        self.msg_size = msg_size
+        self.reply_prob = reply_prob
+
+    def on_start(self, host: Any) -> None:
+        if self.rate > 0:
+            self._schedule_next(host)
+
+    def _schedule_next(self, host: Any) -> None:
+        rng = host.sim.rng.stream(f"app.{host.pid}")
+        gap = float(rng.exponential(1.0 / self.rate))
+        if host.now + gap >= self.horizon:
+            return
+        host.set_timeout(gap, lambda: self._fire(host))
+
+    def _fire(self, host: Any) -> None:
+        rng = host.sim.rng.stream(f"app.{host.pid}")
+        n = host.network.n
+        if n > 1:
+            dst = int(rng.integers(0, n - 1))
+            if dst >= host.pid:
+                dst += 1
+            host.app_send(dst, ("data", host.pid), size=self.msg_size)
+        self._schedule_next(host)
+
+    def on_message(self, host: Any, msg: Message) -> None:
+        if self.reply_prob <= 0.0 or host.now >= self.horizon:
+            return
+        payload = msg.payload
+        if isinstance(payload, tuple) and payload and payload[0] == "reply":
+            return  # do not reply to replies (no ping-pong storms)
+        rng = host.sim.rng.stream(f"app.{host.pid}")
+        if float(rng.random()) < self.reply_prob:
+            host.app_send(msg.src, ("reply", host.pid), size=self.msg_size)
+
+
+class RingApp(AppBehavior):
+    """Token-style traffic: each process periodically messages its successor.
+
+    Deterministic pattern with strong pairwise locality — knowledge of
+    tentative checkpoints spreads slowly (one hop per message), stressing
+    convergence.
+    """
+
+    def __init__(self, period: float, horizon: float,
+                 msg_size: int = 1024) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self.horizon = horizon
+        self.msg_size = msg_size
+
+    def on_start(self, host: Any) -> None:
+        self._arm(host)
+
+    def _arm(self, host: Any) -> None:
+        if host.now + self.period >= self.horizon:
+            return
+        host.set_timeout(self.period, lambda: self._fire(host))
+
+    def _fire(self, host: Any) -> None:
+        n = host.network.n
+        if n > 1:
+            host.app_send((host.pid + 1) % n, ("ring", host.pid),
+                          size=self.msg_size)
+        self._arm(host)
+
+    def on_message(self, host: Any, msg: Message) -> None:
+        pass
+
+
+class ClientServerApp(AppBehavior):
+    """Clients fire requests at a server; the server answers every request.
+
+    The paper's response-time argument is sharpest here: under CIC a server
+    may be forced to checkpoint *before* processing a request, inflating
+    its reply latency; the optimistic protocol never does.
+    """
+
+    def __init__(self, server: int, rate: float, horizon: float,
+                 request_size: int = 256, reply_size: int = 1024) -> None:
+        self.server = server
+        self.rate = rate
+        self.horizon = horizon
+        self.request_size = request_size
+        self.reply_size = reply_size
+
+    def on_start(self, host: Any) -> None:
+        if host.pid != self.server and self.rate > 0:
+            self._schedule_next(host)
+
+    def _schedule_next(self, host: Any) -> None:
+        rng = host.sim.rng.stream(f"app.{host.pid}")
+        gap = float(rng.exponential(1.0 / self.rate))
+        if host.now + gap >= self.horizon:
+            return
+        host.set_timeout(gap, lambda: self._fire(host))
+
+    def _fire(self, host: Any) -> None:
+        host.app_send(self.server, ("request", host.pid),
+                      size=self.request_size)
+        self._schedule_next(host)
+
+    def on_message(self, host: Any, msg: Message) -> None:
+        if host.pid == self.server:
+            payload = msg.payload
+            if isinstance(payload, tuple) and payload[0] == "request":
+                host.app_send(msg.src, ("response", host.pid),
+                              size=self.reply_size)
+
+
+class BurstyApp(AppBehavior):
+    """On/off traffic: Poisson bursts separated by silence.
+
+    Long off-periods are where the basic algorithm stalls (no piggyback
+    traffic ⇒ no convergence) — the regime where control messages earn
+    their keep (experiment E5/E9).
+    """
+
+    def __init__(self, rate: float, on_time: float, off_time: float,
+                 horizon: float, msg_size: int = 1024) -> None:
+        if on_time <= 0 or off_time < 0:
+            raise ValueError("on_time must be > 0 and off_time >= 0")
+        self.rate = rate
+        self.on_time = on_time
+        self.off_time = off_time
+        self.horizon = horizon
+        self.msg_size = msg_size
+
+    def on_start(self, host: Any) -> None:
+        # De-phase bursts per process.
+        rng = host.sim.rng.stream(f"app.{host.pid}")
+        start = float(rng.uniform(0.0, self.on_time + self.off_time))
+        if start < self.horizon:
+            host.set_timeout(start, lambda: self._burst(host))
+
+    def _burst(self, host: Any) -> None:
+        end = min(host.now + self.on_time, self.horizon)
+        self._send_loop(host, end)
+        nxt = self.on_time + self.off_time
+        if host.now + nxt < self.horizon:
+            host.set_timeout(nxt, lambda: self._burst(host))
+
+    def _send_loop(self, host: Any, burst_end: float) -> None:
+        rng = host.sim.rng.stream(f"app.{host.pid}")
+        gap = float(rng.exponential(1.0 / self.rate)) if self.rate > 0 else float("inf")
+        if host.now + gap >= burst_end:
+            return
+        def fire() -> None:
+            n = host.network.n
+            if n > 1:
+                dst = int(rng.integers(0, n - 1))
+                if dst >= host.pid:
+                    dst += 1
+                host.app_send(dst, ("burst", host.pid), size=self.msg_size)
+            self._send_loop(host, burst_end)
+        host.set_timeout(gap, fire)
+
+    def on_message(self, host: Any, msg: Message) -> None:
+        pass
+
+
+class PipelineApp(AppBehavior):
+    """A processing pipeline: stage i forwards to stage i+1.
+
+    Stage 0 sources items periodically; each stage forwards after a fixed
+    per-item service delay.  Models the paper's intro workload class
+    (long-running staged computations on clusters).
+    """
+
+    def __init__(self, source_period: float, service_time: float,
+                 horizon: float, msg_size: int = 4096) -> None:
+        self.source_period = source_period
+        self.service_time = service_time
+        self.horizon = horizon
+        self.msg_size = msg_size
+
+    def on_start(self, host: Any) -> None:
+        if host.pid == 0:
+            self._arm_source(host)
+
+    def _arm_source(self, host: Any) -> None:
+        if host.now + self.source_period >= self.horizon:
+            return
+        host.set_timeout(self.source_period, lambda: self._source(host))
+
+    def _source(self, host: Any) -> None:
+        if host.network.n > 1:
+            host.app_send(1, ("item", 0), size=self.msg_size)
+        self._arm_source(host)
+
+    def on_message(self, host: Any, msg: Message) -> None:
+        nxt = host.pid + 1
+        if nxt < host.network.n and host.now + self.service_time < self.horizon:
+            host.set_timeout(
+                self.service_time,
+                lambda: host.app_send(nxt, ("item", host.pid),
+                                      size=self.msg_size))

@@ -1,0 +1,109 @@
+"""Workload factories: build per-process behaviour maps.
+
+The harness works with ``dict[pid, AppBehavior]``; these factories produce
+the named workloads the experiments sweep over.  Keeping construction here
+(rather than inline in experiments) guarantees every protocol in a
+comparison receives an *identical* behaviour object graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .app import (
+    AppBehavior,
+    BurstyApp,
+    ClientServerApp,
+    PipelineApp,
+    RingApp,
+    SilentApp,
+    UniformRandomApp,
+)
+
+#: Registry of named workload factories: name -> factory(n, horizon, **kw).
+WorkloadFactory = Callable[..., dict[int, AppBehavior]]
+
+
+def uniform(n: int, horizon: float, rate: float = 1.0, msg_size: int = 1024,
+            reply_prob: float = 0.0) -> dict[int, AppBehavior]:
+    """Every process sends Poisson traffic to random peers."""
+    return {pid: UniformRandomApp(rate=rate, horizon=horizon,
+                                  msg_size=msg_size, reply_prob=reply_prob)
+            for pid in range(n)}
+
+
+def ring(n: int, horizon: float, period: float = 1.0,
+         msg_size: int = 1024) -> dict[int, AppBehavior]:
+    """Each process periodically messages its ring successor."""
+    return {pid: RingApp(period=period, horizon=horizon, msg_size=msg_size)
+            for pid in range(n)}
+
+
+def client_server(n: int, horizon: float, rate: float = 1.0, server: int = 0,
+                  request_size: int = 256, reply_size: int = 1024
+                  ) -> dict[int, AppBehavior]:
+    """All processes but one fire requests at the server."""
+    app = ClientServerApp(server=server, rate=rate, horizon=horizon,
+                          request_size=request_size, reply_size=reply_size)
+    return {pid: app if pid == server else
+            ClientServerApp(server=server, rate=rate, horizon=horizon,
+                            request_size=request_size, reply_size=reply_size)
+            for pid in range(n)}
+
+
+def bursty(n: int, horizon: float, rate: float = 5.0, on_time: float = 5.0,
+           off_time: float = 20.0, msg_size: int = 1024
+           ) -> dict[int, AppBehavior]:
+    """On/off bursts with long silences (stresses convergence)."""
+    return {pid: BurstyApp(rate=rate, on_time=on_time, off_time=off_time,
+                           horizon=horizon, msg_size=msg_size)
+            for pid in range(n)}
+
+
+def pipeline(n: int, horizon: float, source_period: float = 2.0,
+             service_time: float = 0.5, msg_size: int = 4096
+             ) -> dict[int, AppBehavior]:
+    """A staged pipeline sourced at P_0."""
+    return {pid: PipelineApp(source_period=source_period,
+                             service_time=service_time, horizon=horizon,
+                             msg_size=msg_size)
+            for pid in range(n)}
+
+
+def half_silent(n: int, horizon: float, rate: float = 1.0,
+                msg_size: int = 1024) -> dict[int, AppBehavior]:
+    """Odd pids are silent; even pids send Poisson traffic.
+
+    Silent receivers get piggybacked knowledge but never spread their own —
+    the basic algorithm's convergence killer, exercised by E9.
+    """
+    out: dict[int, AppBehavior] = {}
+    for pid in range(n):
+        if pid % 2 == 1:
+            out[pid] = SilentApp()
+        else:
+            out[pid] = UniformRandomApp(rate=rate, horizon=horizon,
+                                        msg_size=msg_size)
+    return out
+
+
+#: Name -> factory, the sweep harness's lookup table.
+WORKLOADS: dict[str, WorkloadFactory] = {
+    "uniform": uniform,
+    "ring": ring,
+    "client_server": client_server,
+    "bursty": bursty,
+    "pipeline": pipeline,
+    "half_silent": half_silent,
+}
+
+
+def make(name: str, n: int, horizon: float, **kwargs) -> dict[int, AppBehavior]:
+    """Build a named workload (raises ``KeyError`` with choices on typos)."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choices: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(n, horizon, **kwargs)

@@ -1,0 +1,99 @@
+"""Deterministic scripted workloads.
+
+The paper's figures are exact event sequences; replaying them requires full
+control over *when* each message is sent and each checkpoint initiated.
+:class:`ScriptedApp` executes a per-process list of timed actions:
+
+* ``SendAt(t, dst, tag)`` — send an application message at time ``t``;
+* ``InitiateAt(t)`` — initiate a consistent global checkpoint at ``t``
+  (only meaningful for protocols with local initiation).
+
+Tags let tests refer to messages by the paper's names (``M_2`` ... ``M_9``)
+instead of uids: :func:`tagged_uids` maps tags back to message uids after
+the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..des.trace import TraceRecorder
+from ..net.message import Message
+from .app import AppBehavior
+
+
+@dataclass(frozen=True)
+class SendAt:
+    """Send an application message at absolute time ``t``."""
+
+    t: float
+    dst: int
+    tag: str = ""
+    size: int = 1024
+
+
+@dataclass(frozen=True)
+class InitiateAt:
+    """Initiate a checkpoint at absolute time ``t`` (host-local)."""
+
+    t: float
+
+
+Action = SendAt | InitiateAt
+
+
+class ScriptedApp(AppBehavior):
+    """Replays a fixed action list; ignores received messages."""
+
+    def __init__(self, actions: list[Action]) -> None:
+        self.actions = sorted(actions, key=lambda a: a.t)
+        #: tag -> uid, filled in as sends execute.
+        self.sent_uids: dict[str, int] = {}
+
+    def on_start(self, host: Any) -> None:
+        for action in self.actions:
+            if action.t < host.now:
+                raise ValueError(
+                    f"scripted action at t={action.t} is already in the past")
+            self._arm(host, action)
+
+    def _arm(self, host: Any, action: Action) -> None:
+        delay = action.t - host.now
+        if isinstance(action, SendAt):
+            host.set_timeout(delay, lambda: self._send(host, action))
+        else:
+            host.set_timeout(delay, host.initiate_checkpoint)
+
+    def _send(self, host: Any, action: SendAt) -> None:
+        msg: Message = host.app_send(action.dst, ("scripted", action.tag),
+                                     size=action.size)
+        if action.tag:
+            self.sent_uids[action.tag] = msg.uid
+
+    def on_message(self, host: Any, msg: Message) -> None:
+        pass
+
+
+def tagged_uids(apps: dict[int, AppBehavior]) -> dict[str, int]:
+    """Collect the tag -> uid map across all scripted apps of a run."""
+    out: dict[str, int] = {}
+    for app in apps.values():
+        if isinstance(app, ScriptedApp):
+            overlap = set(out) & set(app.sent_uids)
+            if overlap:
+                raise ValueError(f"duplicate message tags: {sorted(overlap)}")
+            out.update(app.sent_uids)
+    return out
+
+
+def deliveries_by_tag(trace: TraceRecorder,
+                      tags: dict[str, int]) -> dict[str, float]:
+    """Map each tag to its delivery time (for scenario assertions)."""
+    by_uid = {uid: tag for tag, uid in tags.items()}
+    out: dict[str, float] = {}
+    for rec in trace.filter("msg.deliver"):
+        tag = by_uid.get(rec.data.get("uid"))
+        if tag is not None:
+            out[tag] = rec.time
+    return out

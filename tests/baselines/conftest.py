@@ -1,0 +1,33 @@
+"""Shared builders for baseline protocol tests."""
+
+from __future__ import annotations
+
+from repro.des import Simulator
+from repro.net import Network, UniformLatency, complete
+from repro.storage import DiskModel, StableStorage
+from repro.workload import make as make_workload
+
+
+def build_baseline_run(runtime_cls, n=5, seed=3, horizon=200.0,
+                       interval=40.0, rate=1.5, fifo=False,
+                       state_bytes=500_000, workload="uniform",
+                       latency=None, disk=None, **runtime_kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, complete(n),
+                  latency if latency is not None else UniformLatency(0.2, 1.0),
+                  fifo=fifo)
+    storage = StableStorage(sim, disk or DiskModel())
+    rt = runtime_cls(sim, net, storage, interval=interval,
+                     state_bytes=state_bytes, horizon=horizon,
+                     **runtime_kwargs)
+    kwargs = {"rate": rate} if workload in ("uniform", "client_server") else {}
+    apps = make_workload(workload, n, horizon, **kwargs)
+    rt.build(apps)
+    return sim, net, storage, rt
+
+
+def drain(sim, rt, max_events=1_000_000):
+    rt.start()
+    sim.run(max_events=max_events)
+    assert sim.peek_time() is None, "simulation did not drain"
+    return rt

@@ -1,0 +1,82 @@
+"""Tests for Plank's topology-limited staggered checkpointing [10]."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.causality import ConsistencyVerifier
+from repro.harness import ExperimentConfig, run_experiment
+
+
+def run(topology: str, n=8, seed=2, state_bytes=16_000_000):
+    return run_experiment(ExperimentConfig(
+        protocol="plank-staggered", n=n, seed=seed, horizon=200.0,
+        checkpoint_interval=60.0, state_bytes=state_bytes,
+        topology=topology, workload_kwargs={"rate": 1.0, "msg_size": 512}))
+
+
+def peak_state_writers(storage, state_bytes: int) -> int:
+    events = []
+    for r in storage.requests:
+        if r.nbytes >= state_bytes and r.finish is not None:
+            events.append((r.arrive, 1))
+            events.append((r.finish, -1))
+    events.sort()
+    cur = peak = 0
+    for _, delta in events:
+        cur += delta
+        peak = max(peak, cur)
+    return peak
+
+
+class TestPlank:
+    @pytest.mark.parametrize("topology", ["complete", "line", "ring",
+                                          "star"])
+    def test_rounds_complete_and_consistent(self, topology):
+        res = run(topology)
+        assert res.metrics.rounds_completed >= 2
+        assert res.consistent
+        assert not res.truncated
+
+    def test_complete_topology_subverts_staggering(self):
+        """The paper's §4 remark, verbatim: on a complete graph every
+        non-coordinator is in wave 1, so N-1 state writes collide."""
+        res = run("complete")
+        assert peak_state_writers(res.storage, 16_000_000) >= 7
+
+    def test_line_topology_staggers_perfectly(self):
+        res = run("line")
+        assert peak_state_writers(res.storage, 16_000_000) == 1
+
+    def test_ring_topology_staggers_to_branch_width(self):
+        res = run("ring")
+        assert peak_state_writers(res.storage, 16_000_000) == 2
+
+    def test_wave_widths_match_bfs_levels(self):
+        res = run("line")
+        rt = res.runtime
+        assert rt.max_depth == 7
+        assert all(w == 1 for w in rt.wave_width.values())
+        res = run("complete")
+        rt = res.runtime
+        assert rt.max_depth == 1
+        assert rt.wave_width == {0: 1, 1: 7}
+
+    def test_vaidya_token_beats_plank_on_complete_graph(self):
+        """Vaidya's improvement over Plank, measured: the token serializes
+        writes regardless of topology."""
+        plank = run("complete")
+        vaidya = run_experiment(ExperimentConfig(
+            protocol="staggered", n=8, seed=2, horizon=200.0,
+            checkpoint_interval=60.0, state_bytes=16_000_000,
+            topology="complete",
+            workload_kwargs={"rate": 1.0, "msg_size": 512}))
+        assert (peak_state_writers(vaidya.storage, 16_000_000)
+                < peak_state_writers(plank.storage, 16_000_000))
+
+    def test_sender_logging_present(self):
+        res = run("complete")
+        logged = sum(len(st.logged_uids)
+                     for h in res.runtime.hosts.values()
+                     for st in h.rounds.values())
+        assert logged > 0

@@ -1,0 +1,81 @@
+"""Tests for the uncoordinated baseline and its domino behaviour."""
+
+from __future__ import annotations
+
+from repro.baselines import UncoordinatedRuntime
+from repro.causality import (
+    compute_recovery_line,
+    compute_recovery_line_with_logs,
+)
+
+from .conftest import build_baseline_run, drain
+
+
+class TestCheckpoints:
+    def test_processes_checkpoint_independently(self):
+        sim, net, st, rt = build_baseline_run(UncoordinatedRuntime)
+        drain(sim, rt)
+        take_times = sorted(t for h in rt.hosts.values()
+                            for t in (c.taken_at for c in h.checkpoints))
+        # Jittered independent schedules: no two takes coincide.
+        assert len(set(take_times)) == len(take_times)
+
+    def test_no_control_messages(self):
+        sim, net, st, rt = build_baseline_run(UncoordinatedRuntime)
+        drain(sim, rt)
+        assert rt.control_message_count() == 0
+        assert net.total_sent() == net.total_sent("app")
+
+    def test_interval_lookup(self):
+        sim, net, st, rt = build_baseline_run(UncoordinatedRuntime)
+        drain(sim, rt)
+        for host in rt.hosts.values():
+            # A send "position" beyond every mark lies in the last interval.
+            last = len(host.checkpoints)
+            assert host.interval_of_send(10**9) == last
+            assert host.interval_of_recv(10**9) == last
+            # Position -1 (before everything) is interval 0... positions are
+            # non-negative; position 0 precedes any ckpt with smark > 0.
+            assert host.interval_of_send(0) <= last
+
+
+class TestDominoEffect:
+    def test_domino_rollback_under_chatty_traffic(self):
+        sim, net, st, rt = build_baseline_run(UncoordinatedRuntime,
+                                              rate=2.0, horizon=200.0)
+        drain(sim, rt)
+        start = rt.latest_checkpoint_numbers()
+        result = compute_recovery_line(start, rt.interval_messages())
+        # With all-to-all chatter and independent checkpoints the recovery
+        # line collapses dramatically (typically to 0).
+        assert result.total_rollback > 0
+        assert result.processes_rolled_back >= 2
+
+    def test_message_logging_eliminates_rollback(self):
+        sim, net, st, rt = build_baseline_run(UncoordinatedRuntime,
+                                              rate=2.0, horizon=200.0,
+                                              log_messages=True)
+        drain(sim, rt)
+        start = rt.latest_checkpoint_numbers()
+        result = compute_recovery_line_with_logs(
+            start, rt.interval_messages(), rt.logged_uids())
+        assert result.total_rollback == 0
+        assert result.line == start
+
+    def test_logging_writes_hit_storage(self):
+        sim, net, st, rt = build_baseline_run(UncoordinatedRuntime,
+                                              rate=1.0, horizon=100.0,
+                                              log_messages=True)
+        drain(sim, rt)
+        log_writes = [r for r in st.requests if r.label.startswith("mlog:")]
+        assert len(log_writes) == net.delivered_by_kind.get("app", 0)
+
+    def test_silent_workload_no_rollback(self):
+        """No messages -> no dependencies -> the latest checkpoints already
+        form a consistent line."""
+        sim, net, st, rt = build_baseline_run(UncoordinatedRuntime,
+                                              rate=0.0, horizon=200.0)
+        drain(sim, rt)
+        start = rt.latest_checkpoint_numbers()
+        result = compute_recovery_line(start, rt.interval_messages())
+        assert result.total_rollback == 0

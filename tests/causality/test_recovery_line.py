@@ -1,0 +1,124 @@
+"""Unit + property tests for recovery-line computation (domino effect)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.causality import (
+    IntervalMessage,
+    compute_recovery_line,
+    compute_recovery_line_with_logs,
+    domino_depth,
+)
+
+
+def msg(src, s_iv, dst, d_iv, uid=-1):
+    return IntervalMessage(src=src, src_interval=s_iv, dst=dst,
+                           dst_interval=d_iv, uid=uid)
+
+
+class TestFixpoint:
+    def test_no_messages_no_rollback(self):
+        r = compute_recovery_line({0: 3, 1: 2}, [])
+        assert r.line == {0: 3, 1: 2}
+        assert r.total_rollback == 0
+
+    def test_single_orphan_rolls_receiver(self):
+        # P0 sent in interval 2 (after ckpt 2); P1 received in interval 0
+        # (recorded by ckpt 1+). Start at (2, 2): orphan -> P1 back to 0.
+        r = compute_recovery_line({0: 2, 1: 2}, [msg(0, 2, 1, 0)])
+        assert r.line == {0: 2, 1: 0}
+        assert r.rollbacks == {0: 0, 1: 2}
+
+    def test_recorded_send_is_not_orphan(self):
+        # Send in interval 1, sender's cut at 2 -> send recorded.
+        r = compute_recovery_line({0: 2, 1: 2}, [msg(0, 1, 1, 0)])
+        assert r.total_rollback == 0
+
+    def test_domino_cascade(self):
+        # Chain: P0's loss orphans P1, whose rollback orphans P2, etc.
+        start = {0: 0, 1: 3, 2: 3, 3: 3}
+        messages = [
+            msg(0, 0, 1, 0),  # received by P1 in interval 0 -> P1 to 0
+            msg(1, 0, 2, 0),  # P1's send now unrecorded -> P2 to 0
+            msg(2, 0, 3, 0),  # -> P3 to 0
+        ]
+        r = compute_recovery_line(start, messages)
+        assert r.line == {0: 0, 1: 0, 2: 0, 3: 0}
+        assert r.iterations >= 1
+        assert domino_depth(r) == 3
+        assert r.processes_rolled_back == 3
+
+    def test_fixpoint_independent_of_message_order(self):
+        start = {0: 0, 1: 3, 2: 3, 3: 3}
+        messages = [msg(0, 0, 1, 0), msg(1, 0, 2, 0), msg(2, 0, 3, 0)]
+        a = compute_recovery_line(start, messages)
+        b = compute_recovery_line(start, list(reversed(messages)))
+        assert a.line == b.line
+
+    def test_negative_start_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            compute_recovery_line({0: -1}, [])
+
+    def test_partial_rollback(self):
+        # P1 only needs to drop to checkpoint 1, not 0.
+        r = compute_recovery_line({0: 1, 1: 3},
+                                  [msg(0, 1, 1, 1)])
+        assert r.line == {0: 1, 1: 1}
+
+
+class TestLoggingRescue:
+    def test_logged_messages_never_orphan(self):
+        start = {0: 0, 1: 3}
+        messages = [msg(0, 0, 1, 0, uid=42)]
+        r = compute_recovery_line_with_logs(start, messages, logged_uids={42})
+        assert r.line == start
+
+    def test_unlogged_messages_still_orphan(self):
+        start = {0: 0, 1: 3}
+        messages = [msg(0, 0, 1, 0, uid=42)]
+        r = compute_recovery_line_with_logs(start, messages, logged_uids=set())
+        assert r.line == {0: 0, 1: 0}
+
+
+# -- property-based: the computed line is a fixpoint and truly consistent ----
+
+pids = st.integers(min_value=0, max_value=3)
+intervals = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def random_instance(draw):
+    start = {p: draw(st.integers(min_value=0, max_value=5)) for p in range(4)}
+    n_msgs = draw(st.integers(min_value=0, max_value=15))
+    messages = []
+    for i in range(n_msgs):
+        src = draw(pids)
+        dst = draw(pids.filter(lambda d, s=src: d != s))
+        messages.append(msg(src, draw(intervals), dst, draw(intervals),
+                            uid=i))
+    return start, messages
+
+
+@given(random_instance())
+def test_line_is_consistent_and_maximal_bounded(instance):
+    start, messages = instance
+    r = compute_recovery_line(start, messages)
+    # Bounded by the start cut and by zero.
+    for pid in start:
+        assert 0 <= r.line[pid] <= start[pid]
+    # Fixpoint: no message is an orphan w.r.t. the final line.
+    for m in messages:
+        recv_recorded = r.line[m.dst] >= m.dst_interval + 1
+        send_recorded = r.line[m.src] >= m.src_interval + 1
+        assert not (recv_recorded and not send_recorded)
+
+
+@given(random_instance())
+def test_logging_everything_prevents_all_rollback(instance):
+    start, messages = instance
+    r = compute_recovery_line_with_logs(start, messages,
+                                        logged_uids={m.uid for m in messages})
+    assert r.line == start

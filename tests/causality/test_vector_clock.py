@@ -1,0 +1,112 @@
+"""Unit + property tests for vector clocks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.causality import VectorClock
+
+vectors = st.lists(st.integers(min_value=0, max_value=50),
+                   min_size=3, max_size=3)
+
+
+class TestBasics:
+    def test_zero_initialized(self):
+        assert VectorClock(4).v == [0, 0, 0, 0]
+
+    def test_from_iterable(self):
+        assert VectorClock([1, 2, 3]).v == [1, 2, 3]
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            VectorClock([])
+        with pytest.raises(ValueError):
+            VectorClock([1, -1])
+        with pytest.raises(ValueError):
+            VectorClock(0)
+
+    def test_tick_increments_own_component(self):
+        vc = VectorClock(3)
+        vc.tick(1)
+        vc.tick(1)
+        assert vc.v == [0, 2, 0]
+
+    def test_merge_componentwise_max(self):
+        a = VectorClock([3, 0, 5])
+        b = VectorClock([1, 4, 2])
+        a.merge(b)
+        assert a.v == [3, 4, 5]
+
+    def test_merge_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock(2).merge(VectorClock(3))
+
+    def test_ordering(self):
+        a = VectorClock([1, 2, 3])
+        b = VectorClock([2, 2, 3])
+        assert a < b and a <= b and not (b < a)
+        assert not a.concurrent(b)
+
+    def test_concurrent(self):
+        a = VectorClock([2, 0])
+        b = VectorClock([0, 2])
+        assert a.concurrent(b) and b.concurrent(a)
+        assert not (a < b) and not (b < a)
+
+    def test_equal_not_concurrent_not_less(self):
+        a = VectorClock([1, 1])
+        b = VectorClock([1, 1])
+        assert a == b and not a < b and not a.concurrent(b)
+
+    def test_copy_independent(self):
+        a = VectorClock([1, 2])
+        b = a.copy()
+        b.tick(0)
+        assert a.v == [1, 2] and b.v == [2, 2]
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(VectorClock([1, 2])) == hash(VectorClock([1, 2]))
+
+    def test_indexing(self):
+        vc = VectorClock([5, 7])
+        assert vc[1] == 7 and len(vc) == 2
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_exactly_one_relation_holds(self, xs, ys):
+        a, b = VectorClock(xs), VectorClock(ys)
+        relations = [a < b, b < a, a == b, a.concurrent(b)]
+        assert sum(relations) == 1
+
+    @given(vectors, vectors, vectors)
+    def test_strict_order_transitive(self, xs, ys, zs):
+        a, b, c = VectorClock(xs), VectorClock(ys), VectorClock(zs)
+        if a < b and b < c:
+            assert a < c
+
+    @given(vectors, vectors)
+    def test_merge_is_upper_bound(self, xs, ys):
+        a, b = VectorClock(xs), VectorClock(ys)
+        m = a.copy().merge(b)
+        assert a <= m and b <= m
+
+    @given(vectors, vectors)
+    def test_merge_commutative(self, xs, ys):
+        ab = VectorClock(xs).merge(VectorClock(ys))
+        ba = VectorClock(ys).merge(VectorClock(xs))
+        assert ab == ba
+
+    @given(vectors)
+    def test_merge_idempotent(self, xs):
+        a = VectorClock(xs)
+        assert a.copy().merge(a) == a
+
+    @given(vectors, st.integers(min_value=0, max_value=2))
+    def test_tick_strictly_advances(self, xs, pid):
+        a = VectorClock(xs)
+        before = a.copy()
+        a.tick(pid)
+        assert before < a

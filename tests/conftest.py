@@ -1,0 +1,52 @@
+"""Shared fixtures and run builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MachineConfig, OptimisticConfig, OptimisticRuntime
+from repro.des import Simulator
+from repro.net import ConstantLatency, Network, UniformLatency, complete
+from repro.storage import StableStorage
+from repro.workload import make as make_workload
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=12345)
+
+
+def build_optimistic_run(n: int = 4, seed: int = 1, horizon: float = 150.0,
+                         rate: float = 2.0, interval: float | None = 40.0,
+                         timeout: float = 15.0, workload: str = "uniform",
+                         latency=None, machine: MachineConfig | None = None,
+                         state_bytes: int = 100_000,
+                         **cfg_kwargs):
+    """Construct a ready-to-run optimistic-protocol simulation.
+
+    Returns ``(sim, network, storage, runtime)``; callers invoke
+    ``runtime.start(); sim.run(...)`` themselves so tests can interleave
+    assertions.
+    """
+    sim = Simulator(seed=seed)
+    net = Network(sim, complete(n),
+                  latency if latency is not None else UniformLatency(0.1, 0.8))
+    storage = StableStorage(sim)
+    cfg = OptimisticConfig(
+        checkpoint_interval=interval, timeout=timeout,
+        state_bytes=state_bytes,
+        machine=machine if machine is not None else MachineConfig(),
+        **cfg_kwargs)
+    runtime = OptimisticRuntime(sim, net, storage, cfg, horizon=horizon)
+    apps = make_workload(workload, n, horizon, rate=rate) \
+        if workload in ("uniform",) else make_workload(workload, n, horizon)
+    runtime.build(apps)
+    return sim, net, storage, runtime
+
+
+def run_to_quiescence(sim: Simulator, runtime, max_events: int = 500_000):
+    """Start and drain a run; fails the test on event-budget exhaustion."""
+    runtime.start()
+    sim.run(max_events=max_events)
+    assert sim.peek_time() is None, "simulation did not drain (livelock?)"
+    return runtime

@@ -1,0 +1,103 @@
+"""Concurrent checkpoint initiations (paper §3.2: "multiple processes can
+concurrently initiate consistent global checkpointing").
+
+Two or more processes that independently take tentative checkpoints with the
+same sequence number are, by construction, part of the same round: the
+``tentSet`` knowledge merges as messages cross, and the round finalizes as
+one consistent global checkpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MachineConfig, OptimisticConfig, OptimisticRuntime
+from repro.des import Simulator
+from repro.net import ConstantLatency, Network, complete
+from repro.storage import StableStorage
+from repro.workload import InitiateAt, ScriptedApp, SendAt
+
+
+def run_scripted(scripts, n=4, control=False, timeout=100.0):
+    sim = Simulator(seed=0)
+    net = Network(sim, complete(n), ConstantLatency(1.0))
+    st = StableStorage(sim)
+    cfg = OptimisticConfig(
+        checkpoint_interval=None, timeout=timeout, state_bytes=1000,
+        machine=MachineConfig(control_messages=control))
+    rt = OptimisticRuntime(sim, net, st, cfg)
+    apps = {pid: ScriptedApp(scripts.get(pid, [])) for pid in range(n)}
+    rt.build(apps)
+    rt.start()
+    sim.run(max_events=100_000)
+    return sim, rt, apps
+
+
+class TestConcurrentInitiations:
+    def test_two_simultaneous_initiators_share_one_round(self):
+        """P0 and P2 initiate at the same instant; messages merge knowledge
+        and all four processes finalize a single S_1."""
+        scripts = {
+            0: [InitiateAt(5.0), SendAt(6.0, 1, "a"),
+                SendAt(14.0, 3, "e"), SendAt(20.0, 1, "i")],
+            1: [SendAt(8.0, 2, "b"), SendAt(22.0, 3, "j")],
+            2: [InitiateAt(5.0), SendAt(6.0, 3, "c"),
+                SendAt(14.0, 1, "f"), SendAt(18.0, 0, "h")],
+            3: [SendAt(8.0, 0, "d"), SendAt(16.0, 2, "g")],
+        }
+        sim, rt, apps = run_scripted(scripts)
+        # Both initiators created csn=1 — one global round, not two.
+        for host in rt.hosts.values():
+            assert set(host.tentatives) == {1}
+        # g completes P2's knowledge (allset); h/i/j spread the news.
+        assert rt.finalized_seqs() == [0, 1]
+        assert rt.hosts[2].finalized[1].reason == "piggyback.allset"
+        assert all(not o for o in rt.verify_consistency().values())
+        assert rt.anomalies() == []
+
+    def test_knowledge_merges_across_initiations(self):
+        """After cross-traffic, a process knows members from both
+        initiation 'sides'."""
+        scripts = {
+            0: [InitiateAt(5.0), SendAt(6.0, 1, "a")],
+            1: [SendAt(8.0, 3, "b")],
+            2: [InitiateAt(5.0), SendAt(6.0, 3, "c")],
+            3: [],
+        }
+        sim, rt, apps = run_scripted(scripts)
+        # P3 joined via P2's message (learning {2,3}) and then P1's message
+        # brought {0,1}: the union is complete, so P3 finalized on the spot.
+        fc3 = rt.hosts[3].finalized[1]
+        assert fc3.reason == "piggyback.allset"
+        assert rt.hosts[3].status == "normal"
+
+    def test_all_n_initiate_simultaneously(self):
+        scripts = {
+            pid: [InitiateAt(5.0),
+                  SendAt(6.0 + pid * 0.1, (pid + 1) % 4, f"m{pid}"),
+                  SendAt(10.0 + pid * 0.1, (pid + 2) % 4, f"n{pid}")]
+            for pid in range(4)
+        }
+        sim, rt, apps = run_scripted(scripts, control=True, timeout=10.0)
+        assert rt.finalized_seqs() == [0, 1]
+        for host in rt.hosts.values():
+            assert host.finalized[1].tentative.taken_at == 5.0
+        assert all(not o for o in rt.verify_consistency().values())
+
+    def test_staggered_initiations_within_round_do_not_double(self):
+        """P2 initiates while P0's round is mid-flight: P2's 'initiation'
+        is actually its join of the existing round (same csn)."""
+        scripts = {
+            0: [InitiateAt(5.0), SendAt(6.0, 1, "a"), SendAt(6.0, 2, "a2"),
+                SendAt(20.0, 3, "x")],
+            1: [SendAt(10.0, 3, "b")],
+            2: [InitiateAt(9.0), SendAt(12.0, 0, "c")],
+            3: [SendAt(14.0, 0, "d"), SendAt(14.1, 2, "d2"),
+                SendAt(22.0, 1, "e")],
+        }
+        sim, rt, apps = run_scripted(scripts)
+        h2 = rt.hosts[2]
+        # P2 received "a2" at t=7 -> joined csn 1; its own InitiateAt(9)
+        # lands while tentative and is skipped.
+        assert set(h2.tentatives) == {1}
+        assert h2.tentatives[1].taken_at == 7.0

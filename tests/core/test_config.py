@@ -1,0 +1,79 @@
+"""Tests for OptimisticConfig validation and flush-policy plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FlushAtFinalize,
+    FlushImmediately,
+    FlushOpportunistic,
+    FlushUniformDelay,
+    OptimisticConfig,
+)
+
+
+class TestValidation:
+    def test_default_config_valid(self):
+        OptimisticConfig().validate(8)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            OptimisticConfig(checkpoint_interval=-1.0).validate(4)
+
+    def test_none_interval_allowed(self):
+        OptimisticConfig(checkpoint_interval=None).validate(4)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            OptimisticConfig(timeout=0.0).validate(4)
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="initiation_phase"):
+            OptimisticConfig(initiation_phase="sideways").validate(4)
+
+    def test_negative_state_bytes_rejected(self):
+        with pytest.raises(ValueError, match="state_bytes"):
+            OptimisticConfig(state_bytes=-1).validate(4)
+
+    def test_callable_state_bytes_validated_per_pid(self):
+        cfg = OptimisticConfig(state_bytes=lambda pid: -1 if pid == 3 else 1)
+        cfg.validate(3)  # pids 0..2 fine
+        with pytest.raises(ValueError):
+            cfg.validate(4)
+
+
+class TestStateBytes:
+    def test_int_state_bytes(self):
+        assert OptimisticConfig(state_bytes=123).state_bytes_for(7) == 123
+
+    def test_callable_state_bytes(self):
+        cfg = OptimisticConfig(state_bytes=lambda pid: pid * 10)
+        assert cfg.state_bytes_for(3) == 30
+
+
+class TestFlushPolicyNames:
+    def test_policy_names_distinct(self):
+        names = {FlushAtFinalize.name, FlushImmediately.name,
+                 FlushUniformDelay.name, FlushOpportunistic.name}
+        assert len(names) == 4
+
+    def test_at_finalize_is_default(self):
+        assert isinstance(OptimisticConfig().flush_policy, FlushAtFinalize)
+
+    def test_base_policy_abstract(self):
+        from repro.core import FlushPolicy
+        with pytest.raises(NotImplementedError):
+            FlushPolicy().on_tentative(None, None)
+
+
+class TestHarnessFlushRegistry:
+    def test_registry_covers_all_policies(self):
+        from repro.harness.experiment import FLUSH_POLICIES
+        assert set(FLUSH_POLICIES) == {"at_finalize", "immediate",
+                                       "uniform_delay", "opportunistic"}
+
+    def test_registry_builds_with_kwargs(self):
+        from repro.harness.experiment import FLUSH_POLICIES
+        policy = FLUSH_POLICIES["uniform_delay"](max_delay=3.0)
+        assert policy.max_delay == 3.0

@@ -1,0 +1,88 @@
+"""Tests for the finalize-on-complete-knowledge fast path.
+
+The paper's pseudocode takes a tentative checkpoint in Cases 4(b)/2(c) and
+merges the sender's tentSet but never checks whether the merged set is
+already complete; the fast path (off by default) adds that check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Finalize,
+    MachineConfig,
+    OptimisticStateMachine,
+    Piggyback,
+    Status,
+    TakeTentative,
+)
+
+from ..conftest import build_optimistic_run, run_to_quiescence
+
+
+def pb(csn, stat, tent=()):
+    return Piggyback(csn=csn, stat=stat, tent_set=frozenset(tent))
+
+
+class TestStateMachineFastPath:
+    def test_case4b_complete_knowledge_finalizes_immediately(self):
+        m = OptimisticStateMachine(
+            3, 4, config=MachineConfig(finalize_on_complete_knowledge=True))
+        effects = m.on_app_receive(pb(1, Status.TENTATIVE, {0, 1, 2}), uid=7)
+        takes = [e for e in effects if isinstance(e, TakeTentative)]
+        fins = [e for e in effects if isinstance(e, Finalize)]
+        assert takes == [TakeTentative(csn=1)]
+        assert len(fins) == 1 and fins[0].reason == "piggyback.fastpath"
+        assert m.stat is Status.NORMAL
+        assert m.csn == 1
+
+    def test_case4b_incomplete_knowledge_stays_tentative(self):
+        m = OptimisticStateMachine(
+            3, 4, config=MachineConfig(finalize_on_complete_knowledge=True))
+        effects = m.on_app_receive(pb(1, Status.TENTATIVE, {0, 1}), uid=7)
+        assert not [e for e in effects if isinstance(e, Finalize)]
+        assert m.stat is Status.TENTATIVE
+
+    def test_paper_strict_default_never_fast_finalizes(self):
+        m = OptimisticStateMachine(3, 4)  # default config
+        effects = m.on_app_receive(pb(1, Status.TENTATIVE, {0, 1, 2}), uid=7)
+        assert not [e for e in effects if isinstance(e, Finalize)]
+        assert m.stat is Status.TENTATIVE
+
+    def test_case2c_chains_fast_finalize(self):
+        m = OptimisticStateMachine(
+            3, 4, config=MachineConfig(finalize_on_complete_knowledge=True))
+        m.initiate()  # tentative csn=1
+        effects = m.on_app_receive(pb(2, Status.TENTATIVE, {0, 1, 2}), uid=9)
+        fins = [e for e in effects if isinstance(e, Finalize)]
+        assert [f.csn for f in fins] == [1, 2]
+        assert fins[0].reason == "piggyback.next_csn"
+        assert fins[1].reason == "piggyback.fastpath"
+        assert m.stat is Status.NORMAL and m.csn == 2
+
+
+class TestFastPathIntegration:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_still_consistent_and_convergent(self, seed):
+        machine = MachineConfig(finalize_on_complete_knowledge=True)
+        sim, net, st, rt = build_optimistic_run(
+            n=6, seed=seed, horizon=150.0, rate=2.0, interval=40.0,
+            timeout=12.0, machine=machine)
+        run_to_quiescence(sim, rt)
+        assert rt.anomalies() == []
+        rt.assert_consistent()
+        assert all(h.status == "normal" for h in rt.hosts.values())
+
+    def test_fast_path_never_slower_convergence(self):
+        def mean_convergence(fast):
+            import numpy as np
+            machine = MachineConfig(finalize_on_complete_knowledge=fast)
+            sim, net, st, rt = build_optimistic_run(
+                n=6, seed=7, horizon=200.0, rate=3.0, interval=40.0,
+                timeout=15.0, machine=machine)
+            run_to_quiescence(sim, rt)
+            lats = list(rt.convergence_latencies().values())
+            return float(np.mean(lats))
+
+        assert mean_convergence(True) <= mean_convergence(False) + 1e-9

@@ -1,0 +1,109 @@
+"""Tests for incremental checkpointing (delta captures + chain-aware GC)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OptimisticConfig
+from repro.harness import ExperimentConfig, run_experiment
+
+
+def run(incremental_every=None, delta_fraction=0.1, **kw):
+    base = dict(n=4, seed=3, horizon=400.0, checkpoint_interval=40.0,
+                state_bytes=1_000_000, timeout=10.0,
+                workload_kwargs={"rate": 1.5, "msg_size": 256},
+                incremental_every=incremental_every,
+                delta_fraction=delta_fraction)
+    base.update(kw)
+    return run_experiment(ExperimentConfig(**base))
+
+
+class TestConfig:
+    def test_full_schedule(self):
+        cfg = OptimisticConfig(incremental_every=4)
+        assert [cfg.is_full_checkpoint(c) for c in range(1, 10)] == [
+            True, False, False, False, True, False, False, False, True]
+
+    def test_none_means_always_full(self):
+        cfg = OptimisticConfig()
+        assert all(cfg.is_full_checkpoint(c) for c in range(1, 6))
+
+    def test_capture_bytes(self):
+        cfg = OptimisticConfig(state_bytes=1000, incremental_every=3,
+                               delta_fraction=0.25)
+        assert cfg.capture_bytes_for(0, 1) == 1000
+        assert cfg.capture_bytes_for(0, 2) == 250
+        assert cfg.capture_bytes_for(0, 4) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="incremental_every"):
+            OptimisticConfig(incremental_every=0).validate(2)
+        with pytest.raises(ValueError, match="delta_fraction"):
+            OptimisticConfig(delta_fraction=0.0).validate(2)
+        with pytest.raises(ValueError, match="delta_fraction"):
+            OptimisticConfig(delta_fraction=1.5).validate(2)
+
+
+class TestRuns:
+    def test_full_flags_follow_schedule(self):
+        res = run(incremental_every=3)
+        for host in res.runtime.hosts.values():
+            for csn, ct in host.tentatives.items():
+                assert ct.full == ((csn - 1) % 3 == 0)
+                expected = 1_000_000 if ct.full else 100_000
+                assert ct.state_bytes == expected
+
+    def test_write_volume_reduced(self):
+        full = run(incremental_every=None)
+        incr = run(incremental_every=4)
+        assert (incr.metrics.storage_bytes
+                < 0.6 * full.metrics.storage_bytes)
+        # Same number of rounds on the same workload.
+        assert incr.metrics.rounds_completed == full.metrics.rounds_completed
+
+    def test_consistency_unaffected(self):
+        res = run(incremental_every=3)
+        assert res.consistent
+        assert res.metrics.rounds_completed >= 5
+
+    def test_chain_aware_gc_keeps_deltas_back_to_full(self):
+        """At quiescence each process retains the chain from the newest
+        needed full capture; with k=4 that is up to k+1 generations, vs 2
+        for full checkpointing."""
+        full = run(incremental_every=None)
+        incr = run(incremental_every=4)
+        # Both still GC (space released over the run).
+        assert incr.storage.space.released_ever > 0
+        # But the incremental chain holds more *generations*...
+        def max_held_gens(res):
+            return max(len(h._held_gens)
+                       for h in res.runtime.hosts.values())
+        assert max_held_gens(incr) > max_held_gens(full)
+        # ...while the byte footprint stays comparable (the chain is one
+        # full capture + small deltas vs two-to-three full generations) —
+        # the incremental win is WRITE VOLUME (tested above), not peak
+        # footprint.
+        assert (incr.storage.space.peak_bytes()
+                < 1.3 * full.storage.space.peak_bytes())
+
+    def test_gc_floor_is_last_full(self):
+        res = run(incremental_every=4, horizon=600.0)
+        cfg = OptimisticConfig(incremental_every=4)
+        for host in res.runtime.hosts.values():
+            held = sorted(g for g in host._held_gens)
+            if len(held) < 2:
+                continue
+            newest = held[-1]
+            floor = newest - 1
+            while floor >= 1 and not cfg.is_full_checkpoint(floor):
+                floor -= 1
+            # Nothing older than the chain floor survives.
+            assert all(g >= floor for g in held)
+
+    def test_recovery_still_works_with_increments(self):
+        from repro.recovery import recover_optimistic
+
+        res = run(incremental_every=3)
+        out = recover_optimistic(res.runtime, fail_time=300.0)
+        assert out.seq >= 1
+        assert out.max_lost_work <= 80.0

@@ -1,0 +1,99 @@
+"""Tests for the live invariant monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InvariantMonitor, InvariantViolation
+from repro.des import TraceRecorder
+
+from ..conftest import build_optimistic_run, run_to_quiescence
+
+
+class TestRules:
+    def make(self, raise_immediately=True):
+        trace = TraceRecorder()
+        mon = InvariantMonitor(trace, raise_immediately=raise_immediately)
+        return trace, mon
+
+    def test_clean_sequence_accepted(self):
+        trace, mon = self.make()
+        trace.record(0.0, "ckpt.finalize", 0, csn=0, reason="initial")
+        trace.record(1.0, "ckpt.tentative", 0, csn=1)
+        trace.record(2.0, "ckpt.finalize", 0, csn=1, reason="x")
+        trace.record(3.0, "ckpt.tentative", 0, csn=2)
+        trace.record(4.0, "ckpt.finalize", 0, csn=2, reason="x")
+        mon.assert_clean()
+
+    def test_double_tentative_violates(self):
+        trace, mon = self.make()
+        trace.record(1.0, "ckpt.tentative", 0, csn=1)
+        with pytest.raises(InvariantViolation, match="unfinalized"):
+            trace.record(2.0, "ckpt.tentative", 0, csn=2)
+
+    def test_skipped_csn_violates(self):
+        trace, mon = self.make()
+        with pytest.raises(InvariantViolation, match="expected 1"):
+            trace.record(1.0, "ckpt.tentative", 0, csn=5)
+
+    def test_finalize_without_tentative_violates(self):
+        trace, mon = self.make()
+        with pytest.raises(InvariantViolation, match="open tentative"):
+            trace.record(1.0, "ckpt.finalize", 0, csn=1, reason="x")
+
+    def test_rollback_to_finalized_accepted(self):
+        trace, mon = self.make()
+        trace.record(1.0, "ckpt.tentative", 0, csn=1)
+        trace.record(2.0, "ckpt.finalize", 0, csn=1, reason="x")
+        trace.record(3.0, "ckpt.tentative", 0, csn=2)
+        trace.record(4.0, "ckpt.rollback", 0, csn=1)
+        # After rollback, csn 2 may be re-taken.
+        trace.record(5.0, "ckpt.tentative", 0, csn=2)
+        mon.assert_clean()
+
+    def test_rollback_to_unknown_violates(self):
+        trace, mon = self.make()
+        with pytest.raises(InvariantViolation, match="never-finalized"):
+            trace.record(1.0, "ckpt.rollback", 0, csn=7)
+
+    def test_deferred_mode_collects(self):
+        trace, mon = self.make(raise_immediately=False)
+        trace.record(1.0, "ckpt.tentative", 0, csn=5)
+        trace.record(2.0, "ckpt.tentative", 1, csn=9)
+        assert len(mon.violations) == 2
+        with pytest.raises(InvariantViolation, match="2 violations"):
+            mon.assert_clean()
+
+    def test_forced_checkpoints_ignored(self):
+        # Baseline protocols (CIC/MS) mark forced takes; numbering differs.
+        trace, mon = self.make()
+        trace.record(1.0, "ckpt.tentative", 0, csn=7, forced=True)
+        mon.assert_clean()
+
+    def test_per_process_independence(self):
+        trace, mon = self.make()
+        trace.record(1.0, "ckpt.tentative", 0, csn=1)
+        trace.record(1.5, "ckpt.tentative", 1, csn=1)
+        trace.record(2.0, "ckpt.finalize", 1, csn=1, reason="x")
+        mon.assert_clean()
+
+
+class TestLiveRuns:
+    def test_full_simulation_clean(self):
+        sim, net, st, rt = build_optimistic_run(n=5, seed=3, horizon=150.0,
+                                                rate=2.0, interval=40.0)
+        mon = InvariantMonitor(sim.trace)
+        run_to_quiescence(sim, rt)
+        mon.assert_clean()
+
+    def test_simulation_with_recovery_clean(self):
+        from repro.recovery import RecoveryManager
+        sim, net, st, rt = build_optimistic_run(
+            n=4, seed=5, horizon=300.0, rate=2.0, interval=40.0,
+            strict=False)
+        mon = InvariantMonitor(sim.trace)
+        mgr = RecoveryManager(rt)
+        mgr.crash_and_recover(1, at=150.0, recovery_delay=5.0)
+        rt.start()
+        sim.run(max_events=2_000_000)
+        mon.assert_clean()

@@ -1,0 +1,168 @@
+"""Integration tests of the full optimistic protocol over random workloads.
+
+These are the paper's theorems as executable checks:
+
+* **Theorem 2** — every complete ``S_k`` is a consistent global checkpoint
+  (verified by the independent trace-based orphan detector);
+* **Theorem 1** — with control messages, every tentative checkpoint is
+  eventually finalized (the simulation drains with no process stuck
+  tentative), including under silent-process workloads;
+* sequence discipline, determinism, and the piggyback-only convergence
+  regime (no control messages needed under chatty traffic).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MachineConfig
+from repro.net import ConstantLatency, UniformLatency
+
+from ..conftest import build_optimistic_run, run_to_quiescence
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("n", [2, 3, 5, 8])
+def test_theorem2_consistency_random_runs(n, seed):
+    sim, net, st, rt = build_optimistic_run(n=n, seed=seed, horizon=120.0,
+                                            rate=2.0, interval=30.0,
+                                            timeout=10.0)
+    run_to_quiescence(sim, rt)
+    assert rt.anomalies() == []
+    checked = rt.assert_consistent()
+    assert checked >= 2  # at least S_0 plus one real round
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_theorem1_convergence_all_rounds_finalize(seed):
+    sim, net, st, rt = build_optimistic_run(n=6, seed=seed, horizon=150.0,
+                                            rate=1.0, interval=40.0,
+                                            timeout=12.0)
+    run_to_quiescence(sim, rt)
+    for pid, host in rt.hosts.items():
+        assert host.status == "normal", f"P{pid} stuck tentative"
+        assert set(host.tentatives) <= set(host.finalized)
+    # Every host finalized the same set of sequence numbers.
+    seq_sets = {frozenset(h.finalized) for h in rt.hosts.values()}
+    assert len(seq_sets) == 1
+
+
+def test_convergence_with_silent_processes():
+    """Half the processes never send — only control messages can finish the
+    rounds (the generalized algorithm's whole purpose)."""
+    sim, net, st, rt = build_optimistic_run(n=6, seed=9, horizon=120.0,
+                                            workload="half_silent",
+                                            interval=40.0, timeout=10.0)
+    run_to_quiescence(sim, rt)
+    assert len(rt.finalized_seqs()) >= 2
+    assert rt.control_message_count() > 0
+    for host in rt.hosts.values():
+        assert host.status == "normal"
+    rt.assert_consistent()
+
+
+def test_basic_algorithm_can_stall_without_control_messages():
+    """The paper's convergence problem: same silent workload, control plane
+    off — some process never finalizes."""
+    sim, net, st, rt = build_optimistic_run(
+        n=6, seed=9, horizon=120.0, workload="half_silent", interval=40.0,
+        timeout=10.0, machine=MachineConfig(control_messages=False))
+    rt.start()
+    sim.run(max_events=500_000)
+    stuck = [h for h in rt.hosts.values() if h.status == "tentative"]
+    assert stuck, "expected at least one process stuck without control msgs"
+
+
+def test_chatty_traffic_converges_without_any_control_messages():
+    """With enough application traffic the piggybacks alone finish rounds
+    before timers expire — zero control messages sent."""
+    sim, net, st, rt = build_optimistic_run(
+        n=4, seed=2, horizon=150.0, rate=8.0, interval=30.0, timeout=25.0,
+        latency=UniformLatency(0.05, 0.2),
+        machine=MachineConfig(p0_broadcast_on_finalize=False))
+    run_to_quiescence(sim, rt)
+    assert len(rt.finalized_seqs()) >= 3
+    assert rt.control_message_count() == 0
+    rt.assert_consistent()
+
+
+def test_determinism_same_seed_same_trace():
+    def signature(seed):
+        sim, net, st, rt = build_optimistic_run(n=4, seed=seed,
+                                                horizon=80.0, rate=2.0)
+        run_to_quiescence(sim, rt)
+        return sim.trace.signature()
+
+    assert signature(7) == signature(7)
+    assert signature(7) != signature(8)
+
+
+def test_sequence_numbers_dense_and_increasing():
+    sim, net, st, rt = build_optimistic_run(n=5, seed=4, horizon=150.0,
+                                            rate=2.0, interval=30.0)
+    run_to_quiescence(sim, rt)
+    for host in rt.hosts.values():
+        seqs = sorted(host.finalized)
+        assert seqs == list(range(len(seqs))), "csns must be dense from 0"
+
+
+def test_concurrent_initiations_merge_into_one_round():
+    """All processes initiate at the same instant (aligned phase): the
+    initiations share sequence number 1 and form a single global round."""
+    sim, net, st, rt = build_optimistic_run(
+        n=5, seed=6, horizon=100.0, rate=2.0, interval=30.0,
+        timeout=10.0, initiation_phase="aligned")
+    run_to_quiescence(sim, rt)
+    takes_at_1 = [h.tentatives[1].taken_at for h in rt.hosts.values()]
+    assert max(takes_at_1) - min(takes_at_1) == pytest.approx(0.0)
+    rt.assert_consistent()
+
+
+def test_every_finalized_checkpoint_flushed_to_stable_storage():
+    sim, net, st, rt = build_optimistic_run(n=4, seed=3, horizon=100.0,
+                                            rate=2.0, interval=30.0)
+    run_to_quiescence(sim, rt)
+    fins = sum(len(h.finalized) - 1 for h in rt.hosts.values())  # excl. 0
+    fin_writes = [r for r in st.requests if r.label.startswith("fin:")]
+    assert len(fin_writes) == fins
+    assert all(r.done for r in st.requests)
+
+
+def test_cross_check_records_against_trace():
+    from repro.causality import ConsistencyVerifier
+    sim, net, st, rt = build_optimistic_run(n=4, seed=5, horizon=100.0,
+                                            rate=2.0, interval=30.0)
+    run_to_quiescence(sim, rt)
+    verifier = ConsistencyVerifier(sim.trace)
+    for pid, host in rt.hosts.items():
+        records = host.checkpoint_records()
+        for seq, rec in records.items():
+            verifier.cross_check_record(rec, host.finalized[seq].finalized_at)
+
+
+def test_ablation_disable_both_optimizations_still_converges():
+    sim, net, st, rt = build_optimistic_run(
+        n=6, seed=9, horizon=120.0, workload="half_silent", interval=40.0,
+        timeout=10.0,
+        machine=MachineConfig(suppress_ck_bgn=False, skip_ck_req=False))
+    run_to_quiescence(sim, rt)
+    for host in rt.hosts.values():
+        assert host.status == "normal"
+    rt.assert_consistent()
+
+
+def test_optimizations_reduce_control_messages():
+    def ctl_count(suppress, skip):
+        sim, net, st, rt = build_optimistic_run(
+            n=8, seed=11, horizon=200.0, workload="half_silent",
+            interval=40.0, timeout=8.0,
+            machine=MachineConfig(suppress_ck_bgn=suppress,
+                                  skip_ck_req=skip,
+                                  p0_broadcast_on_finalize=True))
+        run_to_quiescence(sim, rt)
+        return rt.control_message_count("CK_BGN") + \
+            rt.control_message_count("CK_REQ")
+
+    optimized = ctl_count(True, True)
+    plain = ctl_count(False, False)
+    assert optimized <= plain

@@ -1,0 +1,130 @@
+"""Fuzzing the protocol state machine with arbitrary input sequences.
+
+The machine must be *total*: any sequence of piggybacks, control messages,
+timer expiries and initiations — including combinations the paper proves
+impossible in well-formed runs — yields effect lists, never exceptions, and
+preserves the local invariants:
+
+* ``csn`` never decreases, and increases only via ``TakeTentative``;
+* ``Finalize`` is emitted only from the tentative status, for the current
+  csn;
+* impossible inputs surface as ``Anomaly`` effects, not state corruption;
+* the machine never emits two ``TakeTentative`` without a ``Finalize``
+  in between.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Anomaly,
+    ControlMessage,
+    ControlType,
+    Finalize,
+    MachineConfig,
+    OptimisticStateMachine,
+    Piggyback,
+    Status,
+    TakeTentative,
+)
+
+N = 4
+
+pb_inputs = st.builds(
+    lambda csn, stat, tent: ("app", Piggyback(csn, stat, frozenset(tent))),
+    csn=st.integers(min_value=0, max_value=8),
+    stat=st.sampled_from([Status.NORMAL, Status.TENTATIVE]),
+    tent=st.sets(st.integers(min_value=0, max_value=N - 1), max_size=N),
+)
+
+cm_inputs = st.builds(
+    lambda ctype, csn, sender: ("ctl", ControlMessage(ctype, csn), sender),
+    ctype=st.sampled_from(list(ControlType)),
+    csn=st.integers(min_value=0, max_value=8),
+    sender=st.integers(min_value=0, max_value=N - 1),
+)
+
+other_inputs = st.sampled_from([("timer",), ("initiate",)])
+
+sequences = st.lists(st.one_of(pb_inputs, cm_inputs, other_inputs),
+                     max_size=40)
+
+configs = st.builds(
+    MachineConfig,
+    control_messages=st.booleans(),
+    suppress_ck_bgn=st.booleans(),
+    skip_ck_req=st.booleans(),
+    p0_broadcast_on_finalize=st.booleans(),
+    timer_escalation=st.booleans(),
+    finalize_on_complete_knowledge=st.booleans(),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(pid=st.integers(min_value=0, max_value=N - 1), config=configs,
+       seq=sequences)
+def test_machine_total_and_invariant_preserving(pid, config, seq):
+    m = OptimisticStateMachine(pid, N, config=config)
+    uid = 1000
+    prev_csn = 0
+    open_tentative = False
+    for step in seq:
+        uid += 1
+        if step[0] == "app":
+            effects = m.on_app_receive(step[1], uid)
+        elif step[0] == "ctl":
+            effects = m.on_control(step[1], step[2])
+        elif step[0] == "timer":
+            effects = m.on_timer()
+        else:
+            effects = m.initiate()
+
+        # csn is monotone and only TakeTentative advances it (by one each).
+        takes = [e for e in effects if isinstance(e, TakeTentative)]
+        fins = [e for e in effects if isinstance(e, Finalize)]
+        assert m.csn >= prev_csn
+        assert m.csn == prev_csn + len(takes)
+        for t_eff in takes:
+            assert prev_csn < t_eff.csn <= m.csn
+        # Finalize discipline: alternates with TakeTentative.
+        state_open = open_tentative
+        for e in effects:
+            if isinstance(e, Finalize):
+                assert state_open, "finalized without an open tentative"
+                state_open = False
+            elif isinstance(e, TakeTentative):
+                assert not state_open, "second tentative before finalize"
+                state_open = True
+        open_tentative = state_open
+        assert open_tentative == m.tentative
+        # Anomalies are reported, not raised; status remains valid.
+        assert m.stat in (Status.NORMAL, Status.TENTATIVE)
+        if m.stat is Status.NORMAL:
+            assert m.tent_set == set()
+        else:
+            assert pid in m.tent_set
+        prev_csn = m.csn
+
+
+@settings(max_examples=100, deadline=None)
+@given(config=configs, seq=sequences)
+def test_fuzzed_anomalies_never_advance_state(config, seq):
+    """An input that produces an Anomaly leaves csn/status untouched by
+    that anomaly (other effects in the same batch may still act)."""
+    m = OptimisticStateMachine(1, N, config=config)
+    uid = 5000
+    for step in seq:
+        uid += 1
+        before = (m.csn, m.stat)
+        if step[0] == "app":
+            effects = m.on_app_receive(step[1], uid)
+        elif step[0] == "ctl":
+            effects = m.on_control(step[1], step[2])
+        elif step[0] == "timer":
+            effects = m.on_timer()
+        else:
+            effects = m.initiate()
+        if effects and all(isinstance(e, Anomaly) for e in effects):
+            assert (m.csn, m.stat) == before

@@ -1,0 +1,63 @@
+"""Unit tests for core protocol types."""
+
+from __future__ import annotations
+
+from repro.core import (
+    ControlMessage,
+    ControlType,
+    FinalizedCheckpoint,
+    LogEntry,
+    Piggyback,
+    Status,
+    TentativeCheckpoint,
+)
+
+
+class TestPiggyback:
+    def test_encoded_bytes_scales_with_n(self):
+        p = Piggyback(csn=1, stat=Status.NORMAL, tent_set=frozenset())
+        assert p.encoded_bytes(8) == 4 + 1 + 1
+        assert p.encoded_bytes(9) == 4 + 1 + 2
+        assert p.encoded_bytes(64) == 4 + 1 + 8
+        assert p.encoded_bytes(65) == 4 + 1 + 9
+
+    def test_frozen_and_hashable(self):
+        a = Piggyback(1, Status.TENTATIVE, frozenset({0, 1}))
+        b = Piggyback(1, Status.TENTATIVE, frozenset({1, 0}))
+        assert a == b and len({a, b}) == 1
+
+
+class TestControlMessage:
+    def test_fields(self):
+        cm = ControlMessage(ControlType.CK_REQ, 3)
+        assert cm.ctype is ControlType.CK_REQ and cm.csn == 3
+        assert ControlMessage.ENCODED_BYTES == 8
+
+    def test_equality(self):
+        assert (ControlMessage(ControlType.CK_END, 2)
+                == ControlMessage(ControlType.CK_END, 2))
+
+
+class TestCheckpointObjects:
+    def test_tentative_flushed_flag(self):
+        ct = TentativeCheckpoint(pid=0, csn=1, taken_at=1.0,
+                                 state_bytes=100)
+        assert not ct.flushed
+        ct.flushed_at = 5.0
+        assert ct.flushed
+
+    def test_finalized_log_accounting(self):
+        ct = TentativeCheckpoint(pid=0, csn=1, taken_at=1.0, state_bytes=100)
+        fc = FinalizedCheckpoint(
+            pid=0, csn=1, tentative=ct, finalized_at=9.0,
+            log_entries=[LogEntry(uid=1, nbytes=10, direction="sent",
+                                  time=2.0),
+                         LogEntry(uid=2, nbytes=30, direction="recv",
+                                  time=3.0)])
+        assert fc.log_bytes == 40
+        assert fc.logged_uids == frozenset({1, 2})
+
+    def test_empty_log(self):
+        ct = TentativeCheckpoint(pid=0, csn=1, taken_at=1.0, state_bytes=0)
+        fc = FinalizedCheckpoint(pid=0, csn=1, tentative=ct, finalized_at=2.0)
+        assert fc.log_bytes == 0 and fc.logged_uids == frozenset()

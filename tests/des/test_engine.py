@@ -1,0 +1,238 @@
+"""Unit tests for the DES engine: ordering, guards, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import (
+    EventPriority,
+    SchedulingError,
+    SimulationLimitExceeded,
+    Simulator,
+)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(3.0, lambda: out.append("c"))
+        sim.schedule(1.0, lambda: out.append("a"))
+        sim.schedule(2.0, lambda: out.append("b"))
+        sim.run()
+        assert out == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5, 5.0]
+        assert sim.now == 5.0
+
+    def test_same_time_ordered_by_priority(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: out.append("timer"),
+                     priority=EventPriority.TIMER)
+        sim.schedule(1.0, lambda: out.append("delivery"),
+                     priority=EventPriority.DELIVERY)
+        sim.schedule(1.0, lambda: out.append("monitor"),
+                     priority=EventPriority.MONITOR)
+        sim.run()
+        assert out == ["delivery", "timer", "monitor"]
+
+    def test_same_time_same_priority_fifo(self):
+        sim = Simulator()
+        out = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: out.append(i))
+        sim.run()
+        assert out == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_zero_delay_runs_at_current_instant(self):
+        sim = Simulator()
+        out = []
+
+        def outer():
+            sim.schedule(0.0, lambda: out.append(("inner", sim.now)))
+            out.append(("outer", sim.now))
+
+        sim.schedule(2.0, outer)
+        sim.run()
+        assert out == [("outer", 2.0), ("inner", 2.0)]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: out.append("x")))
+        sim.run()
+        assert out == ["x"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        out = []
+        ev = sim.schedule(1.0, lambda: out.append("x"))
+        ev.cancel()
+        sim.run()
+        assert out == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        sim.run()
+
+    def test_drain_cancelled_compacts_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(50)]
+        for ev in events[:40]:
+            ev.cancel()
+        sim.drain_cancelled()
+        assert sim.pending == 10
+        sim.run()
+
+
+class TestGuards:
+    def test_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: out.append(1))
+        sim.schedule(10.0, lambda: out.append(10))
+        sim.run(until=5.0)
+        assert out == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert out == [1, 10]
+
+    def test_until_strict_raises(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        with pytest.raises(SimulationLimitExceeded):
+            sim.run(until=5.0, strict=True)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+        count = [0]
+
+        def recur():
+            count[0] += 1
+            sim.schedule(1.0, recur)
+
+        sim.schedule(1.0, recur)
+        sim.run(max_events=100)
+        assert count[0] == 100
+
+    def test_max_events_strict_raises(self):
+        sim = Simulator()
+
+        def recur():
+            sim.schedule(1.0, recur)
+
+        sim.schedule(1.0, recur)
+        with pytest.raises(SimulationLimitExceeded):
+            sim.run(max_events=10, strict=True)
+
+    def test_until_without_events_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_stop_unwinds_run(self):
+        sim = Simulator()
+        out = []
+
+        def first():
+            out.append(1)
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, lambda: out.append(2))
+        sim.run()
+        assert out == [1]
+        sim.run()
+        assert out == [1, 2]
+
+
+class TestStepAndIntrospection:
+    def test_step_executes_one_event(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: out.append("a"))
+        sim.schedule(2.0, lambda: out.append("b"))
+        assert sim.step() is True
+        assert out == ["a"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        ev1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev1.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_executed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.executed == 7
+
+
+class TestRunAll:
+    def test_runs_each_simulator(self):
+        from repro.des import run_all
+
+        sims = [Simulator() for _ in range(3)]
+        hits = []
+        for i, sim in enumerate(sims):
+            sim.schedule(float(i + 1), lambda i=i: hits.append(i))
+        run_all(sims)
+        assert sorted(hits) == [0, 1, 2]
+
+    def test_until_applies_to_each(self):
+        from repro.des import run_all
+
+        sims = [Simulator() for _ in range(2)]
+        for sim in sims:
+            sim.schedule(10.0, lambda: None)
+        run_all(sims, until=5.0)
+        assert all(sim.now == 5.0 for sim in sims)
+        assert all(sim.pending == 1 for sim in sims)
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        def run(seed: int):
+            sim = Simulator(seed=seed)
+            rng = sim.rng.stream("w")
+
+            def emit():
+                sim.trace.record(sim.now, "tick", 0, v=float(rng.random()))
+                if sim.now < 20:
+                    sim.schedule(float(rng.exponential(1.0)) + 0.01, emit)
+
+            sim.schedule(0.5, emit)
+            sim.run()
+            return sim.trace.signature()
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

@@ -1,0 +1,107 @@
+"""Unit tests for Event ordering and the restartable Timer."""
+
+from __future__ import annotations
+
+from repro.des import EventPriority, Simulator
+from repro.des.events import Event
+
+
+class TestEventOrdering:
+    def test_sort_key_orders_time_first(self):
+        a = Event(time=1.0, priority=99, seq=99, fn=lambda: None)
+        b = Event(time=2.0, priority=0, seq=0, fn=lambda: None)
+        assert a < b
+
+    def test_priority_breaks_time_ties(self):
+        a = Event(time=1.0, priority=1, seq=99, fn=lambda: None)
+        b = Event(time=1.0, priority=2, seq=0, fn=lambda: None)
+        assert a < b
+
+    def test_seq_breaks_full_ties(self):
+        a = Event(time=1.0, priority=1, seq=1, fn=lambda: None)
+        b = Event(time=1.0, priority=1, seq=2, fn=lambda: None)
+        assert a < b
+
+    def test_active_reflects_cancellation(self):
+        ev = Event(time=1.0, priority=1, seq=1, fn=lambda: None)
+        assert ev.active
+        ev.cancel()
+        assert not ev.active
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        t = sim.timer(lambda: fired.append(sim.now))
+        t.start(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        t = sim.timer(lambda: fired.append(sim.now))
+        t.start(3.0)
+        t.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_restart_replaces_pending_expiry(self):
+        sim = Simulator()
+        fired = []
+        t = sim.timer(lambda: fired.append(sim.now))
+        t.start(3.0)
+        sim.schedule(1.0, lambda: t.start(5.0))  # re-arm at t=1 -> fires t=6
+        sim.run()
+        assert fired == [6.0]
+
+    def test_armed_property(self):
+        sim = Simulator()
+        t = sim.timer(lambda: None)
+        assert not t.armed
+        t.start(1.0)
+        assert t.armed
+        t.cancel()
+        assert not t.armed
+
+    def test_timer_not_armed_after_firing(self):
+        sim = Simulator()
+        t = sim.timer(lambda: None)
+        t.start(1.0)
+        sim.run()
+        assert not t.armed
+
+    def test_rearm_from_inside_callback(self):
+        sim = Simulator()
+        fired = []
+        t = sim.timer(lambda: None)
+
+        def tick():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                t.start(1.0)
+
+        t._fn = tick  # rebind after construction to close over t
+        t.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        t = sim.timer(lambda: None)
+        t.cancel()
+        t.start(1.0)
+        t.cancel()
+        t.cancel()
+        sim.run()
+
+    def test_timer_uses_timer_priority(self):
+        sim = Simulator()
+        out = []
+        t = sim.timer(lambda: out.append("timer"))
+        t.start(1.0)
+        sim.schedule(1.0, lambda: out.append("delivery"),
+                     priority=EventPriority.DELIVERY)
+        sim.run()
+        assert out == ["delivery", "timer"]

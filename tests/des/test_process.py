@@ -1,0 +1,78 @@
+"""Unit tests for the SimProcess base class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import SimProcess, Simulator
+from repro.net import ConstantLatency, Network, complete
+
+
+class Collector(SimProcess):
+    def __init__(self, pid, sim):
+        super().__init__(pid, sim)
+        self.got = []
+
+    def on_message(self, msg):
+        self.got.append(msg.payload)
+
+
+class TestSimProcess:
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ValueError):
+            Collector(-1, Simulator())
+
+    def test_send_without_network_raises(self):
+        p = Collector(0, Simulator())
+        with pytest.raises(RuntimeError, match="not attached"):
+            p.send(1, "x")
+
+    def test_on_message_must_be_overridden(self):
+        p = SimProcess(0, Simulator())
+        with pytest.raises(NotImplementedError):
+            p.on_message(None)
+
+    def test_send_and_deliver(self):
+        sim = Simulator()
+        net = Network(sim, complete(2), ConstantLatency(1.0))
+        a, b = Collector(0, sim), Collector(1, sim)
+        net.add_processes([a, b])
+        a.send(1, "hello")
+        sim.run()
+        assert b.got == ["hello"]
+        assert b.delivered_count == 1
+
+    def test_set_timeout_fires(self):
+        sim = Simulator()
+        p = Collector(0, sim)
+        fired = []
+        p.set_timeout(2.0, lambda: fired.append(p.now))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_halted_blocks_timeouts(self):
+        sim = Simulator()
+        p = Collector(0, sim)
+        fired = []
+        p.set_timeout(2.0, lambda: fired.append(1))
+        p.halted = True
+        sim.run()
+        assert fired == []
+
+    def test_halted_blocks_delivery(self):
+        sim = Simulator()
+        net = Network(sim, complete(2), ConstantLatency(1.0))
+        a, b = Collector(0, sim), Collector(1, sim)
+        net.add_processes([a, b])
+        a.send(1, "x")
+        b.halted = True
+        sim.run()
+        assert b.got == []
+        assert b.delivered_count == 0
+
+    def test_trace_helper_attributes_process(self):
+        sim = Simulator()
+        p = Collector(3, sim)
+        p.trace("app.internal", detail=1)
+        rec = sim.trace.records[0]
+        assert rec.process == 3 and rec.kind == "app.internal"

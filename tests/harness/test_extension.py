@@ -1,0 +1,108 @@
+"""Harness extension points: registering custom protocols, config guards,
+and a large-system smoke test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import BaselineHost, BaselineRuntime
+from repro.harness import (
+    PROTOCOLS,
+    ExperimentConfig,
+    ProtocolSpec,
+    register_protocol,
+    run_experiment,
+)
+
+
+class _NoopHost(BaselineHost):
+    """Toy protocol: one checkpoint per process at a fixed time."""
+
+    def protocol_start(self):
+        """Arm the single checkpoint."""
+        self.set_timeout(10.0 + self.pid, self._take)
+
+    def _take(self):
+        self.take_checkpoint_write(1000, label=f"noop:{self.pid}")
+        self.trace("ckpt.tentative", csn=1)
+
+    def on_control(self, msg):
+        """Noop protocol sends no control messages."""
+        raise AssertionError("unreachable")
+
+
+class _NoopRuntime(BaselineRuntime):
+    """Runtime for the toy protocol."""
+
+    def __init__(self, sim, network, storage, *, interval=0.0,
+                 state_bytes=0, horizon=None):
+        super().__init__(sim, network, storage, horizon=horizon)
+
+    def build(self, apps=None):
+        """Create toy hosts."""
+        return super().build(
+            lambda pid, sim, rt, app: _NoopHost(pid, sim, rt, app), apps)
+
+
+def _build_noop(cfg, sim, net, storage):
+    return _NoopRuntime(sim, net, storage, horizon=cfg.horizon)
+
+
+class TestRegisterProtocol:
+    def teardown_method(self):
+        PROTOCOLS.pop("noop-test", None)
+
+    def test_register_and_run(self):
+        register_protocol(ProtocolSpec("noop-test", False, _build_noop))
+        res = run_experiment(ExperimentConfig(
+            protocol="noop-test", n=3, horizon=40.0, verify=False,
+            workload_kwargs={"rate": 1.0, "msg_size": 128}))
+        assert res.metrics.protocol == "noop-test"
+        assert res.metrics.checkpoints == 3
+        assert res.storage.completed() == 3
+
+    def test_duplicate_name_rejected(self):
+        register_protocol(ProtocolSpec("noop-test", False, _build_noop))
+        with pytest.raises(ValueError, match="already registered"):
+            register_protocol(ProtocolSpec("noop-test", False, _build_noop))
+
+    def test_replace_allowed_explicitly(self):
+        register_protocol(ProtocolSpec("noop-test", False, _build_noop))
+        register_protocol(ProtocolSpec("noop-test", True, _build_noop),
+                          replace=True)
+        assert PROTOCOLS["noop-test"].needs_fifo
+
+    def test_builtin_name_protected(self):
+        with pytest.raises(ValueError):
+            register_protocol(ProtocolSpec("optimistic", False, _build_noop))
+
+
+class TestConfigGuards:
+    def test_verify_requires_tracing(self):
+        with pytest.raises(ValueError, match="trace_enabled"):
+            run_experiment(ExperimentConfig(verify=True,
+                                            trace_enabled=False))
+
+    def test_trace_disabled_run_has_empty_trace(self):
+        res = run_experiment(ExperimentConfig(
+            n=3, horizon=60.0, checkpoint_interval=25.0,
+            state_bytes=10_000, verify=False, trace_enabled=False,
+            workload_kwargs={"rate": 1.0, "msg_size": 128}))
+        assert len(res.sim.trace) == 0
+        assert res.metrics.rounds_completed >= 1
+
+
+class TestScaleSmoke:
+    def test_n128_run_converges_and_verifies(self):
+        """One checkpoint round at N=128 — the 'is this a real substrate'
+        smoke test (a couple of seconds, tracing on, fully verified)."""
+        res = run_experiment(ExperimentConfig(
+            n=128, seed=1, horizon=80.0, checkpoint_interval=40.0,
+            state_bytes=100_000, timeout=15.0,
+            workload_kwargs={"rate": 0.5, "msg_size": 256},
+            max_events=20_000_000))
+        assert not res.truncated
+        assert res.metrics.rounds_completed >= 1
+        assert res.consistent
+        for host in res.runtime.hosts.values():
+            assert host.status == "normal"

@@ -1,0 +1,157 @@
+"""Figure-replay assertions: the paper's narratives, line by line.
+
+These tests are the E1/E2 ground truth — every narrated fact of Figures 1,
+2 and 5 is asserted against the simulated trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    fig1_scenario,
+    fig2_scenario,
+    fig5_scenario,
+    fig5_scenario_without_control,
+)
+
+
+class TestFig1:
+    def test_s1_is_consistent(self):
+        r = fig1_scenario()
+        assert r.extra["orphans_s1"] == []
+
+    def test_s2_has_exactly_the_m5_orphan(self):
+        r = fig1_scenario()
+        orphans = r.extra["orphans_s2"]
+        assert len(orphans) == 1
+        assert orphans[0].uid == r.tags["M_5"]
+        assert (orphans[0].src, orphans[0].dst) == (1, 0)
+
+    def test_all_six_messages_delivered(self):
+        r = fig1_scenario()
+        assert len(r.tags) == 6
+        assert r.sim.trace.count("msg.deliver") == 6
+
+
+class TestFig2:
+    """Every narrated fact of the basic-algorithm example."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return fig2_scenario()
+
+    def test_tentative_checkpoint_order(self, scenario):
+        rt = scenario.runtime
+        takes = {pid: rt.hosts[pid].tentatives[1].taken_at
+                 for pid in range(4)}
+        assert takes[0] == 10.0          # initiator
+        assert takes[1] == 12.0          # upon M_2
+        assert takes[2] == 14.0          # upon M_4
+        assert takes[3] == 14.0          # upon M_3
+
+    def test_p2_finalizes_first_with_allset(self, scenario):
+        rt = scenario.runtime
+        fc2 = rt.hosts[2].finalized[1]
+        assert fc2.finalized_at == 17.0  # upon M_5
+        assert fc2.reason == "piggyback.allset"
+
+    def test_c21_logs_exactly_m5_and_m6(self, scenario):
+        """The paper: ``C_{2,1} = CT_{2,1} ∪ {M_5, M_6}``."""
+        rt, tags = scenario.runtime, scenario.tags
+        fc2 = rt.hosts[2].finalized[1]
+        assert fc2.logged_uids == {tags["M_5"], tags["M_6"]}
+
+    def test_p1_finalizes_on_m7(self, scenario):
+        rt = scenario.runtime
+        fc1 = rt.hosts[1].finalized[1]
+        assert fc1.finalized_at == 19.0
+        assert fc1.reason == "piggyback.peer_normal"
+
+    def test_m8_excluded_from_c31(self, scenario):
+        """The paper: "M_8 should not be included in the set of logged
+        messages in C_{3,1} since it was sent after P_1 finalized"."""
+        rt, tags = scenario.runtime, scenario.tags
+        fc3 = rt.hosts[3].finalized[1]
+        assert fc3.finalized_at == 21.0
+        assert tags["M_8"] not in fc3.logged_uids
+        assert tags["M_8"] not in fc3.new_recv_uids
+        assert fc3.logged_uids == {tags["M_5"]}
+
+    def test_m9_excluded_from_c01(self, scenario):
+        rt, tags = scenario.runtime, scenario.tags
+        fc0 = rt.hosts[0].finalized[1]
+        assert fc0.finalized_at == 23.0
+        assert tags["M_9"] not in fc0.logged_uids
+        assert fc0.logged_uids == {tags["M_2"], tags["M_4"]}
+
+    def test_s1_recorded_and_consistent(self, scenario):
+        rt = scenario.runtime
+        assert rt.finalized_seqs() == [0, 1]
+        orphans = rt.verify_consistency()
+        assert all(not o for o in orphans.values())
+
+    def test_no_control_messages_used(self, scenario):
+        assert scenario.runtime.control_message_count() == 0
+
+    def test_statuses_back_to_normal(self, scenario):
+        assert all(h.status == "normal"
+                   for h in scenario.runtime.hosts.values())
+
+
+class TestFig5:
+    """Every narrated fact of the control-message example."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return fig5_scenario()
+
+    def test_exact_control_message_counts(self, scenario):
+        rt = scenario.runtime
+        assert rt.control_message_count("CK_BGN") == 1
+        assert rt.control_message_count("CK_REQ") == 3
+        assert rt.control_message_count("CK_END") == 3
+
+    def test_ck_bgn_from_p1_only(self, scenario):
+        """P_2 suppresses its CK_BGN (Case-(1) optimization): it knows P_1,
+        a lower id, is tentative."""
+        trace = scenario.sim.trace
+        bgns = [r for r in trace.filter("ctl.send")
+                if r.data["ctype"] == "CK_BGN"]
+        assert len(bgns) == 1
+        assert bgns[0].process == 1 and bgns[0].data["dst"] == 0
+        assert bgns[0].time == 15.0  # P1's timer: initiated 5 + timeout 10
+
+    def test_ck_req_chain_skips_p2(self, scenario):
+        """The Case-(2) optimization: P_1 forwards straight to P_3."""
+        trace = scenario.sim.trace
+        reqs = [(r.process, r.data["dst"], r.time)
+                for r in trace.filter("ctl.send")
+                if r.data["ctype"] == "CK_REQ"]
+        assert reqs == [(0, 1, 16.0), (1, 3, 17.0), (3, 0, 18.0)]
+
+    def test_p0_and_p3_take_checkpoints_via_control(self, scenario):
+        rt = scenario.runtime
+        assert rt.hosts[0].tentatives[1].taken_at == 16.0  # on CK_BGN
+        assert rt.hosts[3].tentatives[1].taken_at == 18.0  # on CK_REQ
+
+    def test_ck_end_broadcast_and_finalizations(self, scenario):
+        rt = scenario.runtime
+        assert rt.hosts[0].finalized[1].finalized_at == 19.0
+        for pid in (1, 2, 3):
+            fc = rt.hosts[pid].finalized[1]
+            assert fc.finalized_at == 20.0
+            assert fc.reason == "control.ck_end"
+
+    def test_consistent(self, scenario):
+        orphans = scenario.runtime.verify_consistency()
+        assert set(orphans) == {0, 1}
+        assert all(not o for o in orphans.values())
+
+    def test_without_control_messages_never_converges(self):
+        r = fig5_scenario_without_control()
+        rt = r.runtime
+        assert rt.finalized_seqs() == [0]
+        assert rt.hosts[1].status == "tentative"
+        assert rt.hosts[2].status == "tentative"
+        assert rt.control_message_count() == 0

@@ -1,0 +1,86 @@
+"""Tests for uniform metric collection and the run report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.metrics import collect, render_run_report
+
+
+def run(protocol="optimistic", **kw):
+    return run_experiment(ExperimentConfig(
+        protocol=protocol, n=4, seed=1, horizon=100.0,
+        checkpoint_interval=35.0, state_bytes=100_000, timeout=10.0,
+        workload_kwargs={"rate": 1.5, "msg_size": 512}, **kw))
+
+
+class TestCollect:
+    def test_fields_populated_for_optimistic(self):
+        res = run()
+        m = res.metrics
+        assert m.protocol == "optimistic"
+        assert m.n == 4
+        assert m.makespan > 0
+        assert m.app_messages > 0
+        assert m.app_bytes > m.app_messages * 512  # payload + piggyback
+        assert m.piggyback_bytes > 0
+        assert m.checkpoints > 0
+        assert m.rounds_completed >= 1
+        assert m.log_bytes > 0
+        assert m.storage_writes > 0
+        assert m.storage_bytes > 0
+        assert "convergence_mean" in m.extra
+        assert "max_local_buffer_bytes" in m.extra
+        assert "peak_stable_bytes" in m.extra
+
+    def test_forced_checkpoints_extra_for_cic(self):
+        res = run("cic-bcs")
+        assert "forced_checkpoints" in res.metrics.extra
+
+    def test_blocked_time_for_koo_toueg(self):
+        res = run("koo-toueg")
+        assert res.metrics.blocked_time > 0
+
+    def test_mean_pending_between_zero_and_peak(self):
+        res = run()
+        m = res.metrics
+        assert 0 <= m.mean_pending_writers <= m.peak_pending_writers
+
+    def test_as_dict_flattens_extra(self):
+        res = run()
+        d = res.metrics.as_dict()
+        assert d["extra.convergence_mean"] == \
+            res.metrics.extra["convergence_mean"]
+
+    def test_collect_with_custom_extra(self):
+        res = run()
+        m2 = collect("optimistic", res.sim, res.network, res.storage,
+                     res.runtime, extra={"custom": 42})
+        assert m2.extra["custom"] == 42
+
+    def test_utilization_fraction(self):
+        res = run()
+        assert 0.0 <= res.metrics.storage_utilization <= 1.0
+
+
+class TestRunReport:
+    def test_report_sections(self):
+        res = run()
+        report = render_run_report(res)
+        assert "configuration" in report
+        assert "metrics" in report
+        assert "checkpoint rounds" in report
+        assert "all consistent" in report
+        assert "marks:" in report  # space-time diagram legend
+
+    def test_report_truncates_rounds(self):
+        res = run()
+        report = render_run_report(res, max_rounds=1)
+        assert report.count("\n") > 10
+
+    def test_report_for_baseline_without_round_table(self):
+        res = run("koo-toueg")
+        report = render_run_report(res)
+        assert "koo-toueg" in report
+        assert "checkpoint rounds" not in report

@@ -1,0 +1,152 @@
+"""Tests for summary statistics and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import (
+    Summary,
+    Table,
+    kv_block,
+    ratio,
+    series,
+    step_series_max,
+    step_series_time_average,
+)
+
+
+class TestSummary:
+    def test_of_values(self):
+        s = Summary.of([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_empty(self):
+        s = Summary.of([])
+        assert s.n == 0 and s.mean == 0.0
+        assert str(s) == "n=0"
+
+    def test_str_mentions_stats(self):
+        s = Summary.of([1.0, 1.0])
+        assert "mean=1" in str(s)
+
+    def test_p95(self):
+        s = Summary.of(range(101))
+        assert s.p95 == pytest.approx(95.0)
+
+
+class TestStepSeries:
+    def test_max(self):
+        assert step_series_max([(0, 0), (1, 3), (2, 1)]) == 3
+        assert step_series_max([]) == 0.0
+
+    def test_time_average_constant(self):
+        assert step_series_time_average([(0.0, 2.0)], end=10.0) == 2.0
+
+    def test_time_average_step(self):
+        # value 0 on [0,5), value 4 on [5,10) -> avg 2
+        s = [(0.0, 0.0), (5.0, 4.0)]
+        assert step_series_time_average(s, end=10.0) == pytest.approx(2.0)
+
+    def test_time_average_empty(self):
+        assert step_series_time_average([], end=5.0) == 0.0
+
+    def test_time_average_end_before_start(self):
+        assert step_series_time_average([(5.0, 3.0)], end=1.0) == 3.0
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(6.0, 3.0) == 2.0
+
+    def test_zero_over_zero(self):
+        assert ratio(0.0, 0.0) == 1.0
+
+    def test_x_over_zero(self):
+        assert ratio(5.0, 0.0) == float("inf")
+
+
+class TestTable:
+    def test_render_alignment_and_content(self):
+        t = Table("protocol", "peak", title="E3")
+        t.add_row("optimistic", 1)
+        t.add_row("chandy-lamport", 12)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "E3"
+        assert "protocol" in lines[1] and "peak" in lines[1]
+        assert "optimistic" in out and "12" in out
+
+    def test_row_width_mismatch_rejected(self):
+        t = Table("a", "b")
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            Table()
+
+    def test_float_formatting(self):
+        t = Table("x")
+        t.add_row(0.000123456)
+        t.add_row(1234567.0)
+        t.add_row(0.0)
+        t.add_row(1.5)
+        col = t.column("x")
+        assert col[0] == "1.235e-04"
+        assert col[1] == "1.235e+06"
+        assert col[2] == "0"
+        assert col[3] == "1.5"
+
+    def test_bool_formatting(self):
+        t = Table("ok")
+        t.add_row(True)
+        t.add_row(False)
+        assert t.column("ok") == ["yes", "no"]
+
+    def test_column_unknown_raises(self):
+        t = Table("a")
+        with pytest.raises(ValueError):
+            t.column("zz")
+
+    def test_chaining(self):
+        t = Table("a").add_row(1).add_row(2)
+        assert len(t.rows) == 2
+
+
+class TestSeriesAndKv:
+    def test_series_renders_pairs(self):
+        out = series("fig", [1, 2], [10, 20], x_name="n", y_name="peak")
+        assert "fig" in out and "10" in out and "20" in out
+
+    def test_kv_block(self):
+        out = kv_block("config", {"n": 8, "rate": 1.5})
+        assert "config" in out
+        assert "n" in out and "8" in out
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        from repro.metrics import bar_chart
+        out = bar_chart("waits", {"a": 10.0, "b": 5.0, "c": 0.0}, width=20)
+        lines = out.splitlines()
+        assert lines[0] == "waits"
+        assert lines[1].count("#") == 20
+        assert lines[2].count("#") == 10
+        assert lines[3].count("#") == 0
+
+    def test_empty_pairs(self):
+        from repro.metrics import bar_chart
+        assert bar_chart("x", {}) == "x"
+
+    def test_width_validation(self):
+        from repro.metrics import bar_chart
+        with pytest.raises(ValueError):
+            bar_chart("x", {"a": 1.0}, width=2)
+
+    def test_unit_suffix(self):
+        from repro.metrics import bar_chart
+        out = bar_chart("", {"a": 1.5}, unit=" s")
+        assert "1.5 s" in out

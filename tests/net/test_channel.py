@@ -1,0 +1,69 @@
+"""Direct unit tests for the Channel primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net import FIFO_EPSILON, Channel
+from repro.net.message import Message
+
+
+def make(fifo=False):
+    return Channel(0, 1, np.random.default_rng(0), fifo=fifo)
+
+
+class TestArrivalTime:
+    def test_non_fifo_is_plain_sum(self):
+        ch = make(fifo=False)
+        assert ch.arrival_time(10.0, 2.5) == 12.5
+        # A later send with a smaller latency may arrive earlier: allowed.
+        assert ch.arrival_time(11.0, 0.5) == 11.5
+
+    def test_fifo_clamps_to_previous_arrival(self):
+        ch = make(fifo=True)
+        first = ch.arrival_time(10.0, 5.0)   # 15
+        second = ch.arrival_time(11.0, 0.5)  # would be 11.5 -> clamped
+        assert first == 15.0
+        assert second == pytest.approx(15.0 + FIFO_EPSILON)
+
+    def test_fifo_strictly_increasing(self):
+        ch = make(fifo=True)
+        times = [ch.arrival_time(float(i), 1.0) for i in range(20)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_fifo_no_clamp_when_already_ordered(self):
+        ch = make(fifo=True)
+        ch.arrival_time(0.0, 1.0)
+        assert ch.arrival_time(5.0, 1.0) == 6.0
+
+
+class TestStats:
+    def test_send_deliver_cycle(self):
+        ch = make()
+        m = Message(src=0, dst=1, size=100, overhead_bytes=9)
+        ch.stats.on_send(m)
+        assert ch.stats.messages == 1
+        assert ch.stats.bytes == 109
+        assert ch.stats.in_flight == 1
+        assert ch.stats.max_in_flight == 1
+        ch.stats.on_deliver(m)
+        assert ch.stats.in_flight == 0
+        assert ch.stats.delivered == 1
+
+    def test_drop_accounting(self):
+        ch = make()
+        m = Message(src=0, dst=1)
+        ch.stats.on_send(m)
+        ch.stats.on_drop(m)
+        assert ch.stats.dropped == 1
+        assert ch.stats.in_flight == 0
+
+    def test_max_in_flight_high_water(self):
+        ch = make()
+        msgs = [Message(src=0, dst=1) for _ in range(3)]
+        for m in msgs:
+            ch.stats.on_send(m)
+        ch.stats.on_deliver(msgs[0])
+        ch.stats.on_send(Message(src=0, dst=1))
+        assert ch.stats.max_in_flight == 3

@@ -1,0 +1,45 @@
+"""Unit tests for the Message envelope."""
+
+from __future__ import annotations
+
+from repro.net import Message
+
+
+class TestMessage:
+    def test_uids_unique(self):
+        msgs = [Message(src=0, dst=1) for _ in range(100)]
+        assert len({m.uid for m in msgs}) == 100
+
+    def test_identity_by_uid(self):
+        a = Message(src=0, dst=1)
+        b = Message(src=0, dst=1)
+        assert a != b and a == a
+        assert len({a, b}) == 2
+
+    def test_usable_in_sets_like_logset(self):
+        a, b, c = (Message(src=0, dst=1) for _ in range(3))
+        log = {a, b}
+        log.add(a)
+        assert len(log) == 2
+        assert c not in log
+
+    def test_total_bytes(self):
+        m = Message(src=0, dst=1, size=100, overhead_bytes=9)
+        assert m.total_bytes == 109
+
+    def test_not_delivered_initially(self):
+        m = Message(src=0, dst=1)
+        assert not m.delivered
+        m.deliver_time = 4.0
+        assert m.delivered
+
+    def test_describe_mentions_endpoints(self):
+        m = Message(src=2, dst=5, kind="ctl")
+        s = m.describe()
+        assert "P2->P5" in s and "ctl" in s
+
+    def test_meta_is_per_message(self):
+        a = Message(src=0, dst=1)
+        b = Message(src=0, dst=1)
+        a.meta["x"] = 1
+        assert "x" not in b.meta

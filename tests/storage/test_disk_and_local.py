@@ -1,0 +1,90 @@
+"""Unit tests for the disk model and the volatile local store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import DiskModel, LocalStore
+
+
+class TestDiskModel:
+    def test_service_time_formula(self):
+        d = DiskModel(seek_time=0.5, bandwidth=100.0)
+        assert d.service_time(0) == 0.5
+        assert d.service_time(200) == pytest.approx(2.5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DiskModel(seek_time=-1.0)
+        with pytest.raises(ValueError):
+            DiskModel(bandwidth=0.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            DiskModel().service_time(-1)
+
+    def test_frozen(self):
+        d = DiskModel()
+        with pytest.raises(Exception):
+            d.seek_time = 9.0  # type: ignore[misc]
+
+
+class TestLocalStore:
+    def test_put_and_bytes_held(self):
+        ls = LocalStore(0)
+        ls.put("ct", 1000, at=1.0)
+        ls.put("log", 250, at=2.0)
+        assert ls.bytes_held == 1250
+        assert len(ls) == 2
+        assert "ct" in ls
+
+    def test_put_same_label_replaces(self):
+        ls = LocalStore(0)
+        ls.put("log", 100, at=1.0)
+        ls.put("log", 300, at=2.0)
+        assert ls.bytes_held == 300
+        assert len(ls) == 1
+
+    def test_max_bytes_high_water_mark(self):
+        ls = LocalStore(0)
+        ls.put("a", 500, at=1.0)
+        ls.put("b", 500, at=1.0)
+        ls.pop("a")
+        assert ls.bytes_held == 500
+        assert ls.max_bytes == 1000
+
+    def test_pop_returns_item(self):
+        ls = LocalStore(0)
+        ls.put("ct", 777, at=3.0, payload="state")
+        item = ls.pop("ct")
+        assert item.nbytes == 777 and item.payload == "state"
+        assert ls.bytes_held == 0
+
+    def test_pop_missing_raises(self):
+        with pytest.raises(KeyError):
+            LocalStore(0).pop("nope")
+
+    def test_discard_is_safe(self):
+        ls = LocalStore(0)
+        assert ls.discard("nope") is False
+        ls.put("x", 1, at=0.0)
+        assert ls.discard("x") is True
+        assert ls.bytes_held == 0
+
+    def test_clear_models_crash(self):
+        ls = LocalStore(0)
+        ls.put("ct", 100, at=0.0)
+        ls.put("log", 50, at=0.0)
+        ls.clear()
+        assert len(ls) == 0 and ls.bytes_held == 0
+        assert ls.max_bytes == 150  # high-water mark survives
+
+    def test_total_buffered_accumulates(self):
+        ls = LocalStore(0)
+        ls.put("a", 100, at=0.0)
+        ls.put("a", 100, at=1.0)
+        assert ls.total_buffered == 200
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            LocalStore(0).put("x", -5, at=0.0)

@@ -1,0 +1,96 @@
+"""Tests for network-coupled storage (file server as a network node)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness import ExperimentConfig, run_experiment
+
+
+def run(protocol="optimistic", **kw):
+    base = dict(n=4, seed=1, horizon=120.0, checkpoint_interval=40.0,
+                state_bytes=500_000, timeout=12.0, networked_storage=True,
+                workload_kwargs={"rate": 1.5, "msg_size": 512})
+    base.update(kw)
+    return run_experiment(ExperimentConfig(protocol=protocol, **base))
+
+
+class TestNetworkedStorage:
+    def test_protocol_runs_and_verifies(self):
+        res = run()
+        assert not res.truncated
+        assert res.consistent
+        assert res.metrics.rounds_completed >= 1
+
+    def test_every_write_travels_the_network(self):
+        res = run()
+        storage_msgs = res.network.sent_by_kind.get("storage", 0)
+        acks = res.network.sent_by_kind.get("storage-ack", 0)
+        assert storage_msgs == res.storage.completed()
+        assert acks == storage_msgs
+        assert len(res.storage.client_latencies) == storage_msgs
+
+    def test_checkpoint_bytes_on_the_wire(self):
+        res = run()
+        wire = res.network.total_bytes("storage")
+        assert wire == res.storage.bytes_written()
+
+    def test_client_latency_exceeds_disk_latency(self):
+        """Round-trip = transfer + queue + disk + ack > disk service."""
+        res = run(nic_bandwidth=5e6)  # 0.5 MB state -> 0.1 s transfer
+        disk_latencies = [r.latency for r in res.storage.requests if r.done]
+        assert np.mean(res.storage.client_latencies) > np.mean(disk_latencies)
+
+    def test_app_n_hides_server_from_workload_and_protocol(self):
+        res = run()
+        n = res.config.n
+        assert res.network.n == n
+        assert res.network.topology.n == n + 1
+        # No application or control message ever addresses the server.
+        for rec in res.sim.trace.filter("msg.send"):
+            if rec.data["kind"] in ("app", "ctl"):
+                assert rec.data["dst"] < n
+        # Piggyback width uses the app process count, not topology size.
+        assert (res.metrics.piggyback_bytes
+                == res.metrics.app_messages * (5 + (n + 7) // 8))
+
+    @pytest.mark.parametrize("protocol", ["chandy-lamport", "koo-toueg",
+                                          "staggered", "cic-bcs"])
+    def test_baselines_run_over_networked_storage(self, protocol):
+        res = run(protocol=protocol)
+        assert not res.truncated
+        assert res.consistent
+
+    def test_shared_medium_congestion_delays_app_messages(self):
+        """The E17 effect in miniature: on a shared fabric, synchronous
+        checkpointing's simultaneous bulk transfers inflate the tail
+        latency of *application* messages; the optimistic protocol's
+        spread-out flushes are far gentler.
+
+        (Sender-side NICs alone cannot show this — every protocol ships
+        the same per-sender byte volume — hence the shared medium.)
+        """
+        import numpy as np
+
+        def p95_app_latency(protocol):
+            res = run(protocol=protocol, medium_bandwidth=8e6,
+                      state_bytes=8_000_000, n=6, seed=5, horizon=300.0,
+                      checkpoint_interval=60.0,
+                      initiation_phase="aligned",
+                      flush="uniform_delay", flush_kwargs={"max_delay": 25.0},
+                      verify=False)
+            sends, lats = {}, []
+            for rec in res.sim.trace:
+                if rec.kind == "msg.send" and rec.data["kind"] == "app":
+                    sends[rec.data["uid"]] = rec.time
+                elif (rec.kind == "msg.deliver"
+                      and rec.data["kind"] == "app"):
+                    lats.append(rec.time - sends[rec.data["uid"]])
+            return float(np.percentile(np.array(lats), 95))
+
+        # Chandy-Lamport floods 6 × 8 MB into the fabric at one instant;
+        # Koo-Toueg "wins" this metric only by blocking its own senders
+        # (its cost shows up as blocked_time instead, per E4).
+        assert p95_app_latency("chandy-lamport") \
+            > 1.15 * p95_app_latency("optimistic")

@@ -1,0 +1,84 @@
+"""Queueing-theory sanity checks on the storage model.
+
+The stable-storage server is an M/D/1-ish queue under Poisson arrivals;
+classic results (Little's law, the Pollaczek-Khinchine mean wait) give
+independent oracles for its telemetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des import Simulator
+from repro.metrics import step_series_time_average
+from repro.storage import DiskModel, StableStorage
+
+
+def poisson_arrivals(lam: float, horizon: float, seed: int = 0):
+    """Arrival times of a Poisson process with rate ``lam`` on [0, horizon]."""
+    rng = np.random.default_rng(seed)
+    t, out = 0.0, []
+    while True:
+        t += float(rng.exponential(1.0 / lam))
+        if t >= horizon:
+            return out
+        out.append(t)
+
+
+@pytest.mark.parametrize("lam,service", [(0.5, 0.5), (1.0, 0.5), (2.0, 0.3)])
+def test_littles_law_on_pending(lam, service):
+    """L = λ·W: mean outstanding requests = arrival rate × mean latency."""
+    horizon = 4000.0
+    sim = Simulator(seed=1)
+    sim.trace.enabled = False
+    st = StableStorage(sim, DiskModel(seek_time=service, bandwidth=1e12))
+    for t in poisson_arrivals(lam, horizon, seed=2):
+        sim.schedule_at(t, lambda: st.write(0, 0))
+    sim.run()
+    waits = st.waits()
+    latencies = waits + service
+    mean_latency = float(latencies.mean())
+    mean_pending = step_series_time_average(
+        [(t, float(v)) for t, v in st.pending_series], sim.now)
+    effective_rate = st.completed() / sim.now
+    assert mean_pending == pytest.approx(effective_rate * mean_latency,
+                                         rel=0.1)
+
+
+def test_pollaczek_khinchine_mean_wait():
+    """M/D/1 mean wait: W_q = ρ·s / (2(1-ρ)) for deterministic service."""
+    lam, service, horizon = 1.2, 0.5, 8000.0  # rho = 0.6
+    sim = Simulator(seed=3)
+    sim.trace.enabled = False
+    st = StableStorage(sim, DiskModel(seek_time=service, bandwidth=1e12))
+    for t in poisson_arrivals(lam, horizon, seed=4):
+        sim.schedule_at(t, lambda: st.write(0, 0))
+    sim.run()
+    rho = lam * service
+    predicted = rho * service / (2 * (1 - rho))
+    assert st.mean_wait() == pytest.approx(predicted, rel=0.15)
+
+
+def test_utilization_matches_offered_load():
+    lam, service, horizon = 1.0, 0.5, 5000.0
+    sim = Simulator(seed=5)
+    sim.trace.enabled = False
+    st = StableStorage(sim, DiskModel(seek_time=service, bandwidth=1e12))
+    for t in poisson_arrivals(lam, horizon, seed=6):
+        sim.schedule_at(t, lambda: st.write(0, 0))
+    sim.run()
+    assert st.utilization(horizon) == pytest.approx(lam * service, rel=0.07)
+
+
+def test_two_servers_halve_utilization():
+    lam, service, horizon = 1.0, 0.5, 5000.0
+    sim = Simulator(seed=7)
+    sim.trace.enabled = False
+    st = StableStorage(sim, DiskModel(seek_time=service, bandwidth=1e12),
+                       servers=2)
+    for t in poisson_arrivals(lam, horizon, seed=8):
+        sim.schedule_at(t, lambda: st.write(0, 0))
+    sim.run()
+    assert st.utilization(horizon) == pytest.approx(lam * service / 2,
+                                                    rel=0.07)

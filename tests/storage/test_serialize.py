@@ -1,0 +1,106 @@
+"""Tests for checkpoint serialization round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.types import FinalizedCheckpoint, LogEntry, TentativeCheckpoint
+from repro.storage import (
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    dumps_checkpoint,
+    export_run,
+    import_run,
+    loads_checkpoint,
+)
+
+from ..conftest import build_optimistic_run, run_to_quiescence
+
+
+def sample_checkpoint() -> FinalizedCheckpoint:
+    ct = TentativeCheckpoint(pid=2, csn=3, taken_at=10.5, state_bytes=4096,
+                             flushed_at=12.0, digest=987654321)
+    return FinalizedCheckpoint(
+        pid=2, csn=3, tentative=ct, finalized_at=15.25,
+        log_entries=[
+            LogEntry(uid=11, nbytes=100, direction="sent", time=11.0),
+            LogEntry(uid=12, nbytes=200, direction="recv", time=12.5),
+        ],
+        new_sent_uids=frozenset({11, 7}),
+        new_recv_uids=frozenset({12}),
+        reason="piggyback.allset")
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        fc = sample_checkpoint()
+        back = checkpoint_from_dict(checkpoint_to_dict(fc))
+        assert back.pid == fc.pid and back.csn == fc.csn
+        assert back.finalized_at == fc.finalized_at
+        assert back.reason == fc.reason
+        assert back.tentative.taken_at == fc.tentative.taken_at
+        assert back.tentative.state_bytes == fc.tentative.state_bytes
+        assert back.tentative.flushed_at == fc.tentative.flushed_at
+        assert back.tentative.digest == fc.tentative.digest
+        assert back.new_sent_uids == fc.new_sent_uids
+        assert back.new_recv_uids == fc.new_recv_uids
+        assert back.logged_uids == fc.logged_uids
+        assert back.log_bytes == fc.log_bytes
+        assert back.replay_digest() == fc.replay_digest()
+
+    def test_json_round_trip(self):
+        fc = sample_checkpoint()
+        payload = dumps_checkpoint(fc)
+        json.loads(payload)  # valid JSON
+        back = loads_checkpoint(payload)
+        assert back.replay_digest() == fc.replay_digest()
+
+    def test_log_order_preserved(self):
+        fc = sample_checkpoint()
+        back = loads_checkpoint(dumps_checkpoint(fc))
+        assert [e.uid for e in back.log_entries] == [11, 12]
+
+    def test_version_checked(self):
+        data = checkpoint_to_dict(sample_checkpoint())
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            checkpoint_from_dict(data)
+
+
+class TestRunExport:
+    def test_export_import_full_run(self):
+        sim, net, st, rt = build_optimistic_run(n=3, seed=2, horizon=100.0,
+                                                rate=2.0, interval=30.0)
+        run_to_quiescence(sim, rt)
+        blob = export_run(rt)
+        # JSON-serializable end to end.
+        payload = json.dumps(blob)
+        restored = import_run(json.loads(payload))
+        assert set(restored) == set(rt.hosts)
+        for pid, host in rt.hosts.items():
+            assert set(restored[pid]) == set(host.finalized)
+            for csn, fc in host.finalized.items():
+                assert (restored[pid][csn].replay_digest()
+                        == fc.replay_digest())
+        assert blob["complete_global_checkpoints"] == rt.finalized_seqs()
+
+    def test_import_rejects_bad_version(self):
+        with pytest.raises(ValueError):
+            import_run({"format_version": 0, "checkpoints": {}})
+
+    def test_gc_view_exports_only_retained_generations(self):
+        sim, net, st, rt = build_optimistic_run(n=3, seed=2, horizon=300.0,
+                                                rate=2.0, interval=30.0)
+        run_to_quiescence(sim, rt)
+        full_view = export_run(rt)
+        gc_view = export_run(rt, gc_view=True)
+        assert gc_view["gc_view"] is True
+        assert len(gc_view["checkpoints"]) < len(full_view["checkpoints"])
+        # The GC view is exactly the held generations.
+        for pid, host in rt.hosts.items():
+            held = {f"P{pid}/C{csn}" for csn in host._held_gens}
+            exported = {k for k in gc_view["checkpoints"]
+                        if k.startswith(f"P{pid}/")}
+            assert exported == held

@@ -1,0 +1,117 @@
+"""Tests for the stable-storage space ledger (checkpoint GC accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import SpaceTracker
+
+
+class TestLedger:
+    def test_retain_and_release(self):
+        s = SpaceTracker()
+        s.retain(0, "ct:1", 100, at=1.0)
+        s.retain(1, "ct:1", 200, at=2.0)
+        assert s.held_bytes == 300
+        assert s.release(0, "ct:1", at=3.0)
+        assert s.held_bytes == 200
+
+    def test_release_unknown_returns_false(self):
+        s = SpaceTracker()
+        assert not s.release(0, "nope", at=1.0)
+
+    def test_retain_same_key_replaces(self):
+        s = SpaceTracker()
+        s.retain(0, "log:1", 100, at=1.0)
+        s.retain(0, "log:1", 250, at=2.0)
+        assert s.held_bytes == 250
+        assert s.blobs() == 1
+
+    def test_peak_tracks_high_water(self):
+        s = SpaceTracker()
+        s.retain(0, "a", 500, at=1.0)
+        s.retain(0, "b", 500, at=2.0)
+        s.release(0, "a", at=3.0)
+        assert s.held_bytes == 500
+        assert s.peak_bytes() == 1000
+
+    def test_held_by_pid(self):
+        s = SpaceTracker()
+        s.retain(0, "a", 100, at=1.0)
+        s.retain(1, "a", 50, at=1.0)
+        assert s.held_by(0) == 100 and s.held_by(1) == 50
+
+    def test_release_matching_prefix(self):
+        s = SpaceTracker()
+        s.retain(0, "ct:1", 10, at=1.0)
+        s.retain(0, "log:1", 20, at=1.0)
+        s.retain(0, "ct:2", 30, at=1.0)
+        assert s.release_matching(0, "ct:", at=2.0) == 2
+        assert s.held_bytes == 20
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceTracker().retain(0, "x", -1, at=0.0)
+
+    def test_cumulative_counters(self):
+        s = SpaceTracker()
+        s.retain(0, "a", 100, at=1.0)
+        s.release(0, "a", at=2.0)
+        assert s.retained_ever == 100
+        assert s.released_ever == 100
+
+
+class TestProtocolGC:
+    """End-to-end: the optimistic protocol keeps at most two checkpoint
+    generations on stable storage; uncoordinated keeps everything."""
+
+    def _run(self, protocol, **kw):
+        from repro.harness import ExperimentConfig, run_experiment
+        return run_experiment(ExperimentConfig(
+            protocol=protocol, n=4, seed=3, horizon=260.0,
+            checkpoint_interval=40.0, state_bytes=100_000, timeout=10.0,
+            workload_kwargs={"rate": 1.5, "msg_size": 256}, verify=False,
+            **kw))
+
+    def test_optimistic_retains_two_generations(self):
+        res = self._run("optimistic")
+        space = res.storage.space
+        state = 100_000
+        rounds = res.metrics.rounds_completed
+        assert rounds >= 4
+        # Footprint never exceeds ~2 generations of states (+ small logs).
+        assert space.peak_bytes() < 3 * 4 * state
+        # ... and is far below the no-GC total ever written.
+        assert space.peak_bytes() < space.retained_ever / 1.5
+        assert res.sim.trace.count("ckpt.gc") > 0
+
+    def test_uncoordinated_retains_everything(self):
+        res = self._run("uncoordinated")
+        space = res.storage.space
+        assert space.released_ever == 0
+        assert space.held_bytes == space.retained_ever
+        # Every checkpoint write is still held.
+        assert space.held_bytes == res.metrics.checkpoints * 100_000
+
+    def test_koo_toueg_gc_on_commit(self):
+        res = self._run("koo-toueg")
+        space = res.storage.space
+        assert space.released_ever > 0
+        # At quiescence: at most 2 generations per process.
+        assert space.held_bytes <= 2 * 4 * 100_000
+
+    def test_cic_retains_everything(self):
+        res = self._run("cic-bcs")
+        space = res.storage.space
+        assert space.released_ever == 0
+        assert space.held_bytes == res.metrics.checkpoints * 100_000
+
+    def test_chandy_lamport_two_generations(self):
+        res = self._run("chandy-lamport")
+        space = res.storage.space
+        assert space.released_ever > 0
+
+    def test_staggered_two_generations(self):
+        res = self._run("staggered")
+        space = res.storage.space
+        assert space.released_ever > 0

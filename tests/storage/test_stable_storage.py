@@ -1,0 +1,150 @@
+"""Unit tests for the stable-storage server: queueing, waits, telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Simulator
+from repro.storage import DiskModel, StableStorage
+
+
+def make(servers=1, seek=1.0, bw=100.0):
+    sim = Simulator()
+    st = StableStorage(sim, DiskModel(seek_time=seek, bandwidth=bw),
+                       servers=servers)
+    return sim, st
+
+
+class TestServiceModel:
+    def test_single_write_latency_is_service_time(self):
+        sim, st = make()
+        req = st.write(0, 100)  # 1.0 seek + 100/100 = 2.0 total
+        sim.run()
+        assert req.done
+        assert req.finish == pytest.approx(2.0)
+        assert req.wait == 0.0
+
+    def test_fifo_queueing_waits(self):
+        sim, st = make()
+        a = st.write(0, 100)  # service 2.0, runs 0..2
+        b = st.write(1, 100)  # waits 2.0, runs 2..4
+        c = st.write(2, 0)    # waits 4.0, runs 4..5
+        sim.run()
+        assert a.wait == 0.0
+        assert b.wait == pytest.approx(2.0)
+        assert c.wait == pytest.approx(4.0)
+        assert c.finish == pytest.approx(5.0)
+
+    def test_two_servers_halve_queueing(self):
+        sim, st = make(servers=2)
+        st.write(0, 100)
+        b = st.write(1, 100)
+        c = st.write(2, 100)
+        sim.run()
+        assert b.wait == 0.0          # second server idle
+        assert c.wait == pytest.approx(2.0)
+
+    def test_requests_submitted_later_start_later(self):
+        sim, st = make()
+        sim.schedule(10.0, lambda: st.write(0, 100))
+        sim.run()
+        req = st.requests[0]
+        assert req.arrive == 10.0 and req.start == 10.0
+
+    def test_zero_byte_write_costs_seek(self):
+        sim, st = make()
+        req = st.write(0, 0)
+        sim.run()
+        assert req.latency == pytest.approx(1.0)
+
+    def test_negative_bytes_rejected(self):
+        sim, st = make()
+        with pytest.raises(ValueError):
+            st.write(0, -1)
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            StableStorage(Simulator(), servers=0)
+
+
+class TestTelemetry:
+    def test_peak_pending_counts_concurrent_clients(self):
+        sim, st = make()
+        for pid in range(5):
+            st.write(pid, 100)
+        sim.run()
+        assert st.peak_pending() == 5
+        assert st.peak_queue() == 4
+
+    def test_spread_arrivals_no_contention(self):
+        sim, st = make(seek=0.1, bw=1000.0)
+        for pid in range(5):
+            sim.schedule(pid * 10.0, lambda pid=pid: st.write(pid, 100))
+        sim.run()
+        assert st.peak_pending() == 1
+        assert st.total_wait() == 0.0
+
+    def test_wait_statistics(self):
+        sim, st = make()
+        for pid in range(3):
+            st.write(pid, 100)  # waits 0, 2, 4
+        sim.run()
+        assert st.total_wait() == pytest.approx(6.0)
+        assert st.mean_wait() == pytest.approx(2.0)
+        assert st.max_wait() == pytest.approx(4.0)
+
+    def test_conservation_completed_plus_outstanding(self):
+        sim, st = make()
+        for pid in range(4):
+            st.write(pid, 100)
+        sim.run(until=3.0)  # first done (t=2), second in service
+        assert st.completed() + st.outstanding() == 4
+        sim.run()
+        assert st.completed() == 4 and st.outstanding() == 0
+
+    def test_busy_time_and_utilization(self):
+        sim, st = make()
+        st.write(0, 100)  # 2s busy
+        sim.run()
+        sim.run(until=4.0)
+        assert st.busy_time() == pytest.approx(2.0)
+        assert st.utilization() == pytest.approx(0.5)
+
+    def test_bytes_written(self):
+        sim, st = make()
+        st.write(0, 100)
+        st.write(1, 250)
+        sim.run()
+        assert st.bytes_written() == 350
+
+    def test_callback_fires_at_completion(self):
+        sim, st = make()
+        done = []
+        st.write(0, 100, callback=lambda req: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(2.0)]
+
+    def test_callbacks_fire_in_completion_order(self):
+        sim, st = make()
+        order = []
+        st.write(0, 100, callback=lambda r: order.append(0))
+        st.write(1, 100, callback=lambda r: order.append(1))
+        sim.run()
+        assert order == [0, 1]
+
+    def test_trace_records_lifecycle(self):
+        sim, st = make()
+        st.write(3, 100, "ct:3:1")
+        sim.run()
+        assert sim.trace.count("storage.write.arrive") == 1
+        assert sim.trace.count("storage.write.start") == 1
+        finish = sim.trace.first("storage.write.finish")
+        assert finish.process == 3 and finish.data["label"] == "ct:3:1"
+
+    def test_pending_series_steps(self):
+        sim, st = make()
+        st.write(0, 100)
+        st.write(1, 100)
+        sim.run()
+        values = [v for _, v in st.pending_series]
+        assert values == [0, 1, 2, 1, 0]

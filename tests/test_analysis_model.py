@@ -1,0 +1,99 @@
+"""Validate the closed-form cost models against measured simulations.
+
+Deterministic counts (markers, 2PC messages, tokens, piggyback bytes) must
+match *exactly*; adaptive quantities (optimistic control messages, round
+durations) must fall within the model's bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    chandy_lamport_markers,
+    cic_piggyback_bytes,
+    koo_toueg_messages,
+    optimistic_control_bounds,
+    optimistic_piggyback_bytes,
+    staggered_messages,
+    staggered_round_duration,
+)
+from repro.harness import ExperimentConfig, run_experiment
+
+
+def run(protocol, n=6, seed=2, horizon=200.0, rate=1.5, **kw):
+    return run_experiment(ExperimentConfig(
+        protocol=protocol, n=n, seed=seed, horizon=horizon,
+        checkpoint_interval=45.0, state_bytes=100_000, timeout=12.0,
+        workload_kwargs={"rate": rate, "msg_size": 512}, verify=False,
+        **kw))
+
+
+class TestExactCounts:
+    def test_chandy_lamport_marker_formula(self):
+        res = run("chandy-lamport", n=6)
+        rounds = res.metrics.rounds_completed
+        assert rounds >= 2
+        assert res.metrics.ctl_messages == rounds * chandy_lamport_markers(6)
+
+    def test_koo_toueg_formula(self):
+        res = run("koo-toueg", n=6)
+        rounds = res.metrics.rounds_completed
+        assert res.metrics.ctl_messages == rounds * koo_toueg_messages(6)
+
+    def test_staggered_formula(self):
+        res = run("staggered", n=6)
+        rounds = res.metrics.rounds_completed
+        assert res.metrics.ctl_messages == rounds * staggered_messages(6)
+
+    def test_cic_sends_no_control_messages(self):
+        res = run("cic-bcs", n=6)
+        assert res.metrics.ctl_messages == 0
+
+    @pytest.mark.parametrize("n", [2, 8, 9, 33])
+    def test_optimistic_piggyback_formula(self, n):
+        assert optimistic_piggyback_bytes(n) == 4 + 1 + -(-n // 8)
+
+    def test_optimistic_piggyback_measured(self):
+        res = run("optimistic", n=6)
+        msgs = res.metrics.app_messages
+        assert res.metrics.piggyback_bytes == \
+            msgs * optimistic_piggyback_bytes(6)
+
+    def test_cic_piggyback_measured(self):
+        res = run("cic-bcs", n=6)
+        assert res.metrics.piggyback_bytes == \
+            res.metrics.app_messages * cic_piggyback_bytes()
+
+
+class TestBounds:
+    def test_optimistic_chatty_regime_bound(self):
+        res = run("optimistic", n=6, rate=6.0)
+        rounds = max(res.metrics.rounds_completed, 1)
+        per_round = res.metrics.ctl_messages / rounds
+        bounds = optimistic_control_bounds(6, traffic_starved=False)
+        assert per_round <= bounds.upper
+
+    def test_optimistic_starved_regime_bound(self):
+        res = run("optimistic", n=6, rate=0.05)
+        rounds = max(res.metrics.rounds_completed, 1)
+        per_round = res.metrics.ctl_messages / rounds
+        bounds = optimistic_control_bounds(6, traffic_starved=True)
+        assert bounds.contains(per_round), (per_round, bounds)
+
+    def test_staggered_round_duration_model(self):
+        res = run("staggered", n=6)
+        measured = np.mean(res.runtime.round_latencies())
+        # write_time: 100 kB at 50 MB/s + 20 ms seek = 22 ms;
+        # mean latency = (0.05+0.5)/2 = 0.275.
+        predicted = staggered_round_duration(6, 0.022, 0.275)
+        assert 0.5 * predicted <= measured <= 2.0 * predicted
+
+    def test_model_input_validation(self):
+        with pytest.raises(ValueError):
+            optimistic_piggyback_bytes(0)
+        with pytest.raises(ValueError):
+            optimistic_control_bounds(1, traffic_starved=True)
+        with pytest.raises(ValueError):
+            staggered_round_duration(-1, 0.1, 0.1)

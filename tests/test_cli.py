@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+COMMON = ("--n", "4", "--horizon", "80", "--interval", "30",
+          "--state-mb", "0.2", "--timeout", "10")
+
+
+class TestRun:
+    def test_run_default_protocol(self, capsys):
+        code, out = run_cli(capsys, "run", *COMMON)
+        assert code == 0
+        assert "optimistic" in out
+        assert "all consistent" in out
+
+    def test_run_each_protocol(self, capsys):
+        for protocol in ("chandy-lamport", "koo-toueg", "staggered",
+                         "cic-bcs", "uncoordinated"):
+            code, out = run_cli(capsys, "run", "--protocol", protocol,
+                                *COMMON)
+            assert code == 0, protocol
+            assert protocol in out
+
+    def test_run_no_verify(self, capsys):
+        code, out = run_cli(capsys, "run", "--no-verify", *COMMON)
+        assert code == 0
+        assert "consistency" not in out
+
+    def test_unknown_protocol_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "nope"])
+
+
+class TestCompare:
+    def test_compare_two(self, capsys):
+        code, out = run_cli(capsys, "compare",
+                            "--protocols", "optimistic,koo-toueg", *COMMON)
+        assert code == 0
+        assert "optimistic" in out and "koo-toueg" in out
+        assert "peak_pending_writers" in out
+
+    def test_compare_unknown_protocol_errors(self, capsys):
+        code = main(["compare", "--protocols", "optimistic,bogus",
+                     *COMMON])
+        assert code == 2
+
+
+class TestSweep:
+    def test_sweep_n(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--param", "n",
+                            "--values", "2,4", "--metric", "app_messages",
+                            *COMMON)
+        assert code == 0
+        assert "app_messages vs n" in out
+
+    def test_sweep_float_values(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--param",
+                            "workload_kwargs.rate", "--values", "0.5,2.0",
+                            *COMMON)
+        assert code == 0
+
+
+class TestFigures:
+    @pytest.mark.parametrize("which", ["1", "2", "5", "all"])
+    def test_figures(self, capsys, which):
+        code, out = run_cli(capsys, "figures", which)
+        assert code == 0
+        if which in ("1", "all"):
+            assert "S_2 orphans" in out
+        if which in ("2", "all"):
+            assert "Figure 2" in out
+        if which in ("5", "all"):
+            assert "CK_REQ" in out
+
+
+class TestRecover:
+    def test_recover_table(self, capsys):
+        code, out = run_cli(capsys, "recover", "--fail-time", "70",
+                            *COMMON)
+        assert code == 0
+        assert "uncoordinated" in out and "optimistic" in out
+        assert "total lost work" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_help_mentions_subcommands(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        for cmd in ("run", "compare", "sweep", "figures", "recover"):
+            assert cmd in out

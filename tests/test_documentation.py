@@ -1,0 +1,84 @@
+"""Documentation discipline: every public item carries a docstring.
+
+A reproduction library is read more than it is run; this meta-test walks
+the whole ``repro`` package and fails on any public module, class, or
+function without a non-trivial docstring.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix=repro.__name__ + "."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and len(module.__doc__.strip()) > 20, \
+        f"{module.__name__} lacks a meaningful module docstring"
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports documented at their definition site
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in _public_members(module):
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module.__name__}: undocumented public items: {undocumented}")
+
+
+def _documented_in_base(cls, name) -> bool:
+    """An override of a documented base-class method inherits its docs."""
+    for base in cls.__mro__[1:]:
+        member = vars(base).get(name)
+        if member is not None and inspect.isfunction(member) \
+                and member.__doc__ and member.__doc__.strip():
+            return True
+    return False
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_methods_documented(module):
+    """Public methods of public classes need docstrings too (dunders,
+    dataclass machinery, and overrides of documented base methods exempt)."""
+    undocumented = []
+    for cls_name, cls in _public_members(module):
+        if not inspect.isclass(cls):
+            continue
+        for name, member in vars(cls).items():
+            if name.startswith("_"):
+                continue
+            if not inspect.isfunction(member):
+                continue
+            if member.__doc__ and member.__doc__.strip():
+                continue
+            if _documented_in_base(cls, name):
+                continue
+            undocumented.append(f"{cls_name}.{name}")
+    assert not undocumented, (
+        f"{module.__name__}: undocumented public methods: {undocumented}")

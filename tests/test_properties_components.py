@@ -1,0 +1,122 @@
+"""Hypothesis property tests for component-level invariants.
+
+Complements ``test_properties.py`` (whole-protocol invariants) with fast
+data-structure properties: the space ledger's conservation, summary-stat
+sanity, step-series averaging bounds, and latency-model statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import Summary, step_series_time_average
+from repro.net import ExponentialLatency, LogNormalLatency, UniformLatency
+from repro.storage import SpaceTracker
+
+# -- SpaceTracker -------------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["retain", "release"]),
+        st.integers(min_value=0, max_value=3),          # pid
+        st.integers(min_value=0, max_value=5),          # label index
+        st.integers(min_value=0, max_value=10_000),     # nbytes
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+def test_space_tracker_conservation(op_list):
+    tracker = SpaceTracker()
+    shadow: dict[tuple[int, str], int] = {}
+    t = 0.0
+    for op, pid, label_i, nbytes in op_list:
+        t += 1.0
+        label = f"blob:{label_i}"
+        if op == "retain":
+            tracker.retain(pid, label, nbytes, at=t)
+            shadow[(pid, label)] = nbytes
+        else:
+            existed = tracker.release(pid, label, at=t)
+            assert existed == ((pid, label) in shadow)
+            shadow.pop((pid, label), None)
+    assert tracker.held_bytes == sum(shadow.values())
+    assert tracker.blobs() == len(shadow)
+    assert tracker.peak_bytes() >= tracker.held_bytes
+    for pid in range(4):
+        assert tracker.held_by(pid) == sum(
+            v for (p, _), v in shadow.items() if p == pid)
+
+
+@given(ops)
+def test_space_tracker_series_monotone_time(op_list):
+    tracker = SpaceTracker()
+    t = 0.0
+    for op, pid, label_i, nbytes in op_list:
+        t += 1.0
+        if op == "retain":
+            tracker.retain(pid, f"b{label_i}", nbytes, at=t)
+        else:
+            tracker.release(pid, f"b{label_i}", at=t)
+    times = [time for time, _ in tracker.series]
+    assert times == sorted(times)
+    assert all(v >= 0 for _, v in tracker.series)
+
+
+# -- Summary ----------------------------------------------------------------------
+
+samples = st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                             allow_nan=False), min_size=1, max_size=50)
+
+
+@given(samples)
+def test_summary_order_relations(values):
+    s = Summary.of(values)
+    # Tolerances: numpy's mean can land one ulp outside [min, max] for
+    # near-identical values.
+    tol = 1e-9 * max(abs(s.min), abs(s.max), 1.0)
+    assert s.min <= s.p50 <= s.max
+    assert s.min - tol <= s.mean <= s.max + tol
+    assert s.p50 <= s.p95 + tol and s.p95 <= s.max + tol
+    assert s.n == len(values)
+
+
+@given(samples)
+def test_summary_matches_numpy(values):
+    s = Summary.of(values)
+    arr = np.asarray(values)
+    assert np.isclose(s.mean, arr.mean())
+    assert np.isclose(s.max, arr.max())
+
+
+# -- step series ----------------------------------------------------------------------
+
+series_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=20,
+).map(lambda vals: [(float(i), v) for i, v in enumerate(vals)])
+
+
+@given(series_strategy, st.floats(min_value=0.5, max_value=50.0))
+def test_step_average_bounded_by_extremes(series, extra):
+    end = series[-1][0] + extra
+    avg = step_series_time_average(series, end)
+    values = [v for _, v in series]
+    assert min(values) - 1e-9 <= avg <= max(values) + 1e-9
+
+
+# -- latency models ---------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20)
+def test_latency_sample_means_track_model_means(seed):
+    rng = np.random.default_rng(seed)
+    models = [UniformLatency(0.5, 1.5),
+              ExponentialLatency(0.1, 1.0),
+              LogNormalLatency(1.0, 0.4)]
+    for model in models:
+        draws = np.array([model.sample(rng, 0, 1, 0) for _ in range(3000)])
+        assert abs(draws.mean() - model.mean()) < 0.25 * model.mean()

@@ -1,0 +1,104 @@
+"""Tests for the ASCII space-time renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import TraceRecorder
+from repro.harness import fig2_scenario, fig5_scenario
+from repro.viz import message_arrows, render_spacetime
+
+
+def small_trace() -> TraceRecorder:
+    t = TraceRecorder()
+    t.record(0.0, "msg.send", 0, uid=1, dst=1, kind="app")
+    t.record(5.0, "msg.deliver", 1, uid=1, src=0, kind="app")
+    t.record(10.0, "ckpt.tentative", 0, csn=1)
+    t.record(20.0, "ckpt.finalize", 0, csn=1)
+    return t
+
+
+class TestRenderSpacetime:
+    def test_marks_at_expected_columns(self):
+        out = render_spacetime(small_trace(), 2, width=21)
+        lines = out.splitlines()
+        p0 = lines[1]
+        assert p0.startswith("P0 ")
+        row = p0[4:]
+        # span 0..20 over 21 cols -> 1 col per time unit.
+        assert row[0] == "s"
+        assert row[10] == "C"
+        assert row[20] == "F"
+        p1 = lines[2][4:]
+        assert p1[5] == "r"
+
+    def test_protocol_marks_beat_message_marks(self):
+        t = TraceRecorder()
+        t.record(10.0, "msg.send", 0, uid=1, dst=1, kind="app")
+        t.record(10.0, "ckpt.tentative", 0, csn=1)
+        t.record(0.0, "app.internal", 0)  # ignored kind
+        t.record(20.0, "msg.send", 1, uid=2, dst=0, kind="app")
+        # Window starts at the first *marked* event (t=10).
+        out = render_spacetime(t, 2, width=21)
+        assert out.splitlines()[1][4:][0] == "C"
+
+    def test_control_message_letters(self):
+        t = TraceRecorder()
+        t.record(1.0, "ctl.send", 0, ctype="CK_BGN", dst=0, csn=1)
+        t.record(2.0, "ctl.send", 0, ctype="CK_REQ", dst=1, csn=1)
+        t.record(3.0, "ctl.send", 0, ctype="CK_END", dst=1, csn=1)
+        out = render_spacetime(t, 1, width=21)
+        row = out.splitlines()[1][4:]
+        assert "b" in row and "q" in row and "e" in row
+
+    def test_empty_trace(self):
+        assert render_spacetime(TraceRecorder(), 2) == "(no events)"
+
+    def test_explicit_window_clips(self):
+        out = render_spacetime(small_trace(), 2, t0=0.0, t1=10.0, width=11)
+        p0 = out.splitlines()[1][4:]
+        assert p0[10] == "C"
+        assert "F" not in p0  # t=20 clipped out
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_spacetime(small_trace(), 2, width=3)
+
+    def test_legend_present(self):
+        out = render_spacetime(small_trace(), 2)
+        assert "F=finalize" in out
+
+    def test_fig2_diagram_contains_all_checkpoints(self):
+        r = fig2_scenario()
+        out = render_spacetime(r.sim.trace, 4, width=60)
+        lines = out.splitlines()
+        assert len(lines) == 6  # header + 4 processes + legend
+        for pid in range(4):
+            assert "C" in lines[1 + pid]
+            assert "F" in lines[1 + pid]
+
+
+class TestMessageArrows:
+    def test_arrows_with_tags(self):
+        r = fig5_scenario()
+        arrows = message_arrows(r.sim.trace, r.tags)
+        joined = "\n".join(arrows)
+        assert "--M_2-->" in joined
+        assert "P1 --M_2--> P2" in joined
+
+    def test_untagged_uses_uid(self):
+        arrows = message_arrows(small_trace())
+        assert arrows == ["P0 --#1--> P1  [0.00 -> 5.00]"]
+
+    def test_undelivered_shows_question_mark(self):
+        t = TraceRecorder()
+        t.record(1.0, "msg.send", 0, uid=9, dst=1, kind="app")
+        (line,) = message_arrows(t)
+        assert "-> ?" in line
+
+    def test_sorted_by_send_time(self):
+        t = TraceRecorder()
+        t.record(5.0, "msg.send", 0, uid=2, dst=1, kind="app")
+        t.record(1.0, "msg.send", 1, uid=1, dst=0, kind="app")
+        lines = message_arrows(t)
+        assert "[1.00" in lines[0] and "[5.00" in lines[1]

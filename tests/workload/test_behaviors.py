@@ -1,0 +1,150 @@
+"""Tests for application behaviours and workload factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import (
+    WORKLOADS,
+    BurstyApp,
+    ClientServerApp,
+    PipelineApp,
+    RingApp,
+    SilentApp,
+    UniformRandomApp,
+    make,
+)
+
+from ..conftest import build_optimistic_run, run_to_quiescence
+
+
+def run_with_apps(apps, n, horizon=60.0, seed=1):
+    from repro.core import OptimisticConfig, OptimisticRuntime
+    from repro.des import Simulator
+    from repro.net import Network, UniformLatency, complete
+    from repro.storage import StableStorage
+
+    sim = Simulator(seed=seed)
+    net = Network(sim, complete(n), UniformLatency(0.1, 0.5))
+    st = StableStorage(sim)
+    cfg = OptimisticConfig(checkpoint_interval=None)
+    rt = OptimisticRuntime(sim, net, st, cfg, horizon=horizon)
+    rt.build(apps)
+    rt.start()
+    sim.run(max_events=500_000)
+    return sim, net, rt
+
+
+class TestFactories:
+    def test_make_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="choices"):
+            make("nope", 4, 100.0)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_factory_builds_full_map(self, name):
+        apps = make(name, 5, 100.0)
+        assert set(apps) == set(range(5))
+
+    def test_half_silent_alternates(self):
+        apps = make("half_silent", 6, 100.0)
+        assert isinstance(apps[1], SilentApp)
+        assert isinstance(apps[0], UniformRandomApp)
+
+
+class TestUniformRandom:
+    def test_generates_traffic_at_roughly_the_rate(self):
+        n, horizon, rate = 4, 100.0, 2.0
+        apps = {p: UniformRandomApp(rate=rate, horizon=horizon)
+                for p in range(n)}
+        sim, net, rt = run_with_apps(apps, n, horizon)
+        sent = net.total_sent("app")
+        expected = n * rate * horizon
+        assert 0.7 * expected < sent < 1.3 * expected
+
+    def test_zero_rate_sends_nothing(self):
+        apps = {p: UniformRandomApp(rate=0.0, horizon=50.0)
+                for p in range(3)}
+        sim, net, rt = run_with_apps(apps, 3)
+        assert net.total_sent("app") == 0
+
+    def test_never_sends_to_self(self):
+        apps = {p: UniformRandomApp(rate=3.0, horizon=50.0)
+                for p in range(3)}
+        sim, net, rt = run_with_apps(apps, 3)
+        for rec in sim.trace.filter("msg.send"):
+            assert rec.process != rec.data["dst"]
+
+    def test_replies_generated(self):
+        apps = {p: UniformRandomApp(rate=1.0, horizon=50.0, reply_prob=1.0)
+                for p in range(3)}
+        sim, net, rt = run_with_apps(apps, 3)
+        replies = [r for r in sim.trace.filter("msg.send")]
+        # with reply_prob=1 roughly half of all messages are replies
+        assert net.total_sent("app") > 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            UniformRandomApp(rate=-1.0, horizon=10.0)
+        with pytest.raises(ValueError):
+            UniformRandomApp(rate=1.0, horizon=10.0, reply_prob=2.0)
+
+    def test_no_sends_after_horizon(self):
+        apps = {p: UniformRandomApp(rate=5.0, horizon=30.0)
+                for p in range(3)}
+        sim, net, rt = run_with_apps(apps, 3, horizon=30.0)
+        assert all(r.time < 30.0 for r in sim.trace.filter("msg.send"))
+
+
+class TestRing:
+    def test_messages_go_to_successor(self):
+        apps = {p: RingApp(period=5.0, horizon=40.0) for p in range(4)}
+        sim, net, rt = run_with_apps(apps, 4)
+        for rec in sim.trace.filter("msg.send"):
+            assert rec.data["dst"] == (rec.process + 1) % 4
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            RingApp(period=0.0, horizon=10.0)
+
+
+class TestClientServer:
+    def test_server_answers_every_request(self):
+        n = 4
+        apps = {p: ClientServerApp(server=0, rate=1.0, horizon=60.0)
+                for p in range(n)}
+        sim, net, rt = run_with_apps(apps, n)
+        sends = sim.trace.filter("msg.send")
+        requests = [r for r in sends if r.data["dst"] == 0]
+        responses = [r for r in sends if r.process == 0]
+        assert len(requests) > 0
+        assert len(responses) == len(requests)
+
+
+class TestBursty:
+    def test_bursts_have_silences(self):
+        apps = {p: BurstyApp(rate=10.0, on_time=3.0, off_time=20.0,
+                             horizon=100.0) for p in range(2)}
+        sim, net, rt = run_with_apps(apps, 2, horizon=100.0)
+        times = sorted(r.time for r in sim.trace.filter("msg.send"))
+        assert len(times) > 5
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert max(gaps) > 5.0  # a real silence exists
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            BurstyApp(rate=1.0, on_time=0.0, off_time=1.0, horizon=10.0)
+
+
+class TestPipeline:
+    def test_items_flow_through_stages(self):
+        n = 4
+        apps = {p: PipelineApp(source_period=5.0, service_time=0.5,
+                               horizon=60.0) for p in range(n)}
+        sim, net, rt = run_with_apps(apps, n)
+        sends = sim.trace.filter("msg.send")
+        by_stage = {p: sum(1 for r in sends if r.process == p)
+                    for p in range(n)}
+        assert by_stage[0] > 0
+        assert by_stage[1] > 0 and by_stage[2] > 0
+        # The final stage has no successor, so it never sends.
+        assert by_stage[3] == 0

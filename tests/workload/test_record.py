@@ -1,0 +1,81 @@
+"""Tests for workload recording and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OptimisticConfig, OptimisticRuntime
+from repro.des import Simulator
+from repro.net import ConstantLatency, Network, UniformLatency, complete
+from repro.storage import StableStorage
+from repro.workload import (
+    make as make_workload,
+    record_workload,
+    recorded_send_count,
+)
+
+
+def original_run(n=4, seed=7, horizon=80.0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, complete(n), UniformLatency(0.1, 0.5))
+    st = StableStorage(sim)
+    cfg = OptimisticConfig(checkpoint_interval=30.0, timeout=10.0,
+                           state_bytes=10_000)
+    rt = OptimisticRuntime(sim, net, st, cfg, horizon=horizon)
+    rt.build(make_workload("uniform", n, horizon, rate=2.0))
+    rt.start()
+    sim.run(max_events=500_000)
+    return sim, net, rt
+
+
+def replay_run(apps, n=4, latency=None):
+    sim = Simulator(seed=0)
+    net = Network(sim, complete(n),
+                  latency if latency is not None else ConstantLatency(0.3))
+    st = StableStorage(sim)
+    cfg = OptimisticConfig(checkpoint_interval=30.0, timeout=10.0,
+                           state_bytes=10_000)
+    rt = OptimisticRuntime(sim, net, st, cfg, horizon=80.0)
+    rt.build(apps)
+    rt.start()
+    sim.run(max_events=500_000)
+    return sim, net, rt
+
+
+class TestRecordWorkload:
+    def test_every_send_recorded(self):
+        sim, net, rt = original_run()
+        apps = record_workload(sim.trace, 4)
+        assert recorded_send_count(apps) == net.total_sent("app")
+
+    def test_replay_reproduces_send_schedule(self):
+        sim, net, rt = original_run()
+        apps = record_workload(sim.trace, 4)
+        original = [(r.time, r.process, r.data["dst"])
+                    for r in sim.trace.filter("msg.send")
+                    if r.data["kind"] == "app"]
+        sim2, net2, rt2 = replay_run(apps)
+        replayed = [(r.time, r.process, r.data["dst"])
+                    for r in sim2.trace.filter("msg.send")
+                    if r.data["kind"] == "app"]
+        assert sorted(replayed) == sorted(original)
+
+    def test_replay_under_different_latency_stays_consistent(self):
+        sim, net, rt = original_run()
+        apps = record_workload(sim.trace, 4)
+        sim2, net2, rt2 = replay_run(apps, latency=ConstantLatency(1.5))
+        assert len(rt2.finalized_seqs()) >= 1
+        rt2.assert_consistent()
+
+    def test_empty_trace_gives_empty_scripts(self):
+        from repro.des import TraceRecorder
+        apps = record_workload(TraceRecorder(), 3)
+        assert set(apps) == {0, 1, 2}
+        assert recorded_send_count(apps) == 0
+
+    def test_unknown_process_rejected(self):
+        from repro.des import TraceRecorder
+        t = TraceRecorder()
+        t.record(1.0, "msg.send", 9, uid=1, dst=0, kind="app", bytes=10)
+        with pytest.raises(ValueError, match="unknown process"):
+            record_workload(t, 3)

@@ -1,0 +1,75 @@
+"""Tests for the scripted (deterministic replay) workload machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.scenarios import PlainHost
+from repro.baselines.base import BaselineRuntime
+from repro.des import Simulator
+from repro.net import ConstantLatency, Network, complete
+from repro.storage import StableStorage
+from repro.workload import (
+    InitiateAt,
+    ScriptedApp,
+    SendAt,
+    deliveries_by_tag,
+    tagged_uids,
+)
+
+
+def run_scripted(scripts, n=3):
+    sim = Simulator(seed=0)
+    net = Network(sim, complete(n), ConstantLatency(1.0))
+    rt = BaselineRuntime(sim, net, StableStorage(sim))
+    apps = {pid: ScriptedApp(scripts.get(pid, [])) for pid in range(n)}
+    rt.build(lambda pid, s, r, app: PlainHost(pid, s, r, app), apps)
+    rt.start()
+    sim.run(max_events=10_000)
+    return sim, net, apps
+
+
+class TestScriptedApp:
+    def test_sends_execute_at_exact_times(self):
+        sim, net, apps = run_scripted({0: [SendAt(2.0, 1, "a"),
+                                           SendAt(5.0, 2, "b")]})
+        sends = sim.trace.filter("msg.send")
+        assert [(r.time, r.data["dst"]) for r in sends] == [(2.0, 1),
+                                                            (5.0, 2)]
+
+    def test_actions_sorted_by_time(self):
+        app = ScriptedApp([SendAt(5.0, 1, "b"), SendAt(2.0, 1, "a")])
+        assert [a.tag for a in app.actions] == ["a", "b"]
+
+    def test_tags_map_to_uids(self):
+        sim, net, apps = run_scripted({0: [SendAt(1.0, 1, "x")],
+                                       1: [SendAt(2.0, 0, "y")]})
+        tags = tagged_uids(apps)
+        assert set(tags) == {"x", "y"}
+        assert tags["x"] != tags["y"]
+
+    def test_duplicate_tags_rejected(self):
+        sim, net, apps = run_scripted({0: [SendAt(1.0, 1, "dup")],
+                                       1: [SendAt(2.0, 0, "dup")]})
+        with pytest.raises(ValueError, match="duplicate"):
+            tagged_uids(apps)
+
+    def test_untagged_sends_not_registered(self):
+        sim, net, apps = run_scripted({0: [SendAt(1.0, 1)]})
+        assert tagged_uids(apps) == {}
+        assert sim.trace.count("msg.send") == 1
+
+    def test_deliveries_by_tag(self):
+        sim, net, apps = run_scripted({0: [SendAt(1.0, 1, "x")]})
+        tags = tagged_uids(apps)
+        deliveries = deliveries_by_tag(sim.trace, tags)
+        assert deliveries == {"x": 2.0}
+
+    def test_message_size_honoured(self):
+        sim, net, apps = run_scripted({0: [SendAt(1.0, 1, "x", size=4096)]})
+        rec = sim.trace.first("msg.send")
+        assert rec.data["bytes"] == 4096
+
+    def test_initiate_at_on_plain_host_is_noop(self):
+        sim, net, apps = run_scripted({0: [InitiateAt(1.0)]})
+        assert sim.trace.count("ckpt.tentative") == 0
