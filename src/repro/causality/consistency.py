@@ -174,12 +174,12 @@ class ConsistencyVerifier:
         finalization instant — catches protocol-host bookkeeping bugs
         independently of the orphan check.
         """
-        for uid in rec.sent_uids:
+        for uid in sorted(rec.sent_uids):
             st = self._send_time.get(uid)
             assert st is not None and st <= cfe_time, (
                 f"P{rec.pid} C_{rec.seq} records send #{uid} at {st} "
                 f"after CFE {cfe_time}")
-        for uid in rec.recv_uids:
+        for uid in sorted(rec.recv_uids):
             dt = self._deliver_time.get(uid)
             assert dt is not None and dt <= cfe_time, (
                 f"P{rec.pid} C_{rec.seq} records receive #{uid} at {dt} "

@@ -1,20 +1,24 @@
 """Command-line interface.
 
-Four subcommands mirroring the library's main entry points::
+Subcommands mirroring the library's main entry points::
 
     repro run      --protocol optimistic --n 12 --horizon 300
     repro compare  --protocols optimistic,chandy-lamport --n 12
     repro sweep    --param n --values 4,8,16 --metric peak_pending_writers
     repro figures  [1|2|5|all]
     repro recover  --fail-time 250
+    repro verify   [--lint] [--model-check] [--format json]
 
 Every subcommand prints the same ASCII tables the benchmarks produce, so
-the CLI is a thin, scriptable veneer over :mod:`repro.harness`.
+the CLI is a thin, scriptable veneer over :mod:`repro.harness`; ``verify``
+fronts the :mod:`repro.verify` static-analysis engines and exits non-zero
+on any finding (see docs/STATIC_ANALYSIS.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -180,6 +184,53 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """``repro verify``: determinism/layering lint + bounded model check.
+
+    With no engine flag both engines run (same as ``--all``); the default
+    model-check bounds are the full 3-process / 1-interval acceptance
+    configuration, which takes a couple of minutes — CI-scale invocations
+    pass ``--n 2`` for a sub-second exhaustive check.
+    """
+    # Imported here: the verify engines pull in ``ast`` walking machinery
+    # that the simulation subcommands never need.
+    from .core.state_machine import MachineConfig
+    from .verify import ExploreConfig, explore, lint_paths
+
+    run_both = args.all or not (args.lint or args.model_check)
+    payload: dict = {}
+    ok = True
+
+    if args.lint or run_both:
+        report = lint_paths(args.path)
+        payload["lint"] = report.as_dict()
+        ok = ok and report.clean
+        if report.files_checked == 0:
+            # A typo'd --path would otherwise "pass" by checking nothing.
+            print(f"repro verify: no Python files under {args.path!r}",
+                  file=sys.stderr)
+            ok = False
+        if args.format == "text":
+            print(report.render())
+
+    if args.model_check or run_both:
+        cfg = ExploreConfig(
+            n=args.n, max_csn=args.rounds, sends_per_process=args.sends,
+            timer_fires_per_csn=args.timer_fires, fifo=args.fifo,
+            machine=MachineConfig(),
+            drop_ck_req_forwarding=args.drop_ck_req,
+            max_states=args.max_states)
+        result = explore(cfg)
+        payload["model_check"] = result.as_dict()
+        ok = ok and result.ok
+        if args.format == "text":
+            print(result.render())
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -220,6 +271,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-time", type=float, default=250.0)
     _add_experiment_args(p)
     p.set_defaults(fn=cmd_recover)
+
+    p = sub.add_parser(
+        "verify",
+        help="static protocol verification: determinism/layering lint + "
+             "bounded model check of the optimistic state machine")
+    p.add_argument("--all", action="store_true",
+                   help="run both engines at the acceptance bounds "
+                        "(the default when no engine flag is given)")
+    p.add_argument("--lint", action="store_true",
+                   help="run only the AST lint")
+    p.add_argument("--model-check", action="store_true",
+                   help="run only the bounded model checker")
+    p.add_argument("--path", default="src/repro",
+                   help="directory tree to lint")
+    p.add_argument("--n", type=int, default=3,
+                   help="model: number of processes")
+    p.add_argument("--rounds", type=int, default=1,
+                   help="model: checkpoint rounds (intervals)")
+    p.add_argument("--sends", type=int, default=1,
+                   help="model: app messages per process")
+    p.add_argument("--timer-fires", type=int, default=2,
+                   help="model: timer expiries per process per round")
+    p.add_argument("--fifo", action="store_true",
+                   help="model: per-channel FIFO delivery "
+                        "(default: arbitrary reordering)")
+    p.add_argument("--max-states", type=int, default=2_000_000,
+                   help="model: abort (as incomplete) beyond this many "
+                        "states")
+    p.add_argument("--drop-ck-req", action="store_true",
+                   help="model: fault injection — silently drop CK_REQ "
+                        "forwarding (demonstrates a Theorem 1 "
+                        "counterexample)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(fn=cmd_verify)
 
     return parser
 

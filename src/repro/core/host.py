@@ -467,7 +467,7 @@ class OptimisticProcess(SimProcess):
         floor = eff.csn - 1
         while floor >= 1 and not self.config.is_full_checkpoint(floor):
             floor -= 1
-        released = [g for g in self._held_gens if 0 < g < floor]
+        released = sorted(g for g in self._held_gens if 0 < g < floor)
         for g in released:
             self._held_gens.discard(g)
             space.release(self.pid, f"ct:{g}", self.sim.now)

@@ -1,0 +1,655 @@
+"""Bounded model checker for the optimistic checkpointing state machine.
+
+Exhaustive breadth-first enumeration of every reachable global state of
+``n`` pure :class:`~repro.core.state_machine.OptimisticStateMachine`
+instances under *arbitrary* message interleavings (optionally per-channel
+FIFO), for small, fully-bounded configurations:
+
+* at most ``max_csn`` checkpoint rounds (a process may initiate while its
+  csn is below the bound);
+* at most ``sends_per_process`` application messages per process, to any
+  destination, sent at any time;
+* at most ``timer_fires_per_csn`` convergence-timer expiries per process
+  per round (2 covers the escalation path; more only re-arms).
+
+Within those bounds the exploration is *complete*: every interleaving of
+sends, deliveries, timer expiries and initiations is visited (modulo
+state deduplication, which is sound because the model is deterministic
+per transition).  On every state the checker evaluates the
+:data:`repro.verify.properties.STATE_CHECKS` (Theorem 2 consistency,
+anomaly freedom, sequence discipline, tentSet-knowledge validity — the
+soundness premise of both §3.5.1 optimizations); on every *terminal*
+state it evaluates Theorem 1 convergence.  The §3.5.1 CK_REQ-skip rule is
+additionally checked at emission time: a forwarded CK_REQ may only jump
+over processes the forwarder's ``tentSet`` proves tentative.
+
+A violation produces a shortest-path counterexample (BFS order), replayed
+into a :class:`~repro.des.trace.TraceRecorder` and rendered as text — see
+:func:`render_counterexample`.
+
+Fault injection for negative testing: ``drop_ck_req_forwarding=True``
+silently discards every CK_REQ send, modelling a broken control plane —
+the checker then exhibits a Theorem-1 counterexample (a terminal state
+with a forever-tentative process), demonstrating the properties have
+teeth.  ``MachineConfig(control_messages=False)`` does the same via a
+supported ablation switch.
+"""
+
+from __future__ import annotations
+
+import gc
+import marshal
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.effects import (
+    Anomaly,
+    ArmTimer,
+    BroadcastControl,
+    CancelTimer,
+    Effect,
+    Finalize,
+    SendControl,
+    TakeTentative,
+)
+from ..core.state_machine import MachineConfig, OptimisticStateMachine
+from ..core.types import ControlMessage, ControlType, Piggyback, Status
+from ..des.trace import TraceRecord, TraceRecorder
+from . import properties as _props
+
+# Message tuples in flight.  App messages carry a uid because finalized
+# checkpoints record them; the uid is a *canonical* function of
+# (sender, per-sender send index) so that interleavings which differ only
+# in global send order collapse into one state.  Control messages carry no
+# uid — they form a multiset, which merges the (many) states that differ
+# only by which of two identical CK_* copies is which:
+#   ("app", uid, src, dst, csn, stat_value, tent_tuple)
+#   ("ctl", src, dst, ctype_value, csn)
+Action = tuple
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """Bounds and switches for one exploration."""
+
+    n: int = 3
+    #: Rounds (checkpoint intervals) to explore: processes may initiate
+    #: while their csn is below this.
+    max_csn: int = 1
+    #: Application messages each process may send (any destination, any time).
+    sends_per_process: int = 1
+    #: Convergence-timer expiries per process per round (2 = escalation path).
+    timer_fires_per_csn: int = 2
+    #: Deliver messages per-channel FIFO (True) or fully reordered (False).
+    fifo: bool = False
+    #: State-machine switches (the E12 ablations are explorable too).
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    #: Fault injection: silently drop every CK_REQ send (negative testing).
+    drop_ck_req_forwarding: bool = False
+    #: Safety valve: abort (complete=False) beyond this many states.
+    max_states: int = 2_000_000
+    #: Stop at the first violation (with counterexample) or keep going.
+    max_violations: int = 1
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violation plus the action path that reaches it."""
+
+    prop: str
+    message: str
+    path: tuple[Action, ...]
+
+    def render(self, config: ExploreConfig) -> str:
+        """Replay and format the counterexample path (one line/step)."""
+        return render_counterexample(self, config)
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one bounded exploration."""
+
+    config: ExploreConfig
+    states: int = 0
+    transitions: int = 0
+    terminal_states: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    #: True when the state space was exhausted within ``max_states`` and
+    #: no early stop on violations occurred.
+    complete: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.complete
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping, counterexample traces pre-rendered."""
+        return {
+            "states": self.states,
+            "transitions": self.transitions,
+            "terminal_states": self.terminal_states,
+            "complete": self.complete,
+            "violations": [
+                {"property": v.prop, "message": v.message,
+                 "trace": render_counterexample(v, self.config).splitlines()}
+                for v in self.violations],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary incl. any counterexamples."""
+        cfg = self.config
+        head = (f"model check: n={cfg.n}, rounds={cfg.max_csn}, "
+                f"sends/proc={cfg.sends_per_process}, "
+                f"timer fires/csn={cfg.timer_fires_per_csn}, "
+                f"{'FIFO' if cfg.fifo else 'reordering'} delivery")
+        body = (f"  {self.states} states, {self.transitions} transitions, "
+                f"{self.terminal_states} terminal, "
+                f"{'complete' if self.complete else 'TRUNCATED'}")
+        if not self.violations:
+            return f"{head}\n{body}\n  all properties hold"
+        parts = [head, body]
+        for v in self.violations:
+            parts.append(f"  VIOLATION [{v.prop}] {v.message}")
+            parts.append(render_counterexample(v, self.config))
+        return "\n".join(parts)
+
+
+class ModelProcess:
+    """One process: a pure state machine plus model-host bookkeeping.
+
+    Mirrors exactly the slice of :class:`repro.core.host.OptimisticProcess`
+    the theorems talk about: the send/receive windows each finalized
+    checkpoint records (with the paper's ``logSet - {M}`` trigger-message
+    exclusion) — no storage, latency or byte accounting.
+    """
+
+    def __init__(self, pid: int, n: int, machine_cfg: MachineConfig) -> None:
+        self.machine = OptimisticStateMachine(pid, n, config=machine_cfg)
+        self.pid = pid
+        self.took: set[int] = set()
+        #: csn -> (cumulative sent uids, cumulative recv uids) at C_{pid,csn}.
+        self.finalized: dict[int, tuple[frozenset, frozenset]] = {
+            0: (frozenset(), frozenset())}
+        self.window_sent: list[int] = []
+        self.window_recv: list[int] = []
+        self.timer_armed = False
+        self.timer_fires = 0                    # expiries in the current round
+        self.anomalies: list[str] = []
+        self._enc: tuple | None = None          # encode() cache (COW-safe)
+
+    def clone(self) -> "ModelProcess":
+        """Cheap deep-enough copy (hot path: one per explored transition)."""
+        new = ModelProcess.__new__(ModelProcess)
+        m = self.machine
+        nm = OptimisticStateMachine.__new__(OptimisticStateMachine)
+        nm.pid = m.pid
+        nm.n = m.n
+        nm.config = m.config
+        nm.all_pset = m.all_pset
+        nm.csn = m.csn
+        nm.stat = m.stat
+        nm.tent_set = set(m.tent_set)
+        nm._ck_req_sent = set(m._ck_req_sent)
+        nm._ck_end_sent = set(m._ck_end_sent)
+        nm._ck_bgn_sent = set(m._ck_bgn_sent)
+        nm._suppressed_csn = m._suppressed_csn
+        new.machine = nm
+        new.pid = self.pid
+        new.took = set(self.took)
+        new.finalized = dict(self.finalized)   # values are immutable pairs
+        new.window_sent = list(self.window_sent)
+        new.window_recv = list(self.window_recv)
+        new.timer_armed = self.timer_armed
+        new.timer_fires = self.timer_fires
+        new.anomalies = list(self.anomalies)
+        new._enc = None     # a clone exists to be mutated: drop the cache
+        return new
+
+
+class ModelSystem:
+    """Global model state: processes + in-flight messages + budgets."""
+
+    def __init__(self, config: ExploreConfig) -> None:
+        self.config = config
+        self.n = config.n
+        self.procs = [ModelProcess(i, config.n, config.machine)
+                      for i in range(config.n)]
+        self.messages: list[tuple] = []
+        self.sends_left = [config.sends_per_process] * config.n
+
+    def clone(self) -> "ModelSystem":
+        """Copy-on-write snapshot: every action mutates exactly one
+        process (broadcasts only append to ``messages``), so processes are
+        shared until :meth:`apply` clones the acting one via ``_own``."""
+        new = ModelSystem.__new__(ModelSystem)
+        new.config = self.config
+        new.n = self.n
+        new.procs = list(self.procs)
+        new.messages = list(self.messages)
+        new.sends_left = list(self.sends_left)
+        return new
+
+    def _own(self, i: int) -> ModelProcess:
+        p = self.procs[i] = self.procs[i].clone()
+        return p
+
+    # -- the view the property checks consume --------------------------------
+
+    def machine(self, i: int) -> OptimisticStateMachine:
+        """The live state machine of process ``i``."""
+        return self.procs[i].machine
+
+    def took(self, i: int) -> set[int]:
+        """csns for which ``i`` has taken a tentative checkpoint."""
+        return self.procs[i].took
+
+    def finalized(self, i: int) -> dict[int, tuple[frozenset, frozenset]]:
+        """csn -> cumulative (sent, recv) uid records at ``C_{i,csn}``."""
+        return self.procs[i].finalized
+
+    def anomalies(self, i: int) -> list[str]:
+        """Descriptions of Anomaly effects ``i`` has emitted."""
+        return self.procs[i].anomalies
+
+    def uid_src(self, uid: int) -> int:
+        """Sender of app message ``uid`` (uids are canonical:
+        ``uid = 1 + src * sends_per_process + per-sender index``)."""
+        return (uid - 1) // self.config.sends_per_process
+
+    def _next_app_uid(self, src: int) -> int:
+        used = self.config.sends_per_process - self.sends_left[src]
+        return 1 + src * self.config.sends_per_process + used
+
+    def app_piggybacks_in_flight(self) -> list[tuple[int, Status, frozenset]]:
+        """(csn, stat, tentSet) of every undelivered app message."""
+        out = []
+        for m in self.messages:
+            if m[0] == "app":
+                out.append((m[4], Status(m[5]), frozenset(m[6])))
+        return out
+
+    # -- canonical encoding (hashable; decode() round-trips) ------------------
+
+    def encode(self) -> tuple:
+        """Canonical hashable key; :meth:`decode` round-trips it."""
+        # Hot path (once per transition).  Sets are keyed as frozensets —
+        # order-independent hashing with no sort; ``finalized`` needs no
+        # sort either because csns are inserted in ascending order.
+        procs = []
+        for p in self.procs:
+            e = p._enc
+            if e is None:
+                m = p.machine
+                tent = m.stat is Status.TENTATIVE
+                e = p._enc = (
+                    m.csn, tent,
+                    frozenset(m.tent_set),
+                    frozenset(m._ck_req_sent),
+                    frozenset(m._ck_end_sent),
+                    frozenset(m._ck_bgn_sent),
+                    m._suppressed_csn,
+                    frozenset(p.took),
+                    tuple(p.finalized.items()),
+                    # Receive order within a window is immaterial (the
+                    # window becomes a frozenset at Finalize) — keying as a
+                    # set merges states that differ only in intra-window
+                    # delivery order.
+                    frozenset(p.window_sent), frozenset(p.window_recv),
+                    # An armed timer / spent fire budget is observable only
+                    # while TENTATIVE (the next round re-arms and resets),
+                    # so normalize both away when NORMAL.
+                    p.timer_armed and tent,
+                    p.timer_fires if tent else 0,
+                    tuple(p.anomalies),
+                )
+            procs.append(e)
+        # In-flight messages are a multiset: canonical sorted order merges
+        # interleavings that differ only in send sequencing.
+        return (tuple(procs), tuple(sorted(self.messages)),
+                tuple(self.sends_left))
+
+    @classmethod
+    def decode(cls, key: tuple, config: ExploreConfig) -> "ModelSystem":
+        procs_key, messages, sends_left = key
+        sys_v = cls.__new__(cls)
+        sys_v.config = config
+        sys_v.n = config.n
+        all_pset = frozenset(range(config.n))
+        procs = []
+        for pid, pk in enumerate(procs_key):
+            (csn, tent, tent_set, ck_req, ck_end, ck_bgn, suppressed,
+             took, finalized, wsent, wrecv, armed, fires, anomalies) = pk
+            m = OptimisticStateMachine.__new__(OptimisticStateMachine)
+            m.pid = pid
+            m.n = config.n
+            m.config = config.machine
+            m.all_pset = all_pset
+            m.csn = csn
+            m.stat = Status.TENTATIVE if tent else Status.NORMAL
+            m.tent_set = set(tent_set)
+            m._ck_req_sent = set(ck_req)
+            m._ck_end_sent = set(ck_end)
+            m._ck_bgn_sent = set(ck_bgn)
+            m._suppressed_csn = suppressed
+            p = ModelProcess.__new__(ModelProcess)
+            p.machine = m
+            p.pid = pid
+            p.took = set(took)
+            p.finalized = dict(finalized)
+            p.window_sent = list(wsent)
+            p.window_recv = list(wrecv)
+            p.timer_armed = armed
+            p.timer_fires = fires
+            p.anomalies = list(anomalies)
+            p._enc = pk      # decoded processes re-encode to their key slice
+            procs.append(p)
+        sys_v.procs = procs
+        sys_v.messages = list(messages)
+        sys_v.sends_left = list(sends_left)
+        return sys_v
+
+    # -- transitions ----------------------------------------------------------
+
+    def enabled_actions(self) -> list[Action]:
+        """Every transition possible from this state (empty = terminal)."""
+        cfg = self.config
+        actions: list[Action] = []
+        for i, p in enumerate(self.procs):
+            m = p.machine
+            if m.stat is Status.NORMAL and m.csn < cfg.max_csn:
+                actions.append(("initiate", i))
+            if self.sends_left[i] > 0:
+                for j in range(self.n):
+                    if j != i:
+                        actions.append(("send", i, j))
+            if (p.timer_armed and m.stat is Status.TENTATIVE
+                    and p.timer_fires < cfg.timer_fires_per_csn):
+                actions.append(("timer", i))
+        # App deliveries are per-uid; control deliveries are per distinct
+        # (src, dst, type, csn) tuple — identical copies are interchangeable.
+        app_seen: dict[tuple[int, int], int] = {}
+        ctl_seen: set[tuple] = set()
+        for msg in self.messages:
+            if msg[0] == "app":
+                chan = (msg[2], msg[3])
+                if cfg.fifo:
+                    # Per-sender uids increase with send order, so the
+                    # channel's FIFO head is its minimum uid.  (Control
+                    # messages stay unordered even under fifo=True: the
+                    # control plane must tolerate reordering regardless.)
+                    cur = app_seen.get(chan)
+                    app_seen[chan] = msg[1] if cur is None else min(cur, msg[1])
+                else:
+                    actions.append(("deliver_app", msg[1]))
+            elif msg not in ctl_seen:
+                ctl_seen.add(msg)
+                actions.append(("deliver_ctl",) + msg[1:])
+        if cfg.fifo:
+            actions.extend(("deliver_app", uid)
+                           for _, uid in sorted(app_seen.items()))
+        return actions
+
+    def apply(self, action: Action) -> list[tuple[str, str]]:
+        """Execute one action in place; returns step-level violations."""
+        kind = action[0]
+        if kind == "initiate":
+            i = action[1]
+            return self._execute(i, self._own(i).machine.initiate())
+        if kind == "send":
+            _, i, j = action
+            p = self._own(i)
+            pb = p.machine.piggyback()
+            uid = self._next_app_uid(i)
+            self.sends_left[i] -= 1
+            p.window_sent.append(uid)
+            self.messages.append(
+                ("app", uid, i, j, pb.csn, pb.stat.value,
+                 tuple(sorted(pb.tent_set))))
+            return []
+        if kind == "timer":
+            i = action[1]
+            p = self._own(i)
+            p.timer_fires += 1
+            return self._execute(i, p.machine.on_timer())
+        if kind == "deliver_app":
+            uid = action[1]
+            idx = next(k for k, m in enumerate(self.messages)
+                       if m[0] == "app" and m[1] == uid)
+            _, uid, src, dst, csn, stat, tent = self.messages.pop(idx)
+            p = self._own(dst)
+            p.window_recv.append(uid)            # host: processed-then-acted
+            pb = Piggyback(csn=csn, stat=Status(stat),
+                           tent_set=frozenset(tent))
+            return self._execute(dst, p.machine.on_app_receive(pb, uid))
+        if kind == "deliver_ctl":
+            msg = ("ctl",) + action[1:]
+            self.messages.remove(msg)
+            _, src, dst, ctype, csn = msg
+            cm = ControlMessage(ControlType(ctype), csn)
+            return self._execute(dst, self._own(dst).machine.on_control(
+                cm, src))
+        raise ValueError(f"unknown action {action!r}")  # pragma: no cover
+
+    def _execute(self, i: int, effects: list[Effect]) -> list[tuple[str, str]]:
+        """Model-host effect executor (mirrors OptimisticProcess._execute)."""
+        p = self.procs[i]
+        step_violations: list[tuple[str, str]] = []
+        for eff in effects:
+            if isinstance(eff, TakeTentative):
+                p.took.add(eff.csn)
+                p.timer_fires = 0              # fresh round, fresh budget
+            elif isinstance(eff, Finalize):
+                prev_sent, prev_recv = p.finalized[eff.csn - 1]
+                new_recv = set(p.window_recv)
+                if eff.exclude_uid is not None:
+                    new_recv.discard(eff.exclude_uid)
+                p.finalized[eff.csn] = (
+                    prev_sent | frozenset(p.window_sent),
+                    prev_recv | frozenset(new_recv))
+                p.window_sent = []
+                p.window_recv = ([eff.exclude_uid]
+                                 if eff.exclude_uid is not None else [])
+            elif isinstance(eff, SendControl):
+                step_violations.extend(self._check_ck_req_skip(i, eff))
+                if (self.config.drop_ck_req_forwarding
+                        and eff.ctype is ControlType.CK_REQ):
+                    continue
+                self._enqueue_ctl(i, eff.dst, eff.ctype, eff.csn)
+            elif isinstance(eff, BroadcastControl):
+                for dst in range(self.n):
+                    if dst != i:
+                        self._enqueue_ctl(i, dst, eff.ctype, eff.csn)
+            elif isinstance(eff, ArmTimer):
+                p.timer_armed = True
+            elif isinstance(eff, CancelTimer):
+                p.timer_armed = False
+            elif isinstance(eff, Anomaly):
+                p.anomalies.append(eff.description)
+            else:  # pragma: no cover - future-proofing
+                raise TypeError(f"unknown effect {eff!r}")
+        return step_violations
+
+    def _enqueue_ctl(self, src: int, dst: int, ctype: ControlType,
+                     csn: int) -> None:
+        self.messages.append(("ctl", src, dst, ctype.value, csn))
+
+    def _check_ck_req_skip(self, i: int,
+                           eff: SendControl) -> list[tuple[str, str]]:
+        """§3.5.1 Case (2) emission-time soundness: a forwarded CK_REQ may
+        only jump over processes the forwarder *knows* to be tentative."""
+        m = self.procs[i].machine
+        if (eff.ctype is not ControlType.CK_REQ
+                or m.stat is not Status.TENTATIVE
+                or not m.config.skip_ck_req):
+            return []
+        skipped = (range(i + 1, eff.dst) if eff.dst > i
+                   else range(i + 1, self.n))   # wrapped to COORDINATOR
+        bad = [k for k in skipped if k not in m.tent_set]
+        if not bad:
+            return []
+        return [("optimization.ck_req_skip",
+                 f"P{i} forwarded CK_REQ(csn={eff.csn}) to P{eff.dst}, "
+                 f"skipping {bad} without tentSet evidence "
+                 f"(tentSet={sorted(m.tent_set)})")]
+
+
+# --------------------------------------------------------------------------
+# the BFS driver
+# --------------------------------------------------------------------------
+
+
+def explore(config: ExploreConfig | None = None) -> ExploreResult:
+    """Exhaustively enumerate the bounded state space; check all properties."""
+    cfg = config if config is not None else ExploreConfig()
+    result = ExploreResult(config=cfg)
+    # Keys are marshal-packed encodings: bytes cache their hash, compare
+    # by memcmp, and take a fraction of the nested tuples' memory — all of
+    # which the visited-set probes (millions for n=3) feel directly.
+    root = marshal.dumps(ModelSystem(cfg).encode())
+    # parent pointers reconstruct shortest counterexample paths; the dict
+    # doubles as the visited set (one hash per dedup probe, not two).
+    parents: dict[bytes, tuple[bytes | None, Action | None]] = {
+        root: (None, None)}
+    queue: deque[bytes] = deque([root])
+
+    def path_to(key: bytes, extra: Action | None = None) -> tuple[Action, ...]:
+        path: list[Action] = [] if extra is None else [extra]
+        while True:
+            parent, action = parents[key]
+            if parent is None:
+                break
+            path.append(action)
+            key = parent
+        return tuple(reversed(path))
+
+    def record(prop: str, message: str, path: tuple[Action, ...]) -> bool:
+        """Append a violation; True when the violation budget is spent."""
+        result.violations.append(Violation(prop=prop, message=message,
+                                           path=path))
+        return len(result.violations) >= cfg.max_violations
+
+    # The search allocates millions of long-lived containers and no cycles;
+    # pausing the cyclic GC avoids repeated full-heap traversals.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        _search(cfg, result, parents, queue, path_to, record)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return result
+
+
+def _search(cfg, result, parents, queue, path_to, record) -> None:
+    while queue:
+        key = queue.popleft()
+        result.states += 1
+        if result.states > cfg.max_states:
+            result.complete = False
+            break
+        sys_v = ModelSystem.decode(marshal.loads(key), cfg)
+        stop = False
+        for prop, check in _props.STATE_CHECKS:
+            for message in check(sys_v):
+                stop = record(prop, message, path_to(key))
+                if stop:
+                    break
+            if stop:
+                break
+        if stop:
+            result.complete = False
+            break
+        actions = sys_v.enabled_actions()
+        if not actions:
+            result.terminal_states += 1
+            for prop, check in _props.TERMINAL_CHECKS:
+                for message in check(sys_v):
+                    stop = record(prop, message, path_to(key))
+                    if stop:
+                        break
+                if stop:
+                    break
+            if stop:
+                result.complete = False
+                break
+            continue
+        for action in actions:
+            child = sys_v.clone()
+            for prop, message in child.apply(action):
+                stop = record(prop, message, path_to(key, action))
+                if stop:
+                    break
+            if stop:
+                break
+            result.transitions += 1
+            ckey = marshal.dumps(child.encode())
+            if ckey not in parents:
+                parents[ckey] = (key, action)
+                queue.append(ckey)
+        if stop:
+            result.complete = False
+            break
+
+
+# --------------------------------------------------------------------------
+# counterexample rendering (via repro.des.trace)
+# --------------------------------------------------------------------------
+
+
+def counterexample_trace(violation: Violation,
+                         config: ExploreConfig) -> TraceRecorder:
+    """Replay a violation's action path into a :class:`TraceRecorder`.
+
+    Each step becomes one ``mc.*`` record at integer "time" (the step
+    index), so every trace consumer — filtering, happened-before replay,
+    the space-time renderer — works on counterexamples too.
+    """
+    trace = TraceRecorder()
+    sys_v = ModelSystem(config)
+    for step, action in enumerate(violation.path):
+        t = float(step)
+        kind = action[0]
+        if kind == "initiate":
+            i = action[1]
+            trace.record(t, "mc.initiate", i,
+                         csn=sys_v.procs[i].machine.csn + 1)
+        elif kind == "send":
+            _, i, j = action
+            pb = sys_v.procs[i].machine.piggyback()
+            trace.record(t, "mc.app_send", i, dst=j,
+                         uid=sys_v._next_app_uid(i), csn=pb.csn,
+                         stat=pb.stat.value, tent_set=sorted(pb.tent_set))
+        elif kind == "timer":
+            i = action[1]
+            trace.record(t, "mc.timer", i, csn=sys_v.procs[i].machine.csn)
+        elif kind == "deliver_app":
+            uid = action[1]
+            msg = next(m for m in sys_v.messages
+                       if m[0] == "app" and m[1] == uid)
+            trace.record(t, "mc.deliver.app", msg[3], uid=uid,
+                         src=msg[2], csn=msg[4], stat=msg[5],
+                         tent_set=list(msg[6]))
+        elif kind == "deliver_ctl":
+            _, src, dst, ctype, csn = action
+            trace.record(t, "mc.deliver.ctl", dst, src=src, ctype=ctype,
+                         csn=csn)
+        sys_v.apply(action)
+    trace.record(float(len(violation.path)), "mc.violation", -1,
+                 property=violation.prop, message=violation.message)
+    return trace
+
+
+def _fmt_record(rec: TraceRecord) -> str:
+    who = f"P{rec.process}" if rec.process >= 0 else "--"
+    data = ", ".join(f"{k}={v}" for k, v in rec.data.items())
+    return f"  [{rec.time:>4.0f}] {who:<4} {rec.kind:<16} {data}"
+
+
+def render_counterexample(violation: Violation,
+                          config: ExploreConfig) -> str:
+    """Human-readable counterexample: one line per replayed step."""
+    trace = counterexample_trace(violation, config)
+    lines = [f"counterexample ({len(violation.path)} steps) for "
+             f"[{violation.prop}]:"]
+    lines.extend(_fmt_record(rec) for rec in trace)
+    return "\n".join(lines)

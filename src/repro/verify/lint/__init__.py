@@ -1,0 +1,9 @@
+"""Custom AST lint for the repro codebase.
+
+See :mod:`repro.verify.lint.rules` for the rule catalogue (REP001–REP007)
+and ``docs/STATIC_ANALYSIS.md`` for the rationale behind each rule.
+"""
+
+from .engine import Finding, LintReport, lint_paths
+
+__all__ = ["Finding", "LintReport", "lint_paths"]

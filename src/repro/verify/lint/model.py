@@ -1,0 +1,73 @@
+"""Shared lint data model: findings, parsed files, reports."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at a source line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the compiler-style line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (for ``repro verify --format json``)."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file plus the metadata rules need."""
+
+    path: "object"         # pathlib.Path (kept loose for fixture stubs)
+    module: str            # dotted module name, e.g. "repro.core.host"
+    source: str
+    tree: ast.AST
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+@dataclass
+class LintReport:
+    """Outcome of a lint run: active findings + documented suppressions."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def render(self) -> str:
+        """One line per finding plus a totals footer."""
+        out = [f.render() for f in self.findings]
+        out.extend(f"parse error: {e}" for e in self.parse_errors)
+        out.append(
+            f"{len(self.findings)} finding(s), {len(self.suppressed)} "
+            f"suppressed, {self.files_checked} file(s) checked")
+        return "\n".join(out)
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (for ``repro verify --format json``)."""
+        return {
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "files_checked": self.files_checked,
+            "parse_errors": list(self.parse_errors),
+        }

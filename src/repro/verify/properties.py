@@ -1,0 +1,202 @@
+"""Machine-checkable property encodings for the bounded model checker.
+
+Each property is a pure function over a *system view* — the duck-typed
+``ModelSystem`` the explorer (:mod:`repro.verify.explore`) builds.  The
+view exposes, per process ``i``:
+
+* ``machine(i)`` — the live :class:`~repro.core.state_machine.OptimisticStateMachine`;
+* ``took(i)`` — set of csns for which ``i`` has taken a tentative checkpoint;
+* ``finalized(i)`` — dict ``csn -> (cumulative sent uids, cumulative recv
+  uids)`` recorded by finalized checkpoint ``C_{i,csn}``;
+* ``anomalies(i)`` — descriptions of :class:`~repro.core.effects.Anomaly`
+  effects the machine emitted;
+
+plus globally: ``n``, ``uid_src(uid)`` (sender of an application message),
+``app_messages_in_flight()`` (the undelivered piggybacked messages).
+
+Mapping to the paper:
+
+* **Theorem 1 (convergence)** — every initiated checkpoint round
+  eventually finalizes at every process.  In a *bounded, exhaustive*
+  exploration this becomes: every terminal state (no transition enabled)
+  has all processes NORMAL with identical, complete finalized-csn sets.
+  :func:`check_convergence` is evaluated on terminal states only.
+* **Theorem 2 (consistency)** — the equal-``csn`` finalized checkpoints
+  form a consistent global checkpoint: no message is recorded as received
+  by ``C_{j,k}`` without being recorded as sent by ``C_{i,k}`` (no
+  orphans).  :func:`check_consistency` is evaluated on *every* state, for
+  every ``k`` all processes have finalized.
+* **§3.5.1 optimization soundness** — both the CK_BGN suppression and the
+  CK_REQ skip act on ``tentSet`` knowledge.  They are sound iff that
+  knowledge is *valid*: a pid appears in any ``tentSet`` (a machine's or a
+  piggyback's in flight) only if that process truly took the tentative
+  checkpoint with that csn.  :func:`check_knowledge_validity` encodes
+  this; :mod:`repro.verify.explore` additionally checks at emission time
+  that a forwarded CK_REQ only skips known-tentative processes.
+
+The remaining checks mirror the runtime
+:class:`~repro.core.invariants.InvariantMonitor` rules statically:
+sequence discipline (csns dense, one open tentative) and anomaly freedom
+(the paper's Cases 2(d)/3(c)/4(c) "impossible" messages never occur in a
+failure-free exploration).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.types import Status
+
+Check = Callable[[Any], list[str]]
+
+
+# -- evaluated on every reachable state --------------------------------------
+
+
+def check_anomaly_free(sys_view: Any) -> list[str]:
+    """The paper's impossibility proofs hold: no Anomaly effect is reachable."""
+    out = []
+    for i in range(sys_view.n):
+        for desc in sys_view.anomalies(i):
+            out.append(f"anomaly at P{i}: {desc}")
+    return out
+
+
+def check_sequence_discipline(sys_view: Any) -> list[str]:
+    """CSNs are dense and at most one checkpoint is open per process.
+
+    Statically re-states InvariantMonitor rules 1–3: ``took_i`` must be
+    exactly ``{1..csn_i}``, and the finalized set must be ``{0..csn_i}``
+    minus the currently-open tentative (if any).
+    """
+    out = []
+    for i in range(sys_view.n):
+        m = sys_view.machine(i)
+        took = sys_view.took(i)
+        if took != set(range(1, m.csn + 1)):
+            out.append(f"P{i} took {sorted(took)} but csn={m.csn} "
+                       f"(expected dense 1..{m.csn})")
+        fin = set(sys_view.finalized(i))
+        want = set(range(0, m.csn + (0 if m.stat is Status.TENTATIVE else 1)))
+        if fin != want:
+            out.append(f"P{i} finalized {sorted(fin)}, expected "
+                       f"{sorted(want)} (csn={m.csn}, {m.stat.value})")
+        if m.stat is Status.TENTATIVE and i not in m.tent_set:
+            out.append(f"P{i} tentative but not in own tentSet "
+                       f"{sorted(m.tent_set)}")
+        if m.stat is Status.NORMAL and m.tent_set:
+            out.append(f"P{i} normal with non-empty tentSet "
+                       f"{sorted(m.tent_set)}")
+    return out
+
+
+def check_knowledge_validity(sys_view: Any) -> list[str]:
+    """tentSet knowledge (machine state and in-flight piggybacks) is valid.
+
+    This is the soundness premise of BOTH §3.5.1 optimizations: CK_BGN
+    suppression stays silent because a lower-id process in ``tentSet``
+    will report, and CK_REQ forwarding skips processes in ``tentSet`` —
+    each is only safe if membership implies the checkpoint was really
+    taken.
+    """
+    out = []
+    for i in range(sys_view.n):
+        m = sys_view.machine(i)
+        if m.stat is not Status.TENTATIVE:
+            continue
+        for j in sorted(m.tent_set):
+            if m.csn not in sys_view.took(j):
+                out.append(
+                    f"P{i} believes P{j} took CT_{m.csn} but P{j} never did "
+                    f"(took={sorted(sys_view.took(j))})")
+    for pb_csn, pb_stat, pb_tent in sys_view.app_piggybacks_in_flight():
+        if pb_stat is not Status.TENTATIVE:
+            continue
+        for j in sorted(pb_tent):
+            if pb_csn not in sys_view.took(j):
+                out.append(
+                    f"in-flight piggyback claims P{j} took CT_{pb_csn} "
+                    f"but P{j} never did")
+    return out
+
+
+def check_consistency(sys_view: Any) -> list[str]:
+    """Theorem 2: every complete S_k is orphan-free.
+
+    For each csn ``k`` finalized by *all* processes: if ``C_{j,k}``
+    records the receipt of message ``M`` then ``C_{src(M),k}`` records its
+    send.  A violation exhibits an orphan message — exactly the Figure 1
+    inconsistency the protocol exists to preclude.
+    """
+    out = []
+    common: set[int] | None = None
+    for i in range(sys_view.n):
+        fin = set(sys_view.finalized(i))
+        common = fin if common is None else (common & fin)
+    for k in sorted(common or ()):
+        for j in range(sys_view.n):
+            _sent_j, recv_j = sys_view.finalized(j)[k]
+            for uid in sorted(recv_j):
+                src = sys_view.uid_src(uid)
+                sent_src, _recv_src = sys_view.finalized(src)[k]
+                if uid not in sent_src:
+                    out.append(
+                        f"S_{k} inconsistent: C_{{{j},{k}}} records receipt "
+                        f"of message #{uid} but C_{{{src},{k}}} does not "
+                        f"record its send (orphan)")
+    return out
+
+
+#: Checks run on every reachable state.
+STATE_CHECKS: tuple[tuple[str, Check], ...] = (
+    ("anomaly.free", check_anomaly_free),
+    ("sequence.discipline", check_sequence_discipline),
+    ("knowledge.validity(optimization soundness)", check_knowledge_validity),
+    ("theorem2.consistency", check_consistency),
+)
+
+
+# -- evaluated on terminal states only ---------------------------------------
+
+
+def check_convergence(sys_view: Any) -> list[str]:
+    """Theorem 1 on terminal states: every initiated round finalized
+    everywhere.
+
+    A terminal state has no enabled transition (all messages delivered,
+    all send/initiation budgets spent, timer budget drained).  If any
+    process is still TENTATIVE, or processes disagree on which rounds
+    exist/finalized, the protocol failed to converge within the bound —
+    with unbounded timers it never would (timer fires are the only
+    spontaneous transitions, and the explorer's budget exceeds the two
+    expiries the escalation path needs).
+    """
+    out = []
+    csns = set()
+    for i in range(sys_view.n):
+        m = sys_view.machine(i)
+        if m.stat is not Status.NORMAL:
+            out.append(f"terminal state with P{i} still tentative at "
+                       f"csn={m.csn}, tentSet={sorted(m.tent_set)}")
+        csns.add(m.csn)
+    if len(csns) > 1:
+        out.append(f"terminal state with diverged csns {sorted(csns)}")
+    fin_sets = {i: frozenset(sys_view.finalized(i)) for i in range(sys_view.n)}
+    if len(set(fin_sets.values())) > 1:
+        out.append("terminal state with diverged finalized sets "
+                   + str({i: sorted(s) for i, s in fin_sets.items()}))
+    all_took = set()
+    for i in range(sys_view.n):
+        all_took |= sys_view.took(i)
+    for k in sorted(all_took):
+        for i in range(sys_view.n):
+            if k not in sys_view.finalized(i):
+                out.append(f"round {k} was initiated but P{i} never "
+                           f"finalized C_{{{i},{k}}}")
+    return out
+
+
+#: Checks run on terminal (deadlocked/quiescent) states only.
+TERMINAL_CHECKS: tuple[tuple[str, Check], ...] = (
+    ("theorem1.convergence", check_convergence),
+)

@@ -77,6 +77,53 @@ class TestRules:
         trace.record(2.0, "ckpt.finalize", 1, csn=1, reason="x")
         mon.assert_clean()
 
+    def test_finalize_csn_mismatch_violates(self):
+        # Open tentative is CT_1 but the finalize names csn 2.
+        trace, mon = self.make()
+        trace.record(1.0, "ckpt.tentative", 0, csn=1)
+        with pytest.raises(InvariantViolation, match="open tentative"):
+            trace.record(2.0, "ckpt.finalize", 0, csn=2, reason="x")
+
+    def test_baseline_reason_prefixes_exempt(self):
+        # Coordinated baselines reuse the trace kinds with their own
+        # numbering; "cl."/"kt."/"stag." reasons bypass the dense rules.
+        trace, mon = self.make()
+        trace.record(1.0, "ckpt.finalize", 0, csn=9, reason="cl.round")
+        trace.record(2.0, "ckpt.finalize", 0, csn=3, reason="kt.commit")
+        mon.assert_clean()
+
+    def test_rollback_trims_later_finalizations(self):
+        # Rolling back to csn 1 discards knowledge of csn 2, so a second
+        # rollback to the now-dropped csn 2 must violate.
+        trace, mon = self.make()
+        trace.record(1.0, "ckpt.tentative", 0, csn=1)
+        trace.record(2.0, "ckpt.finalize", 0, csn=1, reason="x")
+        trace.record(3.0, "ckpt.tentative", 0, csn=2)
+        trace.record(4.0, "ckpt.finalize", 0, csn=2, reason="x")
+        trace.record(5.0, "ckpt.rollback", 0, csn=1)
+        with pytest.raises(InvariantViolation, match="never-finalized"):
+            trace.record(6.0, "ckpt.rollback", 0, csn=2)
+
+    def test_rollback_resets_open_tentative(self):
+        # A rollback abandons the open tentative; numbering restarts from
+        # the rollback target, so the next take is target+1.
+        trace, mon = self.make()
+        trace.record(1.0, "ckpt.tentative", 0, csn=1)
+        trace.record(2.0, "ckpt.finalize", 0, csn=1, reason="x")
+        trace.record(3.0, "ckpt.tentative", 0, csn=2)
+        trace.record(4.0, "ckpt.rollback", 0, csn=1)
+        trace.record(5.0, "ckpt.tentative", 0, csn=2)
+        trace.record(6.0, "ckpt.finalize", 0, csn=2, reason="x")
+        mon.assert_clean()
+
+    def test_take_after_rollback_skipping_violates(self):
+        trace, mon = self.make()
+        trace.record(1.0, "ckpt.tentative", 0, csn=1)
+        trace.record(2.0, "ckpt.finalize", 0, csn=1, reason="x")
+        trace.record(3.0, "ckpt.rollback", 0, csn=1)
+        with pytest.raises(InvariantViolation, match="expected 2"):
+            trace.record(4.0, "ckpt.tentative", 0, csn=4)
+
 
 class TestLiveRuns:
     def test_full_simulation_clean(self):

@@ -1,0 +1,73 @@
+"""Tests for the ``repro verify`` CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestLintPath:
+    def test_lint_only_clean(self, capsys):
+        code, out = run_cli(capsys, "verify", "--lint")
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_lint_empty_path_is_a_failure(self, capsys, tmp_path):
+        # A typo'd --path must not "pass" by checking zero files.
+        code, _ = run_cli(capsys, "verify", "--lint",
+                          "--path", str(tmp_path / "nope"))
+        assert code == 1
+
+    def test_lint_json(self, capsys):
+        code, out = run_cli(capsys, "verify", "--lint", "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["lint"]["findings"] == []
+        assert payload["lint"]["files_checked"] > 50
+        assert "model_check" not in payload
+
+
+class TestModelCheckPath:
+    def test_small_bound_clean(self, capsys):
+        code, out = run_cli(capsys, "verify", "--model-check", "--n", "2")
+        assert code == 0
+        assert "complete" in out
+        assert "all properties hold" in out
+
+    def test_fault_injection_fails_with_counterexample(self, capsys):
+        code, out = run_cli(capsys, "verify", "--model-check", "--n", "2",
+                            "--drop-ck-req")
+        assert code == 1
+        assert "VIOLATION" in out
+        assert "theorem1.convergence" in out
+        assert "counterexample" in out
+
+    def test_json_payload(self, capsys):
+        code, out = run_cli(capsys, "verify", "--model-check", "--n", "2",
+                            "--drop-ck-req", "--format", "json")
+        assert code == 1
+        payload = json.loads(out)
+        mc = payload["model_check"]
+        assert mc["complete"] is False      # stopped at first violation
+        assert mc["violations"][0]["property"] == "theorem1.convergence"
+
+    def test_truncation_is_a_failure(self, capsys):
+        code, out = run_cli(capsys, "verify", "--model-check", "--n", "2",
+                            "--max-states", "10")
+        assert code == 1
+        assert "TRUNCATED" in out
+
+
+class TestCombined:
+    def test_default_runs_both_engines(self, capsys):
+        code, out = run_cli(capsys, "verify", "--n", "2")
+        assert code == 0
+        assert "finding(s)" in out          # lint section
+        assert "model check" in out         # model-check section

@@ -1,0 +1,109 @@
+"""Bounded model checker: exhaustive clean runs + broken-config teeth."""
+
+from __future__ import annotations
+
+import marshal
+
+from repro.core.state_machine import MachineConfig
+from repro.verify import ExploreConfig, explore, render_counterexample
+from repro.verify.explore import ModelSystem, counterexample_trace
+
+
+class TestCleanConfigurations:
+    def test_two_process_exhaustive_clean(self):
+        result = explore(ExploreConfig(n=2))
+        assert result.complete
+        assert result.ok
+        assert not result.violations
+        assert result.states > 1_000
+        assert result.terminal_states > 0
+
+    def test_two_process_fifo_clean(self):
+        result = explore(ExploreConfig(n=2, fifo=True))
+        assert result.complete and result.ok
+        # FIFO delivery is a restriction of arbitrary reordering.
+        assert result.states <= explore(ExploreConfig(n=2)).states
+
+    def test_three_process_control_plane_clean(self):
+        # Pure control-plane convergence (no app messages): all
+        # interleavings of 3 concurrent initiations, CK waves and timers.
+        result = explore(ExploreConfig(n=3, sends_per_process=0))
+        assert result.complete and result.ok
+        assert result.states > 500
+
+    def test_two_rounds_clean(self):
+        result = explore(ExploreConfig(n=2, max_csn=2,
+                                       sends_per_process=0))
+        assert result.complete and result.ok
+
+    def test_truncation_reported(self):
+        result = explore(ExploreConfig(n=2, max_states=10))
+        assert not result.complete
+        assert not result.ok          # incomplete runs never claim victory
+
+
+class TestEncoding:
+    def test_encode_decode_round_trip(self):
+        cfg = ExploreConfig()
+        key = ModelSystem(cfg).encode()
+        again = ModelSystem.decode(key, cfg).encode()
+        assert key == again
+        # and through the marshal packing the search uses
+        assert ModelSystem.decode(
+            marshal.loads(marshal.dumps(key)), cfg).encode() == key
+
+    def test_uid_src_is_canonical(self):
+        cfg = ExploreConfig(n=3, sends_per_process=2)
+        sys_v = ModelSystem(cfg)
+        # uid = 1 + src * sends_per_process + per-sender index
+        assert [sys_v.uid_src(uid) for uid in range(1, 7)] == \
+            [0, 0, 1, 1, 2, 2]
+
+    def test_clone_is_isolated(self):
+        cfg = ExploreConfig(n=2)
+        a = ModelSystem(cfg)
+        b = a.clone()
+        b.apply(("initiate", 0))
+        assert a.machine(0).csn == 0          # parent untouched (COW)
+        assert b.machine(0).csn == 1
+
+
+class TestBrokenConfigurations:
+    def test_dropped_ck_req_yields_theorem1_counterexample(self):
+        cfg = ExploreConfig(n=2, drop_ck_req_forwarding=True)
+        result = explore(cfg)
+        assert not result.ok
+        assert len(result.violations) == 1
+        v = result.violations[0]
+        assert v.prop == "theorem1.convergence"
+        assert "tentative" in v.message
+        assert len(v.path) > 0
+
+    def test_counterexample_trace_renders(self):
+        cfg = ExploreConfig(n=2, drop_ck_req_forwarding=True)
+        result = explore(cfg)
+        v = result.violations[0]
+        trace = counterexample_trace(v, cfg)
+        records = list(trace)
+        # one record per step plus the closing mc.violation marker
+        assert len(records) == len(v.path) + 1
+        assert records[-1].kind == "mc.violation"
+        text = render_counterexample(v, cfg)
+        assert "counterexample" in text
+        assert "theorem1.convergence" in text
+        assert "mc.initiate" in text
+
+    def test_no_control_messages_ablation_diverges(self):
+        cfg = ExploreConfig(
+            n=2, machine=MachineConfig(control_messages=False))
+        result = explore(cfg)
+        assert not result.ok
+        assert result.violations[0].prop == "theorem1.convergence"
+
+    def test_as_dict_carries_rendered_trace(self):
+        cfg = ExploreConfig(n=2, drop_ck_req_forwarding=True)
+        d = explore(cfg).as_dict()
+        assert d["violations"]
+        entry = d["violations"][0]
+        assert entry["property"] == "theorem1.convergence"
+        assert any("mc.violation" in line for line in entry["trace"])
