@@ -3,16 +3,22 @@
 Subcommands mirroring the library's main entry points::
 
     repro run      --protocol optimistic --n 12 --horizon 300
-    repro compare  --protocols optimistic,chandy-lamport --n 12
+    repro compare  --protocols optimistic,chandy-lamport --n 12 --jobs 4
     repro sweep    --param n --values 4,8,16 --metric peak_pending_writers
     repro figures  [1|2|5|all]
-    repro recover  --fail-time 250
+    repro recover  --fail-time 250 --jobs 4
+    repro bench    --jobs 4
     repro verify   [--lint] [--model-check] [--format json]
 
 Every subcommand prints the same ASCII tables the benchmarks produce, so
 the CLI is a thin, scriptable veneer over :mod:`repro.harness`; ``verify``
 fronts the :mod:`repro.verify` static-analysis engines and exits non-zero
 on any finding (see docs/STATIC_ANALYSIS.md).
+
+``sweep``/``compare``/``recover`` take ``--jobs N`` (fan runs out over a
+worker pool) and cache finished runs under ``.repro-cache/`` keyed by a
+config hash — ``--no-cache`` disables the cache, ``--cache-dir`` moves it;
+``bench`` times the executor itself and writes ``BENCH_executor.json``.
 """
 
 from __future__ import annotations
@@ -20,20 +26,25 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from .harness import (
     DEFAULT_PROTOCOLS,
     PROTOCOLS,
     ExperimentConfig,
+    ResultCache,
+    bench_executor,
     compare,
     comparison_table,
+    config_key,
     fig1_scenario,
     fig2_scenario,
     fig5_scenario,
+    map_jobs,
     run_experiment,
     sweep,
 )
+from .harness.executor import DEFAULT_CACHE_DIR, JobError
 from .metrics import Table, kv_block
 
 
@@ -57,6 +68,47 @@ def _add_experiment_args(p: argparse.ArgumentParser) -> None:
                    help="skip consistency verification")
 
 
+def _add_executor_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for independent runs (1=serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="do not read/write the on-disk result cache")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="result cache directory")
+
+
+def _cache_from(args: argparse.Namespace) -> ResultCache | None:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _parse_value(raw: str) -> int | float | str:
+    """Sweep value literal: int, else float, else bare string.
+
+    String fallback covers string-valued params (``--param flush
+    --values immediate,opportunistic``); going through ``int`` first
+    keeps ``-3`` an int, not a float.
+    """
+    for parse in (int, float):
+        try:
+            return parse(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_protocols(raw: str) -> tuple[str, ...] | None:
+    """Split and validate a ``--protocols`` list; None (+stderr) if bad."""
+    protocols = tuple(p for p in raw.split(",") if p)
+    unknown = [p for p in protocols if p not in PROTOCOLS]
+    if unknown:
+        print(f"unknown protocols: {unknown}; "
+              f"choices: {sorted(PROTOCOLS)}", file=sys.stderr)
+        return None
+    return protocols
+
+
 def _config_from(args: argparse.Namespace,
                  protocol: str = "optimistic") -> ExperimentConfig:
     workload_kwargs = {}
@@ -71,35 +123,36 @@ def _config_from(args: argparse.Namespace,
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """``repro run``: one experiment, metrics or full report."""
+    """``repro run``: one experiment, metrics or full report.
+
+    Exits 1 whenever verification found an orphaned global checkpoint —
+    the ``--report`` branch included, so scripted runs can't mistake an
+    inconsistent run for success.
+    """
     cfg = _config_from(args, protocol=args.protocol)
     res = run_experiment(cfg)
+    bad = {k: v for k, v in res.orphans.items() if v}
     if args.report:
         from .metrics import render_run_report
         print(render_run_report(res))
-        return 0
-    d = res.metrics.as_dict()
-    print(kv_block(f"run: {args.protocol}", d))
-    if res.orphans:
-        bad = {k: v for k, v in res.orphans.items() if v}
-        print(f"\nconsistency: {len(res.orphans)} global checkpoints "
-              f"verified, " + ("all consistent" if not bad
-                               else f"ORPHANS {bad}"))
-        if bad:
-            return 1
-    return 0
+    else:
+        d = res.metrics.as_dict()
+        print(kv_block(f"run: {args.protocol}", d))
+        if res.orphans:
+            print(f"\nconsistency: {len(res.orphans)} global checkpoints "
+                  f"verified, " + ("all consistent" if not bad
+                                   else f"ORPHANS {bad}"))
+    return 1 if bad else 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """``repro compare``: protocol matrix over one workload."""
-    protocols = tuple(args.protocols.split(","))
-    unknown = [p for p in protocols if p not in PROTOCOLS]
-    if unknown:
-        print(f"unknown protocols: {unknown}; "
-              f"choices: {sorted(PROTOCOLS)}", file=sys.stderr)
+    protocols = _parse_protocols(args.protocols)
+    if protocols is None:
         return 2
     cfg = _config_from(args)
-    results = compare(cfg, protocols=protocols)
+    results = compare(cfg, protocols=protocols, jobs=args.jobs,
+                      cache=_cache_from(args))
     print(comparison_table(
         results,
         columns=("peak_pending_writers", "mean_wait", "max_wait",
@@ -111,12 +164,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``repro sweep``: one config parameter across values."""
-    protocols = tuple(args.protocols.split(","))
-    values: list[float | int] = []
-    for raw in args.values.split(","):
-        values.append(int(raw) if raw.isdigit() else float(raw))
+    protocols = _parse_protocols(args.protocols)
+    if protocols is None:
+        return 2
+    values = [_parse_value(raw) for raw in args.values.split(",")]
     cfg = _config_from(args)
-    result = sweep(cfg, args.param, values, protocols=protocols)
+    result = sweep(cfg, args.param, values, protocols=protocols,
+                   jobs=args.jobs, cache=_cache_from(args))
     print(result.table(args.metric,
                        title=f"{args.metric} vs {args.param}").render())
     return 0
@@ -150,8 +204,19 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_recover(args: argparse.Namespace) -> int:
-    """``repro recover``: hypothetical-failure recovery table."""
+#: Protocol order of the ``repro recover`` table.
+RECOVER_PROTOCOLS = ("optimistic", "chandy-lamport", "koo-toueg",
+                     "staggered", "plank-staggered", "cic-bcs",
+                     "quasi-sync-ms", "uncoordinated")
+
+
+def _recover_row(item: tuple[ExperimentConfig, float]) -> dict[str, Any]:
+    """Worker body: run one protocol, reduce to its recovery-table row.
+
+    Top-level (spawn-picklable) so ``repro recover --jobs N`` can fan the
+    per-protocol runs out; the live runtime the recovery analysis needs
+    never leaves the worker — only the JSON-safe row does.
+    """
     from .recovery import (
         recover_cic,
         recover_coordinated,
@@ -159,28 +224,75 @@ def cmd_recover(args: argparse.Namespace) -> int:
         recover_quasi_sync_ms,
         recover_uncoordinated,
     )
+    cfg, fail_time = item
+    res = run_experiment(cfg)
+    if cfg.protocol == "optimistic":
+        out = recover_optimistic(res.runtime, fail_time)
+    elif cfg.protocol == "cic-bcs":
+        out = recover_cic(res.runtime, fail_time)
+    elif cfg.protocol == "quasi-sync-ms":
+        out = recover_quasi_sync_ms(res.runtime, fail_time)
+    elif cfg.protocol == "uncoordinated":
+        out = recover_uncoordinated(res.runtime, res.sim.trace, fail_time)
+    else:
+        out = recover_coordinated(res.runtime, fail_time, cfg.protocol)
+    return {"protocol": cfg.protocol, "seq": out.seq,
+            "total_lost_work": out.total_lost_work,
+            "max_lost_work": out.max_lost_work}
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """``repro recover``: hypothetical-failure recovery table."""
+    cache = _cache_from(args)
+    rows: dict[str, dict[str, Any]] = {}
+    pending: list[tuple[str, ExperimentConfig, str]] = []
+    for protocol in RECOVER_PROTOCOLS:
+        cfg = _config_from(args, protocol=protocol).derive(verify=False)
+        key = config_key(cfg, salt=f"recover:{args.fail_time}")
+        hit = cache.load_json(key) if cache is not None else None
+        if hit is not None and "row" in hit:
+            rows[protocol] = hit["row"]
+        else:
+            pending.append((protocol, cfg, key))
+    outcomes = map_jobs(_recover_row,
+                        [(cfg, args.fail_time) for _, cfg, _ in pending],
+                        jobs=args.jobs)
+    failed = False
+    for (protocol, cfg, key), outcome in zip(pending, outcomes):
+        if isinstance(outcome, JobError):
+            print(f"recover: {protocol} failed: {outcome.error}\n"
+                  f"{outcome.traceback}", file=sys.stderr)
+            failed = True
+            continue
+        rows[protocol] = outcome
+        if cache is not None:
+            cache.store_json(key, {"row": outcome})
     table = Table("protocol", "recovery point", "total lost work (s)",
                   "max lost work (s)",
                   title=f"recovery after failure at t={args.fail_time}")
-    for protocol in ("optimistic", "chandy-lamport", "koo-toueg",
-                     "staggered", "plank-staggered", "cic-bcs",
-                     "quasi-sync-ms", "uncoordinated"):
-        cfg = _config_from(args, protocol=protocol).derive(verify=False)
-        res = run_experiment(cfg)
-        if protocol == "optimistic":
-            out = recover_optimistic(res.runtime, args.fail_time)
-        elif protocol == "cic-bcs":
-            out = recover_cic(res.runtime, args.fail_time)
-        elif protocol == "quasi-sync-ms":
-            out = recover_quasi_sync_ms(res.runtime, args.fail_time)
-        elif protocol == "uncoordinated":
-            out = recover_uncoordinated(res.runtime, res.sim.trace,
-                                        args.fail_time)
-        else:
-            out = recover_coordinated(res.runtime, args.fail_time, protocol)
-        table.add_row(protocol, out.seq, out.total_lost_work,
-                      out.max_lost_work)
+    for protocol in RECOVER_PROTOCOLS:
+        if protocol in rows:
+            row = rows[protocol]
+            table.add_row(protocol, row["seq"], row["total_lost_work"],
+                          row["max_lost_work"])
     print(table.render())
+    return 1 if failed else 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: serial-vs-parallel executor timing → BENCH JSON."""
+    from .harness.executor import bench_configs
+    n_values = [int(v) for v in args.values.split(",")]
+    protocols = _parse_protocols(args.protocols)
+    if protocols is None:
+        return 2
+    configs = bench_configs(n_values=n_values, protocols=protocols,
+                            horizon=args.horizon, seed=args.seed,
+                            repeats=args.repeats)
+    payload = bench_executor(jobs=args.jobs, out_path=args.out,
+                             configs=configs,
+                             progress=not args.quiet)
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -251,15 +363,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="run several protocols on one workload")
     p.add_argument("--protocols", default=",".join(DEFAULT_PROTOCOLS))
     _add_experiment_args(p)
+    _add_executor_args(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("sweep", help="sweep one config parameter")
     p.add_argument("--param", required=True,
                    help="config field, e.g. n or workload_kwargs.rate")
-    p.add_argument("--values", required=True, help="comma-separated values")
+    p.add_argument("--values", required=True,
+                   help="comma-separated values (int/float/string)")
     p.add_argument("--metric", default="peak_pending_writers")
     p.add_argument("--protocols", default="optimistic")
     _add_experiment_args(p)
+    _add_executor_args(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("figures", help="replay the paper's figures")
@@ -270,7 +385,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("recover", help="hypothetical-failure recovery table")
     p.add_argument("--fail-time", type=float, default=250.0)
     _add_experiment_args(p)
+    _add_executor_args(p)
     p.set_defaults(fn=cmd_recover)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the executor: fixed sweep serial vs parallel, "
+             "emit BENCH_executor.json")
+    p.add_argument("--jobs", type=int, default=4,
+                   help="worker processes for the parallel pass")
+    p.add_argument("--out", default="BENCH_executor.json",
+                   help="output JSON path")
+    p.add_argument("--values", default="16,24",
+                   help="comma-separated n values of the fixed sweep")
+    p.add_argument("--protocols", default="optimistic,chandy-lamport")
+    p.add_argument("--horizon", type=float, default=1200.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--repeats", type=int, default=2,
+                   help="seed repeats per (n, protocol) point")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-run progress on stderr")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
         "verify",

@@ -1,4 +1,10 @@
-"""Experiment harness: configs, runs, comparisons, sweeps, figure scenarios."""
+"""Experiment harness: configs, runs, comparisons, sweeps, figure scenarios.
+
+Batch execution (:func:`run_many`), the on-disk result cache
+(:class:`ResultCache`) and the executor benchmark (:func:`bench_executor`)
+live in :mod:`repro.harness.executor`; ``sweep``/``compare``/``replicate``
+take ``jobs=``/``cache=`` and route through it.
+"""
 
 from .comparison import (
     DEFAULT_COLUMNS,
@@ -6,6 +12,17 @@ from .comparison import (
     assert_all_consistent,
     compare,
     comparison_table,
+)
+from .executor import (
+    ResultCache,
+    RunFailure,
+    RunSummary,
+    bench_executor,
+    config_key,
+    failures,
+    map_jobs,
+    raise_failures,
+    run_many,
 )
 from .experiment import (
     LATENCIES,
@@ -44,16 +61,25 @@ __all__ = [
     "PROTOCOLS",
     "PlainHost",
     "ProtocolSpec",
+    "ResultCache",
+    "RunFailure",
     "RunResult",
+    "RunSummary",
     "ScenarioResult",
     "SweepPoint",
     "SweepResult",
     "TOPOLOGIES",
     "assert_all_consistent",
+    "bench_executor",
     "build_experiment",
     "compare",
     "comparison_table",
+    "config_key",
     "confidence_interval",
+    "failures",
+    "map_jobs",
+    "raise_failures",
+    "run_many",
     "replicate",
     "replication_summary",
     "replication_table",

@@ -14,6 +14,13 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..metrics.report import Table
+from .executor import (
+    ProgressArg,
+    ResultCache,
+    RunSummary,
+    raise_failures,
+    run_many,
+)
 from .experiment import ExperimentConfig, RunResult, run_experiment
 
 #: The default protocol matrix (uncoordinated excluded: its costs are only
@@ -41,16 +48,30 @@ DEFAULT_COLUMNS = (
 
 
 def compare(cfg: ExperimentConfig,
-            protocols: Sequence[str] = DEFAULT_PROTOCOLS
-            ) -> dict[str, RunResult]:
-    """Run ``cfg`` under each protocol (same seed ⇒ same app traffic)."""
-    out: dict[str, RunResult] = {}
-    for name in protocols:
-        out[name] = run_experiment(cfg.derive(protocol=name))
-    return out
+            protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+            jobs: int = 1, cache: ResultCache | None = None,
+            progress: ProgressArg = None
+            ) -> dict[str, RunResult | RunSummary]:
+    """Run ``cfg`` under each protocol (same seed ⇒ same app traffic).
+
+    With ``jobs > 1`` or a ``cache`` the runs go through
+    :func:`repro.harness.executor.run_many` and the values are picklable
+    :class:`RunSummary` objects (identical metrics to the serial live
+    :class:`RunResult` path; a failed run raises with its traceback).
+    """
+    if jobs <= 1 and cache is None:
+        out: dict[str, RunResult | RunSummary] = {}
+        for name in protocols:
+            out[name] = run_experiment(cfg.derive(protocol=name))
+        return out
+    outcomes = run_many([cfg.derive(protocol=name) for name in protocols],
+                        jobs=jobs, cache=cache, progress=progress)
+    raise_failures(outcomes)
+    return {name: outcome for name, outcome in zip(protocols, outcomes)
+            if isinstance(outcome, RunSummary)}
 
 
-def comparison_table(results: dict[str, RunResult],
+def comparison_table(results: dict[str, RunResult | RunSummary],
                      columns: Sequence[str] = DEFAULT_COLUMNS,
                      title: str = "") -> Table:
     """Protocol-rows table over selected metric columns."""
@@ -61,7 +82,8 @@ def comparison_table(results: dict[str, RunResult],
     return table
 
 
-def assert_all_consistent(results: dict[str, RunResult]) -> None:
+def assert_all_consistent(results: dict[str, RunResult | RunSummary]
+                          ) -> None:
     """Every verified cut of every protocol must be orphan-free."""
     for name, res in results.items():
         bad = {seq: c for seq, c in res.orphans.items() if c}

@@ -1,0 +1,419 @@
+"""Parallel experiment execution with an on-disk result cache.
+
+``run_many`` fans a batch of independent :class:`ExperimentConfig`s out
+over a ``multiprocessing`` worker pool.  Workers are spawn-safe: a config
+is picklable and fully determines its run, so each worker rebuilds the
+simulation from scratch and ships back a slim :class:`RunSummary` (config
++ flat metrics + orphan counts) instead of the live :class:`RunResult`
+object graph, which holds an entire simulator and cannot cross a process
+boundary.  A crashed worker is captured as a :class:`RunFailure` carrying
+the config and traceback rather than killing the batch.
+
+Because every run is deterministic in its config (seeded RNG streams, no
+wall-clock reads — enforced by ``repro verify --lint``), results can be
+memoised on disk: :class:`ResultCache` keys each summary by a stable hash
+of the config, so repeated sweeps skip already-completed points and any
+config change (or cache-format bump) is automatically a miss.
+
+``bench_executor`` runs the same fixed sweep serially and in parallel and
+writes ``BENCH_executor.json`` — the start of the perf trajectory for the
+harness itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing as mp
+import sys
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from .experiment import ExperimentConfig, RunResult, run_experiment
+
+#: Bump to invalidate every cached summary (format or semantics change).
+CACHE_VERSION = 1
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Progress is either off (None/False), on (True → stderr lines), or a
+#: callable ``(done, total, outcome)``.
+ProgressArg = Any
+
+
+class MetricsView:
+    """Read-only stand-in for :class:`RunMetrics` built from its flat dict.
+
+    Exposes ``as_dict()`` plus attribute access to the flat keys
+    (``view.mean_wait``, not ``view.wait.mean`` — the nested
+    :class:`~repro.metrics.stats.Summary` objects are already reduced),
+    which is all the tables, sweeps and replication summaries consume.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: dict[str, Any]):
+        self._data = dict(data)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flatten for table rows (mirrors ``RunMetrics.as_dict``)."""
+        return dict(self._data)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._data[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsView({self._data!r})"
+
+
+@dataclass
+class RunSummary:
+    """Picklable reduction of a :class:`RunResult` (no live objects).
+
+    Carries exactly what the harness consumers (sweep tables, comparison
+    tables, replication summaries) read: the config, the flat
+    ``RunMetrics.as_dict()`` record, the orphan counts, and the
+    truncation flag.
+    """
+
+    config: ExperimentConfig
+    metrics_dict: dict[str, Any]
+    orphans: dict[int, int] = field(default_factory=dict)
+    truncated: bool = False
+    #: True when this summary was served from a :class:`ResultCache`.
+    cached: bool = False
+
+    @property
+    def metrics(self) -> MetricsView:
+        """Duck-typed ``RunMetrics`` surface (``.as_dict()``, flat attrs)."""
+        return MetricsView(self.metrics_dict)
+
+    @property
+    def consistent(self) -> bool:
+        """Every verified global checkpoint is orphan-free."""
+        return all(v == 0 for v in self.orphans.values())
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "RunSummary":
+        """Reduce a live :class:`RunResult` to its picklable summary."""
+        return cls(config=result.config,
+                   metrics_dict=result.metrics.as_dict(),
+                   orphans=dict(result.orphans),
+                   truncated=result.truncated)
+
+
+@dataclass
+class RunFailure:
+    """A run that raised: the config plus the worker's traceback."""
+
+    config: ExperimentConfig
+    error: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return (f"{self.config.protocol} (n={self.config.n}, "
+                f"seed={self.config.seed}): {self.error}")
+
+
+@dataclass
+class JobError:
+    """A generic :func:`map_jobs` item that raised."""
+
+    item: Any
+    error: str
+    traceback: str
+
+
+# -- cache ---------------------------------------------------------------------
+
+
+def config_key(cfg: ExperimentConfig, *, salt: str = "") -> str:
+    """Stable content hash of a config (+ optional salt/namespace).
+
+    Any field change produces a different key; bumping
+    :data:`CACHE_VERSION` invalidates everything at once.
+    """
+    payload = {"version": CACHE_VERSION, "salt": salt, "config": asdict(cfg)}
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class ResultCache:
+    """On-disk memo of finished runs under ``.repro-cache/``.
+
+    One JSON file per key; writes are atomic (tmp file + rename) so a
+    crashed run never leaves a truncated entry behind.  Unreadable or
+    version-mismatched entries read as misses.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """The on-disk location of one entry."""
+        return self.root / f"{key}.json"
+
+    # Generic JSON payloads (used by e.g. the recovery table cache) -----
+
+    def load_json(self, key: str) -> dict[str, Any] | None:
+        """A raw cached payload, or None on miss/corruption/version skew."""
+        try:
+            payload = json.loads(self.path_for(key).read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("version") != CACHE_VERSION:
+            return None
+        return payload
+
+    def store_json(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically write a raw payload (version stamp added)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_VERSION, **payload}
+        path = self.path_for(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1,
+                                  default=repr), "utf-8")
+        tmp.replace(path)
+
+    # Run summaries -----------------------------------------------------
+
+    def load(self, cfg: ExperimentConfig) -> RunSummary | None:
+        """The cached summary for ``cfg``, or None on a miss."""
+        payload = self.load_json(config_key(cfg))
+        if payload is None or "metrics" not in payload:
+            return None
+        return RunSummary(
+            config=cfg,
+            metrics_dict=dict(payload["metrics"]),
+            orphans={int(k): int(v)
+                     for k, v in payload.get("orphans", {}).items()},
+            truncated=bool(payload.get("truncated", False)),
+            cached=True)
+
+    def store(self, summary: RunSummary) -> None:
+        """Memoise a finished run under its config hash."""
+        self.store_json(config_key(summary.config), {
+            "config": asdict(summary.config),
+            "metrics": summary.metrics_dict,
+            "orphans": {str(k): v for k, v in summary.orphans.items()},
+            "truncated": summary.truncated,
+        })
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+# -- generic parallel map ------------------------------------------------------
+
+
+def _invoke(payload: tuple[Callable[[Any], Any], int, Any]
+            ) -> tuple[int, Any]:
+    """Top-level worker shim (picklable under spawn): capture, don't die."""
+    fn, index, item = payload
+    try:
+        return index, fn(item)
+    except Exception as exc:  # noqa: BLE001 - failures travel as values
+        return index, JobError(item=item, error=repr(exc),
+                               traceback=traceback.format_exc())
+
+
+def map_jobs(fn: Callable[[Any], Any], items: Sequence[Any],
+             jobs: int = 1,
+             on_result: Callable[[int, Any], None] | None = None
+             ) -> list[Any]:
+    """Order-preserving map with per-item failure capture.
+
+    ``jobs <= 1`` (or a single item) runs inline — byte-identical to the
+    parallel path because items are independent and ``fn`` is
+    deterministic; ``jobs > 1`` fans out over a spawn-context pool.  An
+    item whose ``fn`` raises yields a :class:`JobError` in its slot
+    instead of aborting the batch.  ``on_result(index, outcome)`` fires
+    as each item completes (completion order, not input order).
+    """
+    items = list(items)
+    out: list[Any] = [None] * len(items)
+    payloads = [(fn, i, item) for i, item in enumerate(items)]
+    if jobs <= 1 or len(items) <= 1:
+        results: Iterable[tuple[int, Any]] = map(_invoke, payloads)
+        for index, outcome in results:
+            out[index] = outcome
+            if on_result is not None:
+                on_result(index, outcome)
+        return out
+    ctx = mp.get_context("spawn")
+    with ctx.Pool(processes=min(jobs, len(items))) as pool:
+        for index, outcome in pool.imap_unordered(_invoke, payloads):
+            out[index] = outcome
+            if on_result is not None:
+                on_result(index, outcome)
+    return out
+
+
+# -- batch experiment execution ------------------------------------------------
+
+
+def _run_one(cfg: ExperimentConfig) -> RunSummary:
+    """Worker body: rebuild the simulation from the config, reduce."""
+    return RunSummary.from_result(run_experiment(cfg))
+
+
+def _outcome_tag(outcome: RunSummary | RunFailure) -> str:
+    if isinstance(outcome, RunFailure):
+        return "FAILED"
+    return "cached" if outcome.cached else "ok"
+
+
+def _emit_progress(progress: ProgressArg, done: int, total: int,
+                   outcome: RunSummary | RunFailure) -> None:
+    if not progress:
+        return
+    if callable(progress):
+        progress(done, total, outcome)
+        return
+    cfg = outcome.config
+    print(f"[{done}/{total}] {cfg.protocol} n={cfg.n} seed={cfg.seed} "
+          f"... {_outcome_tag(outcome)}", file=sys.stderr)
+
+
+def run_many(configs: Sequence[ExperimentConfig], jobs: int = 1,
+             cache: ResultCache | None = None,
+             progress: ProgressArg = None
+             ) -> list[RunSummary | RunFailure]:
+    """Run a batch of independent configs, optionally in parallel.
+
+    Returns one outcome per config, in input order: a
+    :class:`RunSummary` on success (``.cached`` marks cache hits) or a
+    :class:`RunFailure` capturing the config and traceback.  The serial
+    path (``jobs=1``) and the pool path produce identical summaries —
+    runs are deterministic in their configs — so ``jobs`` is purely a
+    wall-clock knob.
+    """
+    configs = list(configs)
+    total = len(configs)
+    out: list[RunSummary | RunFailure | None] = [None] * total
+    pending: list[tuple[int, ExperimentConfig]] = []
+    done = 0
+    for i, cfg in enumerate(configs):
+        hit = cache.load(cfg) if cache is not None else None
+        if hit is not None:
+            out[i] = hit
+            done += 1
+            _emit_progress(progress, done, total, hit)
+        else:
+            pending.append((i, cfg))
+
+    def _finish(pos: int, outcome: Any) -> None:
+        nonlocal done
+        index, cfg = pending[pos]
+        if isinstance(outcome, JobError):
+            outcome = RunFailure(config=cfg, error=outcome.error,
+                                 traceback=outcome.traceback)
+        elif cache is not None:
+            cache.store(outcome)
+        out[index] = outcome
+        done += 1
+        _emit_progress(progress, done, total, outcome)
+
+    map_jobs(_run_one, [cfg for _, cfg in pending], jobs=jobs,
+             on_result=_finish)
+    return [o for o in out if o is not None]
+
+
+def failures(outcomes: Iterable[RunSummary | RunFailure]) -> list[RunFailure]:
+    """The :class:`RunFailure` entries of a batch."""
+    return [o for o in outcomes if isinstance(o, RunFailure)]
+
+
+def raise_failures(outcomes: Iterable[RunSummary | RunFailure]) -> None:
+    """Raise one RuntimeError summarising every failed run in a batch."""
+    failed = failures(outcomes)
+    if failed:
+        detail = "\n\n".join(f"--- {f}\n{f.traceback}" for f in failed)
+        raise RuntimeError(
+            f"{len(failed)} experiment run(s) failed:\n{detail}")
+
+
+# -- executor benchmark --------------------------------------------------------
+
+
+def bench_configs(n_values: Sequence[int] = (16, 24),
+                  protocols: Sequence[str] = ("optimistic",
+                                              "chandy-lamport"),
+                  horizon: float = 1200.0, seed: int = 0,
+                  repeats: int = 2) -> list[ExperimentConfig]:
+    """The fixed ``repro bench`` sweep: |n_values| x |protocols| x repeats.
+
+    Sized so each run takes on the order of a second — long enough that
+    pool spawn cost (one interpreter + numpy import per worker, reused
+    across tasks) amortizes and a multi-core machine shows real speedup.
+    """
+    base = ExperimentConfig(seed=seed, horizon=horizon,
+                            checkpoint_interval=60.0,
+                            state_bytes=1_000_000, timeout=20.0,
+                            verify=False)
+    return [base.derive(n=n, protocol=p, seed=seed + i * repeats + r)
+            for i, n in enumerate(n_values) for p in protocols
+            for r in range(repeats)]
+
+
+def bench_executor(jobs: int = 4, out_path: str | Path | None =
+                   "BENCH_executor.json",
+                   configs: Sequence[ExperimentConfig] | None = None,
+                   progress: ProgressArg = None) -> dict[str, Any]:
+    """Time the fixed sweep serially vs in parallel; emit BENCH JSON.
+
+    The two passes must produce identical summaries (asserted into the
+    payload as ``identical_metrics``) — parallelism only buys wall-clock.
+    """
+    if configs is None:
+        configs = bench_configs()
+    configs = list(configs)
+    # Wall-clock reads are the *measurement* here, not simulated time —
+    # the executor benchmark times real host execution, never sim logic.
+    t0 = time.perf_counter()  # repro: allow[REP001] host-side benchmark timing, not simulated code
+    serial = run_many(configs, jobs=1, progress=progress)
+    t1 = time.perf_counter()  # repro: allow[REP001] host-side benchmark timing, not simulated code
+    parallel = run_many(configs, jobs=jobs, progress=progress)
+    t2 = time.perf_counter()  # repro: allow[REP001] host-side benchmark timing, not simulated code
+    raise_failures(serial)
+    raise_failures(parallel)
+    serial_s = t1 - t0
+    parallel_s = t2 - t1
+    identical = all(
+        a.metrics_dict == b.metrics_dict and a.orphans == b.orphans
+        and a.truncated == b.truncated
+        for a, b in zip(serial, parallel))
+    payload: dict[str, Any] = {
+        "bench": "executor",
+        "runs": len(configs),
+        "jobs": jobs,
+        "host_cpus": mp.cpu_count(),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 4) if parallel_s else None,
+        "serial_runs_per_sec": round(len(configs) / serial_s, 4)
+        if serial_s else None,
+        "parallel_runs_per_sec": round(len(configs) / parallel_s, 4)
+        if parallel_s else None,
+        "identical_metrics": identical,
+        "configs": [{"protocol": c.protocol, "n": c.n, "seed": c.seed,
+                     "horizon": c.horizon} for c in configs],
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(payload, indent=2) + "\n",
+                                  "utf-8")
+    return payload

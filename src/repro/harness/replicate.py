@@ -15,6 +15,13 @@ import numpy as np
 from scipy import stats
 
 from ..metrics.report import Table
+from .executor import (
+    ProgressArg,
+    ResultCache,
+    RunSummary,
+    raise_failures,
+    run_many,
+)
 from .experiment import ExperimentConfig, RunResult, run_experiment
 
 
@@ -57,15 +64,28 @@ def confidence_interval(values: Sequence[float],
                     confidence=confidence)
 
 
-def replicate(cfg: ExperimentConfig, seeds: Sequence[int]
-              ) -> list[RunResult]:
-    """Run ``cfg`` once per seed."""
+def replicate(cfg: ExperimentConfig, seeds: Sequence[int],
+              jobs: int = 1, cache: ResultCache | None = None,
+              progress: ProgressArg = None
+              ) -> list[RunResult | RunSummary]:
+    """Run ``cfg`` once per seed.
+
+    With ``jobs > 1`` or a ``cache`` the batch fans out through
+    :func:`repro.harness.executor.run_many` and returns picklable
+    :class:`RunSummary` objects (identical metrics to the serial live
+    :class:`RunResult` path; a failed seed raises with its traceback).
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    return [run_experiment(cfg.derive(seed=int(s))) for s in seeds]
+    configs = [cfg.derive(seed=int(s)) for s in seeds]
+    if jobs <= 1 and cache is None:
+        return [run_experiment(c) for c in configs]
+    outcomes = run_many(configs, jobs=jobs, cache=cache, progress=progress)
+    raise_failures(outcomes)
+    return [o for o in outcomes if isinstance(o, RunSummary)]
 
 
-def replication_summary(results: Sequence[RunResult],
+def replication_summary(results: Sequence[RunResult | RunSummary],
                         metrics: Sequence[str],
                         confidence: float = 0.95) -> dict[str, MetricCI]:
     """Per-metric CI over a replication batch.

@@ -4,7 +4,15 @@ A sweep varies one configuration field over a value list, optionally under
 several protocols, producing the (x, series...) data behind every
 figure-style experiment.  Seeds are derived per sweep point (base seed +
 point index) so points are independent samples, while all protocols at one
-point share the seed and hence the workload.
+point share the seed and hence the workload.  Sweeping ``seed`` itself
+disables that derivation — the swept values *are* the seeds.
+
+``jobs``/``cache`` route the runs through
+:mod:`repro.harness.executor`: points fan out over a worker pool and/or
+memoise on disk, with results landing as picklable
+:class:`~repro.harness.executor.RunSummary` objects instead of live
+:class:`RunResult`\\ s (identical metrics either way — runs are
+deterministic in their configs).
 """
 
 from __future__ import annotations
@@ -13,6 +21,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..metrics.report import Table
+from .executor import (
+    ProgressArg,
+    ResultCache,
+    RunSummary,
+    raise_failures,
+    run_many,
+)
 from .experiment import ExperimentConfig, RunResult, run_experiment
 
 
@@ -21,7 +36,7 @@ class SweepPoint:
     """All protocol results at one parameter value."""
 
     value: Any
-    results: dict[str, RunResult] = field(default_factory=dict)
+    results: dict[str, RunResult | RunSummary] = field(default_factory=dict)
 
 
 @dataclass
@@ -32,11 +47,12 @@ class SweepResult:
     points: list[SweepPoint] = field(default_factory=list)
 
     def series(self, protocol: str,
-               metric: Callable[[RunResult], Any] | str
+               metric: Callable[[RunResult | RunSummary], Any] | str
                ) -> tuple[list[Any], list[Any]]:
         """Extract (xs, ys) for one protocol and one metric.
 
-        ``metric`` is either a callable over :class:`RunResult` or a key of
+        ``metric`` is either a callable over the per-run result
+        (:class:`RunResult` or :class:`RunSummary`) or a key of
         ``RunMetrics.as_dict()``.
         """
         if isinstance(metric, str):
@@ -74,15 +90,37 @@ def _set_param(cfg: ExperimentConfig, param: str,
 
 def sweep(base: ExperimentConfig, param: str, values: Sequence[Any],
           protocols: Sequence[str] = ("optimistic",),
-          reseed: bool = True) -> SweepResult:
-    """Run the sweep; each point gets seed ``base.seed + index`` if ``reseed``."""
+          reseed: bool = True, jobs: int = 1,
+          cache: ResultCache | None = None,
+          progress: ProgressArg = None) -> SweepResult:
+    """Run the sweep; each point gets seed ``base.seed + index`` if ``reseed``.
+
+    Sweeping ``param="seed"`` never reseeds — the swept values must win
+    (reseeding would silently clobber every point with ``base.seed + i``).
+    With ``jobs > 1`` or a ``cache``, runs go through
+    :func:`repro.harness.executor.run_many` and results are
+    :class:`RunSummary` (any failed run raises with its traceback);
+    otherwise the serial path returns live :class:`RunResult` objects.
+    """
     result = SweepResult(param=param)
+    configs: list[ExperimentConfig] = []
+    slots: list[tuple[int, str]] = []
     for i, value in enumerate(values):
         cfg = _set_param(base, param, value)
-        if reseed:
+        if reseed and param != "seed":
             cfg = cfg.derive(seed=base.seed + i)
-        point = SweepPoint(value=value)
+        result.points.append(SweepPoint(value=value))
         for name in protocols:
-            point.results[name] = run_experiment(cfg.derive(protocol=name))
-        result.points.append(point)
+            configs.append(cfg.derive(protocol=name))
+            slots.append((i, name))
+    if jobs <= 1 and cache is None:
+        for (i, name), cfg in zip(slots, configs):
+            result.points[i].results[name] = run_experiment(cfg)
+    else:
+        outcomes = run_many(configs, jobs=jobs, cache=cache,
+                            progress=progress)
+        raise_failures(outcomes)
+        for (i, name), outcome in zip(slots, outcomes):
+            assert isinstance(outcome, RunSummary)
+            result.points[i].results[name] = outcome
     return result

@@ -34,7 +34,9 @@ class Summary:
         return cls(
             n=int(arr.size),
             mean=float(arr.mean()),
-            std=float(arr.std()),
+            # Sample std (ddof=1), matching replicate.confidence_interval;
+            # a single observation has no spread estimate -> 0.
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
             min=float(arr.min()),
             p50=float(np.percentile(arr, 50)),
             p95=float(np.percentile(arr, 95)),

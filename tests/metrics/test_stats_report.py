@@ -36,6 +36,22 @@ class TestSummary:
         s = Summary.of(range(101))
         assert s.p95 == pytest.approx(95.0)
 
+    def test_std_is_sample_std(self):
+        # ddof=1, matching replicate.confidence_interval's estimator.
+        s = Summary.of([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.std == pytest.approx(1.5811388)
+
+    def test_std_single_value_is_zero(self):
+        assert Summary.of([7.0]).std == 0.0
+
+    def test_std_agrees_with_confidence_interval_estimator(self):
+        import numpy as np
+
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        s = Summary.of(values)
+        assert s.std == pytest.approx(
+            float(np.asarray(values).std(ddof=1)))
+
 
 class TestStepSeries:
     def test_max(self):
