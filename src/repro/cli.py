@@ -9,11 +9,17 @@ Subcommands mirroring the library's main entry points::
     repro recover  --fail-time 250 --jobs 4
     repro bench    --jobs 4
     repro verify   [--lint] [--model-check] [--format json]
+    repro live     run|bench|crash-test --n 4 --transport tcp
 
 Every subcommand prints the same ASCII tables the benchmarks produce, so
 the CLI is a thin, scriptable veneer over :mod:`repro.harness`; ``verify``
 fronts the :mod:`repro.verify` static-analysis engines and exits non-zero
 on any finding (see docs/STATIC_ANALYSIS.md).
+
+``live`` runs the protocol for real — wall-clock asyncio, file-backed
+stable storage, optional TCP worker processes and SIGKILL crash
+injection (:mod:`repro.live`) — and exits non-zero unless the journal
+replay proves the run consistent (zero orphans, ≥1 finalized round).
 
 ``sweep``/``compare``/``recover`` take ``--jobs N`` (fan runs out over a
 worker pool) and cache finished runs under ``.repro-cache/`` keyed by a
@@ -343,6 +349,87 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _live_config_from(args: argparse.Namespace,
+                      crash_at: float | None) -> "Any":
+    """Map ``repro live`` flags onto a :class:`repro.live.LiveRunConfig`."""
+    from .live import LiveRunConfig
+    return LiveRunConfig(
+        n=args.n, transport=args.transport, duration=args.duration,
+        checkpoint_interval=args.interval, timeout=args.timeout,
+        workload=args.workload, rate=args.rate, msg_size=args.msg_size,
+        seed=args.seed, crash_at=crash_at, crash_pid=args.crash_pid,
+        run_dir=args.run_dir)
+
+
+def cmd_live_run(args: argparse.Namespace) -> int:
+    """``repro live run``: one real execution, conformance-checked.
+
+    Exit 0 only when the journal replay proves the run consistent (zero
+    orphans on every complete S_k), at least one global checkpoint round
+    finalized, and — if a crash was injected — recovery completed.
+    """
+    from .live import run_live
+    report = run_live(_live_config_from(args, args.crash_at))
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_live_crash_test(args: argparse.Namespace) -> int:
+    """``repro live crash-test``: live run with a guaranteed crash.
+
+    Same as ``repro live run`` but a SIGKILL (TCP) / task kill (local)
+    is always injected — at ``--crash-at`` or halfway by default.
+    """
+    from .live import run_live
+    crash_at = (args.crash_at if args.crash_at is not None
+                else args.duration / 2)
+    report = run_live(_live_config_from(args, crash_at))
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_live_bench(args: argparse.Namespace) -> int:
+    """``repro live bench``: throughput + crash-recovery → BENCH JSON."""
+    from .live.bench import run_bench
+    payload = run_bench(args.out, n=args.n, transport=args.transport,
+                        duration=args.duration, rate=args.rate,
+                        seed=args.seed, run_root=args.run_dir)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if payload["ok"] else 1
+
+
+def _add_live_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-n", "--n", type=int, default=4,
+                   help="number of workers")
+    p.add_argument("--transport", choices=("local", "tcp"), default="local",
+                   help="local = asyncio tasks over queue pairs; "
+                        "tcp = one OS process per worker over localhost")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="wall seconds of application work")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="checkpoint initiation interval (wall s)")
+    p.add_argument("--timeout", type=float, default=0.5,
+                   help="convergence timer (wall s)")
+    p.add_argument("--workload", default="uniform",
+                   choices=("uniform", "ring"))
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="app messages per worker per second")
+    p.add_argument("--msg-size", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--crash-pid", type=int, default=None,
+                   help="crash victim (default: highest pid)")
+    p.add_argument("--run-dir", default=None,
+                   help="run artifact directory "
+                        "(default: .repro-live/run-<stamp>)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -440,6 +527,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "counterexample)")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "live",
+        help="run the protocol for real: wall-clock asyncio runtime, "
+             "TCP workers, SIGKILL crash injection (see repro.live)")
+    live_sub = p.add_subparsers(dest="live_command", required=True)
+
+    q = live_sub.add_parser("run", help="one live run, conformance-checked")
+    _add_live_args(q)
+    q.add_argument("--crash-at", type=float, default=None,
+                   help="inject one crash this many wall seconds in")
+    q.set_defaults(fn=cmd_live_run)
+
+    q = live_sub.add_parser("crash-test",
+                            help="live run with a guaranteed crash "
+                                 "(default: halfway through)")
+    _add_live_args(q)
+    q.add_argument("--crash-at", type=float, default=None,
+                   help="crash injection time (default: duration/2)")
+    q.set_defaults(fn=cmd_live_crash_test)
+
+    q = live_sub.add_parser("bench",
+                            help="live throughput + crash-recovery bench, "
+                                 "emit BENCH_live.json")
+    _add_live_args(q)
+    q.add_argument("--out", default="BENCH_live.json",
+                   help="output JSON path")
+    q.set_defaults(fn=cmd_live_bench)
 
     return parser
 

@@ -1,0 +1,74 @@
+"""repro.live — a real asyncio runtime for the optimistic protocol.
+
+Everything else in this repository exercises the Jiang–Manivannan
+protocol inside a deterministic discrete-event simulator.  This package
+runs the *same* pure :class:`repro.core.state_machine.OptimisticStateMachine`
+outside the simulator: real wall-clock asyncio timers, real concurrency,
+file-backed stable storage, and (optionally) real TCP sockets between
+real OS processes — with SIGKILL crash injection and restart-from-disk
+recovery.
+
+Layout:
+
+* :mod:`~repro.live.wire`        — newline-delimited JSON frames carrying
+  the piggyback ``(csn, stat, tentSet)`` via :mod:`repro.storage.serialize`;
+* :mod:`~repro.live.transport`   — two interchangeable backends:
+  in-process :class:`asyncio.Queue` pairs and a localhost TCP broker;
+* :mod:`~repro.live.storage`     — atomic file-backed stable storage and
+  the on-disk recovery line (:func:`~repro.live.storage.durable_global_seq`);
+* :mod:`~repro.live.journal`     — crash-safe per-worker event journals;
+* :mod:`~repro.live.host`        — :class:`~repro.live.host.LiveHost`, the
+  wall-clock executor for every protocol :class:`~repro.core.effects.Effect`;
+* :mod:`~repro.live.workload`    — live realizations of the simulator's
+  workload rate models;
+* :mod:`~repro.live.worker`      — the ``python -m repro.live.worker``
+  process entry point;
+* :mod:`~repro.live.supervisor`  — spawn N workers, inject crashes,
+  recover, report;
+* :mod:`~repro.live.conformance` — replay journals through
+  :mod:`repro.causality` and assert Theorem 2 on the real run;
+* :mod:`~repro.live.bench`       — ``BENCH_live.json`` throughput /
+  latency / recovery numbers.
+"""
+
+from .conformance import ConformanceReport, replay, supervisor_events
+from .host import LiveHost
+from .journal import Journal, read_journal, worker_events
+from .storage import FileStableStorage, durable_global_seq
+from .supervisor import (
+    CrashOutcome,
+    LiveRunConfig,
+    LiveRunReport,
+    run_live,
+    run_live_async,
+)
+from .transport import LocalTransport, TcpBroker, connect_tcp
+from .wire import MAX_INCARNATIONS, SUPERVISOR, make_uid
+from .workload import LIVE_WORKLOADS, LiveTraffic, drive, make_traffic
+
+__all__ = [
+    "ConformanceReport",
+    "CrashOutcome",
+    "FileStableStorage",
+    "Journal",
+    "LIVE_WORKLOADS",
+    "LiveHost",
+    "LiveRunConfig",
+    "LiveRunReport",
+    "LiveTraffic",
+    "LocalTransport",
+    "MAX_INCARNATIONS",
+    "SUPERVISOR",
+    "TcpBroker",
+    "connect_tcp",
+    "drive",
+    "durable_global_seq",
+    "make_traffic",
+    "make_uid",
+    "read_journal",
+    "replay",
+    "run_live",
+    "run_live_async",
+    "supervisor_events",
+    "worker_events",
+]

@@ -1,0 +1,75 @@
+"""Live benchmark: measured numbers from real runs → ``BENCH_live.json``.
+
+Two short runs back-to-back:
+
+* a **throughput** run (no crash) measuring delivered application
+  messages per wall second and the checkpoint-round convergence latency
+  (first tentative → last finalization per round, from the journals);
+* a **crash** run with one SIGKILL injection measuring recovery time
+  (kill → respawned worker reconnected and rolled back).
+
+Unlike ``BENCH.json`` (simulated clock), every number here is wall-clock
+time on this machine — noisy by design; the point is end-to-end sanity
+of the live path, not microbenchmark precision.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Any
+
+from .supervisor import LiveRunConfig, LiveRunReport, run_live
+
+
+def _summarize(report: LiveRunReport) -> dict[str, Any]:
+    """The per-run slice of the benchmark payload."""
+    latencies = sorted(report.conformance.round_latency.values())
+    out: dict[str, Any] = {
+        "ok": report.ok,
+        "wall_seconds": round(report.wall_seconds, 3),
+        "msgs_per_sec": round(report.msgs_per_sec, 1),
+        "messages_delivered": report.conformance.receives,
+        "rounds_completed": len(report.conformance.rounds_completed),
+        "round_latency_mean_s": (round(statistics.mean(latencies), 4)
+                                 if latencies else None),
+        "round_latency_max_s": (round(latencies[-1], 4)
+                                if latencies else None),
+    }
+    if report.crash is not None:
+        out["recovery_seconds"] = round(report.crash.recovery_seconds, 4)
+        out["recovered_seq"] = report.crash.recovered_seq
+    return out
+
+
+def run_bench(out_path: str | Path = "BENCH_live.json", *, n: int = 4,
+              transport: str = "tcp", duration: float = 4.0,
+              rate: float = 40.0, seed: int = 0,
+              run_root: str | None = None) -> dict[str, Any]:
+    """Run both benchmark phases and write the JSON payload."""
+    base = dict(n=n, transport=transport, duration=duration, rate=rate,
+                seed=seed)
+
+    def _cfg(phase: str, **extra: Any) -> LiveRunConfig:
+        cfg = LiveRunConfig(**base, **extra)
+        if run_root is not None:
+            cfg.run_dir = str(Path(run_root) / f"bench-{phase}")
+        return cfg
+
+    throughput = run_live(_cfg("throughput"))
+    crash = run_live(_cfg("crash", crash_at=duration / 2))
+
+    payload = {
+        "bench": "live",
+        "format": 1,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": base,
+        "throughput": _summarize(throughput),
+        "crash": _summarize(crash),
+        "ok": throughput.ok and crash.ok,
+    }
+    Path(out_path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                              + "\n", encoding="utf-8")
+    return payload

@@ -1,0 +1,395 @@
+"""LiveHost: the optimistic protocol on real time, sockets, and disk.
+
+The pure :class:`~repro.core.state_machine.OptimisticStateMachine` is
+reused *unchanged* — this module is the second host implementation (next
+to the simulator's :mod:`repro.core.host`), executing every protocol
+:class:`~repro.core.effects.Effect` against live substrates:
+
+========================  ====================================================
+Effect                    Live execution
+========================  ====================================================
+``TakeTentative``         capture digest, optimistic flush to the worker's
+                          file-backed stable-storage directory
+``Finalize``              write the versioned ``C_{i,k}`` checkpoint file
+                          (CT ∪ selective log), GC old generations
+``SendControl``           wire frame through the transport endpoint
+``BroadcastControl``      one frame per peer
+``ArmTimer``              ``loop.call_later(timeout, ...)`` on the real clock
+``CancelTimer``           cancel the pending callback
+``Anomaly``               journal + collect
+========================  ====================================================
+
+Bookkeeping (selective log windows, digest folding, the ``logSet - {M}``
+exclusion, rollback) mirrors :class:`repro.core.host.OptimisticProcess`
+line for line so the conformance layer can hold live executions to the
+same Theorem 2 standard as simulated ones.  Recovery epochs guard against
+in-flight messages of a discarded execution: every data frame carries the
+sender's epoch, receivers drop older epochs and park newer ones until
+their own ``recover`` frame arrives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from ..core.effects import (
+    Anomaly,
+    ArmTimer,
+    BroadcastControl,
+    CancelTimer,
+    Effect,
+    Finalize,
+    SendControl,
+    TakeTentative,
+)
+from ..core.state_machine import MachineConfig, OptimisticStateMachine
+from ..core.types import (
+    ControlMessage,
+    FinalizedCheckpoint,
+    LogEntry,
+    Status,
+    TentativeCheckpoint,
+    fold_digest,
+)
+from ..storage.serialize import checkpoint_to_dict
+from .journal import Journal
+from .storage import FileStableStorage
+from .transport import Endpoint
+from .wire import app_frame, ctl_frame, frame_control, frame_piggyback, make_uid
+
+
+class LiveHost:
+    """One live worker: state machine + transport + disk + journal."""
+
+    def __init__(self, pid: int, n: int, endpoint: Endpoint,
+                 storage: FileStableStorage, journal: Journal, *,
+                 checkpoint_interval: float = 1.0, timeout: float = 0.5,
+                 epoch: int = 0, incarnation: int = 0,
+                 state_bytes: int = 0,
+                 machine_config: MachineConfig | None = None) -> None:
+        self.pid = pid
+        self.n = n
+        self.endpoint = endpoint
+        self.storage = storage
+        self.journal = journal
+        self.machine = OptimisticStateMachine(pid, n, config=machine_config)
+        self.checkpoint_interval = checkpoint_interval
+        self.timeout = timeout
+        self.epoch = epoch
+        self.incarnation = incarnation
+        self.state_bytes = state_bytes
+        # Selective log + verification windows (mirrors core/host.py) ------
+        self._log_entries: list[LogEntry] = []
+        self._window_sent: list[int] = []
+        self._window_recv: list[int] = []
+        self._current_tent: dict[str, Any] | None = None
+        self.finalized: dict[int, FinalizedCheckpoint] = {}
+        self.state_digest = 0
+        # Real-time machinery ----------------------------------------------
+        self._conv_timer: asyncio.TimerHandle | None = None
+        self._init_timer: asyncio.TimerHandle | None = None
+        self.stopped = asyncio.Event()
+        #: Frames from a *newer* epoch, parked until our recover arrives.
+        self._future_frames: list[dict[str, Any]] = []
+        # Diagnostics -------------------------------------------------------
+        self.anomalies: list[str] = []
+        self.sent_count = 0
+        self.recv_count = 0
+        self.stale_dropped = 0
+        self._uid_counter = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Fresh start: write the initial checkpoint C_{i,0}, arm timers."""
+        self.journal.log("start", epoch=self.epoch, resume=None)
+        fc = FinalizedCheckpoint(
+            pid=self.pid, csn=0,
+            tentative=TentativeCheckpoint(pid=self.pid, csn=0, taken_at=0.0,
+                                          state_bytes=0, flushed_at=0.0),
+            finalized_at=0.0, reason="initial")
+        self.finalized[0] = fc
+        self.storage.write_finalized(0, checkpoint_to_dict(fc))
+        self.journal.log("finalize", csn=0, reason="initial", exclude=None,
+                         new_sent=[], new_recv=[], logged=[], digest=0)
+        self._arm_initiation()
+
+    def resume(self, seq: int) -> None:
+        """Restart-from-disk after a crash: the paper's recovery at one
+        process — restore ``CT_{i,seq}`` and replay ``logSet_{i,seq}``."""
+        self.journal.log("start", epoch=self.epoch, resume=seq)
+        self.storage.discard_above(seq)
+        for csn in self.storage.finalized_csns():
+            self.finalized[csn] = self.storage.load_finalized(csn)
+        if seq not in self.finalized:
+            raise ValueError(
+                f"P{self.pid} cannot resume: no finalized C{seq} on disk")
+        self.machine.csn = seq
+        self.state_digest = self.finalized[seq].replay_digest()
+        self.journal.log("rollback", seq=seq, epoch=self.epoch,
+                         digest=self.state_digest)
+        self._arm_initiation()
+
+    async def run(self) -> None:
+        """Receive loop: dispatch frames until stopped or disconnected."""
+        try:
+            while not self.stopped.is_set():
+                recv = asyncio.ensure_future(self.endpoint.recv())
+                stop = asyncio.ensure_future(self.stopped.wait())
+                try:
+                    done, _ = await asyncio.wait(
+                        {recv, stop}, return_when=asyncio.FIRST_COMPLETED)
+                finally:
+                    # Cancel AND await the loser: a cancelled-but-never-
+                    # awaited task outlives the loop and warns at
+                    # shutdown when this worker is crash-injected.
+                    recv.cancel()
+                    stop.cancel()
+                    await asyncio.gather(recv, stop, return_exceptions=True)
+                if recv in done and not recv.cancelled():
+                    frame = recv.result()
+                    if frame is None:
+                        break
+                    self.dispatch(frame)
+        finally:
+            self._teardown()
+
+    def stop(self) -> None:
+        """Clean shutdown: journal, cancel timers, release the run loop."""
+        if not self.stopped.is_set():
+            self.journal.log("stop")
+            self.stopped.set()
+            self._teardown()
+
+    def _teardown(self) -> None:
+        """Cancel real-time callbacks (safe to call repeatedly)."""
+        if self._conv_timer is not None:
+            self._conv_timer.cancel()
+            self._conv_timer = None
+        if self._init_timer is not None:
+            self._init_timer.cancel()
+            self._init_timer = None
+
+    # -- scheduled initiation (§3.4.1) ----------------------------------------
+
+    def _arm_initiation(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._init_timer is not None:
+            self._init_timer.cancel()
+        self._init_timer = loop.call_later(self.checkpoint_interval,
+                                           self._on_init_timer)
+
+    def _on_init_timer(self) -> None:
+        if self.stopped.is_set():
+            return
+        self._execute(self.machine.initiate())
+        self._arm_initiation()
+
+    # -- application-facing API -----------------------------------------------
+
+    def app_send(self, dst: int, size: int = 0) -> int:
+        """Send one application message with the protocol piggyback;
+        returns the message uid."""
+        self._uid_counter += 1
+        uid = make_uid(self.pid, self.incarnation, self._uid_counter)
+        pb = self.machine.piggyback()
+        # Journal *before* the socket write: every uid a peer can receive
+        # must have a send record even if we are SIGKILLed mid-send.
+        self.journal.log("send", uid=uid, dst=dst, size=size)
+        self._window_sent.append(uid)
+        if self.machine.tentative:
+            self._log_entries.append(LogEntry(
+                uid=uid, nbytes=size, direction="sent", time=0.0))
+        self.endpoint.send(app_frame(self.pid, dst, uid, size, pb,
+                                     self.epoch))
+        self.sent_count += 1
+        return uid
+
+    # -- frame dispatch --------------------------------------------------------
+
+    def dispatch(self, frame: dict[str, Any]) -> None:
+        """Handle one inbound frame (app / ctl / recover / stop)."""
+        kind = frame["t"]
+        if kind == "stop":
+            self.stop()
+            return
+        if kind == "recover":
+            self._on_recover(frame["seq"], frame["epoch"])
+            return
+        if kind not in ("app", "ctl"):
+            raise ValueError(f"unexpected frame kind {kind!r}")
+        epoch = frame.get("epoch", 0)
+        if epoch < self.epoch:
+            # In-flight leftover of a rolled-back execution: discard (the
+            # live analogue of the simulator's drop_in_flight()).
+            self.stale_dropped += 1
+            return
+        if epoch > self.epoch:
+            # A peer already recovered into a newer epoch; park the frame
+            # until our own recover order arrives.
+            self._future_frames.append(frame)
+            return
+        if kind == "app":
+            self._on_app(frame)
+        else:
+            self._on_ctl(frame)
+
+    def _on_app(self, frame: dict[str, Any]) -> None:
+        uid, size = frame["uid"], frame["size"]
+        self.recv_count += 1
+        self.journal.log("recv", uid=uid, src=frame["src"], size=size)
+        # Paper §3.4.3: process the message first, then checkpointing acts.
+        self.state_digest = fold_digest(self.state_digest, uid)
+        self._window_recv.append(uid)
+        if self.machine.tentative:
+            self._log_entries.append(LogEntry(
+                uid=uid, nbytes=size, direction="recv", time=0.0))
+        self._execute(self.machine.on_app_receive(frame_piggyback(frame),
+                                                  uid))
+
+    def _on_ctl(self, frame: dict[str, Any]) -> None:
+        cm = frame_control(frame)
+        self._execute(self.machine.on_control(cm, frame["src"]))
+
+    # -- recovery ---------------------------------------------------------------
+
+    def _on_recover(self, seq: int, epoch: int) -> None:
+        """Supervisor-ordered system-wide rollback to generation ``seq``."""
+        if epoch <= self.epoch:
+            return  # duplicate or stale recovery order
+        self.rollback(seq, epoch)
+        parked, self._future_frames = self._future_frames, []
+        for frame in parked:
+            self.dispatch(frame)
+
+    def rollback(self, seq: int, epoch: int) -> None:
+        """Restore this worker to finalized ``C_{i,seq}`` (mirrors
+        :meth:`repro.core.host.OptimisticProcess.rollback_to`)."""
+        if seq not in self.finalized:
+            raise ValueError(
+                f"P{self.pid} has no finalized checkpoint {seq}")
+        m = self.machine
+        m.csn = seq
+        m.stat = Status.NORMAL
+        m.tent_set = set()
+        m._suppressed_csn = None
+        m._ck_req_sent = {c for c in m._ck_req_sent if c <= seq}
+        m._ck_end_sent = {c for c in m._ck_end_sent if c <= seq}
+        m._ck_bgn_sent = {c for c in m._ck_bgn_sent if c <= seq}
+        for csn in [c for c in sorted(self.finalized) if c > seq]:
+            del self.finalized[csn]
+        self.storage.discard_above(seq)
+        self._current_tent = None
+        self._log_entries = []
+        self._window_sent = []
+        self._window_recv = []
+        if self._conv_timer is not None:
+            self._conv_timer.cancel()
+            self._conv_timer = None
+        self.epoch = epoch
+        self.state_digest = self.finalized[seq].replay_digest()
+        self.journal.log("rollback", seq=seq, epoch=epoch,
+                         digest=self.state_digest)
+        self._arm_initiation()
+
+    # -- effect execution --------------------------------------------------------
+
+    def _execute(self, effects: list[Effect]) -> None:
+        loop = asyncio.get_running_loop()
+        for eff in effects:
+            if isinstance(eff, TakeTentative):
+                self._do_take_tentative(eff.csn, loop.time())
+            elif isinstance(eff, Finalize):
+                self._do_finalize(eff.csn, eff.exclude_uid, eff.reason,
+                                  loop.time())
+            elif isinstance(eff, SendControl):
+                self._send_control(eff.dst,
+                                   ControlMessage(eff.ctype, eff.csn))
+            elif isinstance(eff, BroadcastControl):
+                cm = ControlMessage(eff.ctype, eff.csn)
+                for dst in range(self.n):
+                    if dst != self.pid:
+                        self._send_control(dst, cm)
+            elif isinstance(eff, ArmTimer):
+                if self._conv_timer is not None:
+                    self._conv_timer.cancel()
+                self._conv_timer = loop.call_later(self.timeout,
+                                                   self._on_conv_timer)
+            elif isinstance(eff, CancelTimer):
+                if self._conv_timer is not None:
+                    self._conv_timer.cancel()
+                    self._conv_timer = None
+            elif isinstance(eff, Anomaly):
+                self.anomalies.append(eff.description)
+                self.journal.log("anomaly", description=eff.description)
+            else:  # pragma: no cover - future-proofing
+                raise TypeError(f"unknown effect {eff!r}")
+
+    def _send_control(self, dst: int, cm: ControlMessage) -> None:
+        self.endpoint.send(ctl_frame(self.pid, dst, cm, self.epoch))
+
+    def _on_conv_timer(self) -> None:
+        self._conv_timer = None
+        if not self.stopped.is_set():
+            self._execute(self.machine.on_timer())
+
+    # -- checkpoint actions -------------------------------------------------------
+
+    def _do_take_tentative(self, csn: int, now: float) -> None:
+        self._current_tent = {"csn": csn, "taken_at": now,
+                              "digest": self.state_digest}
+        self._log_entries = []
+        # Optimistic flush "at the process's convenience" — the live host
+        # flushes immediately; there is no queueing contention to dodge on
+        # a local directory and it maximizes what a crash leaves behind.
+        self.storage.write_tentative(csn, {
+            "pid": self.pid, "csn": csn, "digest": self.state_digest,
+            "state_bytes": self.state_bytes})
+        self.journal.log("tentative", csn=csn, digest=self.state_digest)
+
+    def _do_finalize(self, csn: int, exclude_uid: int | None, reason: str,
+                     now: float) -> None:
+        tent = self._current_tent
+        assert tent is not None and tent["csn"] == csn, (
+            f"P{self.pid} finalizing csn={csn} but current tentative "
+            f"is {tent}")
+        entries = [e for e in self._log_entries if e.uid != exclude_uid]
+        excluded = [e for e in self._log_entries if e.uid == exclude_uid]
+        new_sent = frozenset(self._window_sent)
+        new_recv = frozenset(self._window_recv)
+        if exclude_uid is not None:
+            new_recv = new_recv - {exclude_uid}
+        fc = FinalizedCheckpoint(
+            pid=self.pid, csn=csn,
+            tentative=TentativeCheckpoint(
+                pid=self.pid, csn=csn, taken_at=tent["taken_at"],
+                state_bytes=self.state_bytes, flushed_at=now,
+                digest=tent["digest"]),
+            finalized_at=now, log_entries=entries,
+            new_sent_uids=new_sent, new_recv_uids=new_recv, reason=reason)
+        self.finalized[csn] = fc
+        self.storage.write_finalized(csn, checkpoint_to_dict(fc))
+        self.journal.log(
+            "finalize", csn=csn, reason=reason, exclude=exclude_uid,
+            new_sent=sorted(new_sent), new_recv=sorted(new_recv),
+            logged=sorted(fc.logged_uids), digest=fc.replay_digest())
+        # Window reset: the excluded trigger message belongs to the *next*
+        # checkpoint's window (same carve-out as the simulator host).
+        self._window_sent = []
+        self._window_recv = [exclude_uid] if exclude_uid is not None else []
+        self._log_entries = excluded
+        self._current_tent = None
+        self.storage.gc_below(csn - 1)
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        """The machine's status string (for tests/diagnostics)."""
+        return self.machine.stat.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LiveHost(P{self.pid}, csn={self.machine.csn}, "
+                f"{self.status}, epoch={self.epoch}, "
+                f"finalized={sorted(self.finalized)})")

@@ -1,0 +1,102 @@
+"""Run journal: the conformance evidence stream of a live run.
+
+Every worker appends one JSON line per observable protocol event to its
+own journal file ``journal-P<pid>-<incarnation>.jsonl`` (one file per
+incarnation so a SIGKILLed process and its restarted successor never share
+a file descriptor).  The supervisor writes ``supervisor.jsonl`` with run
+metadata, crash injections and recovery milestones.
+
+Journaled worker events:
+
+``start``     worker (re)started: pid, incarnation, epoch, resume seq
+``send``      application send: uid, dst, size  (journaled *before* the
+              socket write, so every uid a peer can ever receive has a
+              send record even if the sender is killed mid-send)
+``recv``      application receive: uid, src, size
+``tentative`` CT taken: csn, digest
+``finalize``  checkpoint finalized: csn, reason, exclude uid, the window
+              increments (new_sent/new_recv) and logged uids, digest
+``rollback``  system-wide recovery applied: seq, epoch
+``anomaly``   a proven-impossible message arrived
+``stop``      clean shutdown
+
+The conformance layer (:mod:`repro.live.conformance`) replays these files
+through :mod:`repro.causality` to check Theorem 2 on the real execution.
+Writes are line-buffered and flushed per event; a SIGKILL can truncate at
+most the final line, which the reader skips.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+_JOURNAL_RE = re.compile(r"^journal-P(\d+)-(\d+)\.jsonl$")
+
+
+class Journal:
+    """Append-only JSONL event stream for one worker incarnation."""
+
+    def __init__(self, run_dir: str | Path, pid: int,
+                 incarnation: int) -> None:
+        self.pid = pid
+        self.incarnation = incarnation
+        self.path = (Path(run_dir)
+                     / f"journal-P{pid}-{incarnation}.jsonl")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._idx = 0
+
+    def log(self, ev: str, **data: Any) -> None:
+        """Append one event (monotone per-file index + wall timestamp)."""
+        record = {"ev": ev, "idx": self._idx, "pid": self.pid,
+                  "inc": self.incarnation, "wall": time.time(), **data}
+        self._idx += 1
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def read_journal(path: str | Path) -> list[dict[str, Any]]:
+    """Parse one journal file, skipping a SIGKILL-truncated last line."""
+    out: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                # Only the final line can be torn (writes are flushed per
+                # event); anything else would be corruption worth surfacing.
+                break
+    return out
+
+
+def iter_run_journals(run_dir: str | Path
+                      ) -> Iterator[tuple[int, int, list[dict[str, Any]]]]:
+    """Yield ``(pid, incarnation, events)`` for every worker journal,
+    ordered by pid then incarnation."""
+    entries = []
+    for path in sorted(Path(run_dir).glob("journal-P*.jsonl")):
+        m = _JOURNAL_RE.match(path.name)
+        if m:
+            entries.append((int(m.group(1)), int(m.group(2)), path))
+    for pid, inc, path in sorted(entries):
+        yield pid, inc, read_journal(path)
+
+
+def worker_events(run_dir: str | Path) -> dict[int, list[dict[str, Any]]]:
+    """Per-pid event streams in causal (incarnation, index) order."""
+    out: dict[int, list[dict[str, Any]]] = {}
+    for pid, _inc, events in iter_run_journals(run_dir):
+        out.setdefault(pid, []).extend(events)
+    return out

@@ -1,0 +1,116 @@
+"""File-backed stable storage for the live runtime.
+
+The simulator models stable storage as a queueing system
+(:mod:`repro.storage.stable_storage`); the live runtime writes *actual
+files*.  Each worker owns a per-pid directory under the run directory::
+
+    <run_dir>/P3/
+        tent-C2.json     tentative state CT_{3,2} (optimistic flush)
+        C1.json          finalized checkpoint C_{3,1} = CT ∪ logSet
+        C2.json          ...
+
+Checkpoint files use the exact versioned JSON of
+:mod:`repro.storage.serialize`, so anything that reads simulator exports
+(audits, recovery tooling) reads live checkpoints unchanged.  Writes are
+atomic (tmp file + ``os.replace``) — a SIGKILL mid-write leaves either the
+old generation or the new one, never a torn file, which is what makes
+:func:`durable_global_seq` a sound recovery-line computation: it is the
+live analogue of ``RecoveryManager._durable_seq`` in
+:mod:`repro.recovery.restart` (the largest ``k`` such that every process
+has ``C_{i,k}`` on disk).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any
+
+from ..core.types import FinalizedCheckpoint
+from ..storage.serialize import checkpoint_from_dict
+
+_FINAL_RE = re.compile(r"^C(\d+)\.json$")
+
+
+def _atomic_write(path: Path, payload: dict[str, Any]) -> None:
+    """Write JSON atomically: tmp file in the same dir, then rename."""
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class FileStableStorage:
+    """One worker's on-disk checkpoint directory."""
+
+    def __init__(self, run_dir: str | Path, pid: int) -> None:
+        self.pid = pid
+        self.root = Path(run_dir) / f"P{pid}"
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- writes --------------------------------------------------------------
+
+    def write_tentative(self, csn: int, payload: dict[str, Any]) -> None:
+        """Optimistic flush of ``CT_{i,csn}`` (§3.1: "at its convenience")."""
+        _atomic_write(self.root / f"tent-C{csn}.json", payload)
+
+    def write_finalized(self, csn: int, payload: dict[str, Any]) -> None:
+        """Durable ``C_{i,csn}`` (the serialize-module checkpoint dict)."""
+        _atomic_write(self.root / f"C{csn}.json", payload)
+        # The tentative flush is subsumed by the finalized file.
+        tent = self.root / f"tent-C{csn}.json"
+        if tent.exists():
+            tent.unlink()
+
+    # -- reads ---------------------------------------------------------------
+
+    def finalized_csns(self) -> list[int]:
+        """Generations with a finalized checkpoint on disk, ascending."""
+        out = []
+        for entry in sorted(p.name for p in self.root.iterdir()):
+            m = _FINAL_RE.match(entry)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def load_finalized(self, csn: int) -> FinalizedCheckpoint:
+        """Read ``C_{i,csn}`` back through the versioned decoder."""
+        path = self.root / f"C{csn}.json"
+        return checkpoint_from_dict(
+            json.loads(path.read_text(encoding="utf-8")))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def discard_above(self, seq: int) -> list[int]:
+        """Rollback support: delete generations ``> seq``; returns them."""
+        dropped = [c for c in self.finalized_csns() if c > seq]
+        for csn in dropped:
+            (self.root / f"C{csn}.json").unlink(missing_ok=True)
+        for entry in sorted(p.name for p in self.root.iterdir()):
+            if entry.startswith("tent-"):
+                (self.root / entry).unlink(missing_ok=True)
+        return dropped
+
+    def gc_below(self, floor: int) -> list[int]:
+        """Garbage collection (paper §1): delete generations ``< floor``
+        except the initial checkpoint; returns the deleted csns."""
+        dropped = [c for c in self.finalized_csns() if 0 < c < floor]
+        for csn in dropped:
+            (self.root / f"C{csn}.json").unlink(missing_ok=True)
+        return dropped
+
+
+def durable_global_seq(run_dir: str | Path, n: int) -> int:
+    """Largest ``k`` with ``C_{i,k}`` on disk for *every* pid (0 if none).
+
+    The recovery line a supervisor rolls the system back to after a crash
+    — same selection rule as the simulator's
+    :meth:`repro.recovery.restart.RecoveryManager._durable_seq`, but
+    computed from real files rather than in-memory finalization times.
+    """
+    common: set[int] | None = None
+    for pid in range(n):
+        seqs = set(FileStableStorage(run_dir, pid).finalized_csns())
+        common = seqs if common is None else (common & seqs)
+    return max(common, default=0) if common else 0

@@ -1,0 +1,414 @@
+"""Live run supervisor: spawn workers, inject crashes, verify the run.
+
+``run_live`` is the one entry point (the CLI's ``repro live run`` is a
+thin veneer over it).  It drives a complete live execution:
+
+1. create a run directory (stable-storage subdirectories + journals);
+2. start N workers — asyncio tasks over queue pairs (``transport="local"``)
+   or real OS processes over localhost TCP (``transport="tcp"``);
+3. let the configured workload run for ``duration`` wall seconds while the
+   optimistic protocol checkpoints on real timers;
+4. optionally inject one fail-stop crash (SIGKILL for TCP workers, task
+   kill for local ones) at ``crash_at`` and execute the paper's recovery:
+   compute the recovery line from the on-disk finalized generations
+   (:func:`~repro.live.storage.durable_global_seq` — the live analogue of
+   :class:`repro.recovery.restart.RecoveryManager`), broadcast a
+   ``recover`` order bumping the epoch, and respawn the dead worker
+   through the restart-from-disk path;
+5. stop everything cleanly and replay the journals through
+   :mod:`repro.live.conformance` to assert Theorem 2 on the real run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .conformance import ConformanceReport, replay
+from .host import LiveHost
+from .journal import Journal
+from .storage import FileStableStorage, durable_global_seq
+from .transport import LocalTransport, TcpBroker
+from .wire import recover_frame, stop_frame
+from .workload import LIVE_WORKLOADS, drive, make_traffic
+
+#: Default parent directory for run artifacts (gitignored).
+DEFAULT_RUN_ROOT = ".repro-live"
+
+
+@dataclass
+class LiveRunConfig:
+    """Everything one live run needs (CLI flags map 1:1 onto fields)."""
+
+    n: int = 4
+    transport: str = "local"            # "local" | "tcp"
+    duration: float = 5.0               # wall seconds of application work
+    checkpoint_interval: float = 1.0    # initiation period (wall seconds)
+    timeout: float = 0.5                # convergence timer (wall seconds)
+    workload: str = "uniform"
+    rate: float = 20.0                  # app msgs / process / second
+    msg_size: int = 256
+    seed: int = 0
+    crash_at: float | None = None       # inject a crash this far into the run
+    crash_pid: int | None = None        # victim (default: highest pid)
+    run_dir: str | None = None          # default: .repro-live/run-...
+    stop_grace: float = 10.0            # max wait for clean worker shutdown
+
+    def validate(self) -> None:
+        """Reject configurations that cannot run."""
+        if self.n < 2:
+            raise ValueError("live runs need at least 2 workers")
+        if self.transport not in ("local", "tcp"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.workload not in LIVE_WORKLOADS:
+            raise ValueError(f"unknown live workload {self.workload!r}; "
+                             f"choices: {sorted(LIVE_WORKLOADS)}")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.crash_at is not None and not (
+                0 < self.crash_at < self.duration):
+            raise ValueError("crash_at must fall inside the run duration")
+        if self.crash_pid is not None and not (0 <= self.crash_pid < self.n):
+            raise ValueError(f"crash_pid {self.crash_pid} out of range")
+
+    @property
+    def victim(self) -> int:
+        """The pid a crash injection kills (never P_0, the coordinator,
+        unless explicitly requested — killing the highest pid exercises the
+        general path; crashing P_0 is a separate experiment)."""
+        return self.crash_pid if self.crash_pid is not None else self.n - 1
+
+
+@dataclass
+class CrashOutcome:
+    """What one injected crash-and-recovery actually did."""
+
+    pid: int
+    killed_after: float          # wall seconds into the run
+    recovered_seq: int           # the recovery line rolled back to
+    recovery_seconds: float      # kill → dead worker reconnected
+    epoch: int                   # post-recovery epoch
+
+
+@dataclass
+class LiveRunReport:
+    """Outcome of one live run: conformance verdict + runtime stats."""
+
+    config: LiveRunConfig
+    conformance: ConformanceReport
+    wall_seconds: float
+    crash: CrashOutcome | None = None
+    dropped_frames: int = 0
+    worker_exits: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Acceptance: consistent, ≥1 finalized global checkpoint, and —
+        when a crash was injected — a completed recovery."""
+        recovered = self.config.crash_at is None or self.crash is not None
+        return (self.conformance.consistent
+                and len(self.conformance.rounds_completed) >= 1
+                and recovered)
+
+    @property
+    def msgs_per_sec(self) -> float:
+        """Delivered application messages per wall second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.conformance.receives / self.wall_seconds
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (CLI ``--format json`` / CI assertions)."""
+        out = {
+            "transport": self.config.transport,
+            "n": self.config.n,
+            "duration": self.config.duration,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "msgs_per_sec": round(self.msgs_per_sec, 1),
+            "dropped_frames": self.dropped_frames,
+            "ok": self.ok,
+            "conformance": self.conformance.as_dict(),
+        }
+        if self.crash is not None:
+            out["crash"] = {
+                "pid": self.crash.pid,
+                "killed_after": round(self.crash.killed_after, 3),
+                "recovered_seq": self.crash.recovered_seq,
+                "recovery_seconds": round(self.crash.recovery_seconds, 3),
+                "epoch": self.crash.epoch,
+            }
+        return out
+
+    def render(self) -> str:
+        """Human-readable run summary."""
+        lines = [
+            f"live run — transport={self.config.transport} "
+            f"n={self.config.n} duration={self.config.duration}s",
+            f"  throughput:         {self.msgs_per_sec:.1f} msgs/s "
+            f"({self.conformance.receives} delivered)",
+        ]
+        if self.crash is not None:
+            lines.append(
+                f"  crash/recovery:     P{self.crash.pid} killed at "
+                f"t={self.crash.killed_after:.2f}s, rolled back to "
+                f"S_{self.crash.recovered_seq}, recovered in "
+                f"{self.crash.recovery_seconds:.3f}s")
+        lines.append(self.conformance.render())
+        lines.append(f"  RESULT:             {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+class _SupervisorLog:
+    """The supervisor's own journal (``supervisor.jsonl``)."""
+
+    def __init__(self, run_dir: Path) -> None:
+        self._fh = (run_dir / "supervisor.jsonl").open("a", encoding="utf-8")
+
+    def log(self, ev: str, **data: Any) -> None:
+        """Append one supervisor event with a wall timestamp."""
+        self._fh.write(json.dumps(
+            {"ev": ev, "wall": time.time(), **data}, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+
+_run_counter = 0
+
+
+def _new_run_dir(cfg: LiveRunConfig) -> Path:
+    """Allocate a fresh run directory under :data:`DEFAULT_RUN_ROOT`."""
+    global _run_counter
+    if cfg.run_dir is not None:
+        path = Path(cfg.run_dir)
+    else:
+        _run_counter += 1
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        path = Path(DEFAULT_RUN_ROOT) / (
+            f"run-{stamp}-{os.getpid()}-{_run_counter}")
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def run_live(cfg: LiveRunConfig) -> LiveRunReport:
+    """Execute one complete live run and verify it (blocking wrapper)."""
+    return asyncio.run(run_live_async(cfg))
+
+
+async def run_live_async(cfg: LiveRunConfig) -> LiveRunReport:
+    """Async body of :func:`run_live` (tests drive this directly)."""
+    cfg.validate()
+    run_dir = _new_run_dir(cfg)
+    sup = _SupervisorLog(run_dir)
+    sup.log("run.start", n=cfg.n, transport=cfg.transport,
+            duration=cfg.duration, seed=cfg.seed, workload=cfg.workload,
+            crash_at=cfg.crash_at)
+    started = time.monotonic()
+    try:
+        if cfg.transport == "local":
+            crash, dropped, exits = await _run_local(cfg, run_dir, sup)
+        else:
+            crash, dropped, exits = await _run_tcp(cfg, run_dir, sup)
+    finally:
+        sup.log("run.end")
+        sup.close()
+    wall = time.monotonic() - started
+    conformance = replay(run_dir, cfg.n)
+    report = LiveRunReport(config=cfg, conformance=conformance,
+                           wall_seconds=wall, crash=crash,
+                           dropped_frames=dropped, worker_exits=exits)
+    (run_dir / "report.json").write_text(
+        json.dumps(report.as_dict(), indent=2, sort_keys=True),
+        encoding="utf-8")
+    return report
+
+
+# --------------------------------------------------------------------------
+# local (in-process) backend
+# --------------------------------------------------------------------------
+
+
+class _LocalWorker:
+    """One in-process worker: host + run task + workload driver."""
+
+    def __init__(self, cfg: LiveRunConfig, run_dir: Path,
+                 transport: LocalTransport, pid: int, incarnation: int,
+                 epoch: int, resume_seq: int | None) -> None:
+        self.journal = Journal(run_dir, pid, incarnation)
+        self.host = LiveHost(
+            pid, cfg.n, transport.endpoint(pid),
+            FileStableStorage(run_dir, pid), self.journal,
+            checkpoint_interval=cfg.checkpoint_interval,
+            timeout=cfg.timeout, epoch=epoch, incarnation=incarnation)
+        if resume_seq is not None:
+            self.host.resume(resume_seq)
+        else:
+            self.host.start()
+        traffic = make_traffic(cfg.workload, cfg.n, pid, rate=cfg.rate,
+                               msg_size=cfg.msg_size, seed=cfg.seed,
+                               incarnation=incarnation)
+        self.task = asyncio.ensure_future(self.host.run())
+        self.driver = asyncio.ensure_future(drive(self.host, traffic))
+
+    async def kill(self) -> None:
+        """Fail-stop: cancel both tasks, abandon all in-memory state."""
+        self.driver.cancel()
+        self.task.cancel()
+        await asyncio.gather(self.task, self.driver,
+                             return_exceptions=True)
+        self.journal.close()
+
+    async def join(self, grace: float) -> None:
+        """Wait for a clean stop (the host saw a ``stop`` frame)."""
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(self.task, self.driver), timeout=grace)
+        except asyncio.TimeoutError:
+            await self.kill()
+            return
+        self.journal.close()
+
+
+async def _run_local(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog
+                     ) -> tuple[CrashOutcome | None, int, dict[int, int]]:
+    """Local backend: every worker an asyncio task on this loop."""
+    transport = LocalTransport(cfg.n)
+    epoch = 0
+    workers = {pid: _LocalWorker(cfg, run_dir, transport, pid, 0, epoch,
+                                 None)
+               for pid in range(cfg.n)}
+    started = time.monotonic()
+    crash: CrashOutcome | None = None
+    if cfg.crash_at is not None:
+        await asyncio.sleep(cfg.crash_at)
+        victim = cfg.victim
+        kill_started = time.monotonic()
+        sup.log("crash.inject", pid=victim,
+                at=kill_started - started)
+        await workers[victim].kill()
+        transport.disconnect(victim)
+        seq = durable_global_seq(run_dir, cfg.n)
+        epoch += 1
+        transport.broadcast(recover_frame(epoch, seq))
+        workers[victim] = _LocalWorker(cfg, run_dir, transport, victim, 1,
+                                       epoch, seq)
+        recovery_seconds = time.monotonic() - kill_started
+        crash = CrashOutcome(pid=victim,
+                             killed_after=kill_started - started,
+                             recovered_seq=seq,
+                             recovery_seconds=recovery_seconds,
+                             epoch=epoch)
+        sup.log("crash.recovered", pid=victim, seq=seq, epoch=epoch,
+                recovery_seconds=recovery_seconds)
+        await asyncio.sleep(max(0.0, cfg.duration - cfg.crash_at))
+    else:
+        await asyncio.sleep(cfg.duration)
+    transport.broadcast(stop_frame())
+    for pid in sorted(workers):
+        await workers[pid].join(cfg.stop_grace)
+    exits = {pid: 0 for pid in sorted(workers)}
+    return crash, transport.dropped, exits
+
+
+# --------------------------------------------------------------------------
+# TCP (multi-process) backend
+# --------------------------------------------------------------------------
+
+
+def _worker_env() -> dict[str, str]:
+    """Subprocess environment with ``repro`` importable from source."""
+    src = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src if not existing
+                         else src + os.pathsep + existing)
+    return env
+
+
+def _spawn_worker(cfg: LiveRunConfig, run_dir: Path, port: int, pid: int,
+                  incarnation: int,
+                  resume_seq: int | None) -> subprocess.Popen:
+    """Start one ``python -m repro.live.worker`` OS process."""
+    cmd = [sys.executable, "-m", "repro.live.worker",
+           "--pid", str(pid), "--n", str(cfg.n), "--port", str(port),
+           "--dir", str(run_dir), "--inc", str(incarnation),
+           "--interval", str(cfg.checkpoint_interval),
+           "--timeout", str(cfg.timeout), "--workload", cfg.workload,
+           "--rate", str(cfg.rate), "--msg-size", str(cfg.msg_size),
+           "--seed", str(cfg.seed),
+           "--max-lifetime", str(cfg.duration + 60.0)]
+    if resume_seq is not None:
+        cmd += ["--resume-seq", str(resume_seq)]
+    log = (run_dir / f"worker-P{pid}-{incarnation}.log").open("wb")
+    return subprocess.Popen(cmd, env=_worker_env(), stdout=log, stderr=log)
+
+
+async def _wait_proc(proc: subprocess.Popen, grace: float) -> int:
+    """Await a subprocess exit without blocking the loop; kill on timeout."""
+    loop = asyncio.get_running_loop()
+    try:
+        return await asyncio.wait_for(
+            loop.run_in_executor(None, proc.wait), timeout=grace)
+    except asyncio.TimeoutError:
+        proc.kill()
+        return await loop.run_in_executor(None, proc.wait)
+
+
+async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog
+                   ) -> tuple[CrashOutcome | None, int, dict[int, int]]:
+    """TCP backend: real worker processes over localhost sockets."""
+    broker = TcpBroker(epoch=0)
+    port = await broker.start()
+    sup.log("broker.listening", port=port)
+    procs = {pid: _spawn_worker(cfg, run_dir, port, pid, 0, None)
+             for pid in range(cfg.n)}
+    crash: CrashOutcome | None = None
+    try:
+        await broker.wait_connected(cfg.n, timeout=30.0)
+        started = time.monotonic()
+        if cfg.crash_at is not None:
+            await asyncio.sleep(cfg.crash_at)
+            victim = cfg.victim
+            kill_started = time.monotonic()
+            sup.log("crash.inject", pid=victim, at=kill_started - started)
+            procs[victim].kill()   # SIGKILL — a true fail-stop crash
+            await _wait_proc(procs[victim], grace=10.0)
+            # The recovery line comes from what actually hit the disk.
+            seq = durable_global_seq(run_dir, cfg.n)
+            broker.epoch += 1
+            broker.broadcast(recover_frame(broker.epoch, seq))
+            procs[victim] = _spawn_worker(cfg, run_dir, port, victim, 1,
+                                          seq)
+            await broker.wait_connected(cfg.n, timeout=30.0)
+            recovery_seconds = time.monotonic() - kill_started
+            crash = CrashOutcome(pid=victim,
+                                 killed_after=kill_started - started,
+                                 recovered_seq=seq,
+                                 recovery_seconds=recovery_seconds,
+                                 epoch=broker.epoch)
+            sup.log("crash.recovered", pid=victim, seq=seq,
+                    epoch=broker.epoch,
+                    recovery_seconds=recovery_seconds)
+            await asyncio.sleep(max(0.0, cfg.duration - cfg.crash_at))
+        else:
+            await asyncio.sleep(cfg.duration)
+        broker.broadcast(stop_frame())
+        exits = {}
+        for pid in sorted(procs):
+            exits[pid] = await _wait_proc(procs[pid], cfg.stop_grace)
+        return crash, broker.dropped, exits
+    finally:
+        for pid in sorted(procs):
+            if procs[pid].poll() is None:
+                procs[pid].kill()
+        await broker.close()

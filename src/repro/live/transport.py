@@ -1,0 +1,296 @@
+"""Live transports: in-process queue pairs and real TCP sockets.
+
+Two backends behind one tiny interface.  An :class:`Endpoint` is what a
+:class:`~repro.live.host.LiveHost` holds: ``send(frame)`` is synchronous
+(enqueue / socket-buffer write, never blocks the protocol), ``recv()`` is
+an awaitable that yields the next inbound frame or ``None`` once the
+transport is closed.
+
+* :class:`LocalTransport` — every worker is an asyncio task in one
+  process; frames travel through per-worker :class:`asyncio.Queue` pairs.
+  Zero setup cost; what the fast tests and ``--transport local`` runs use.
+* :class:`TcpBroker` / :class:`connect_tcp` — workers are separate OS
+  processes; each opens one real TCP connection to a broker socket owned
+  by the supervisor, which routes frames by their ``dst`` field (a hub
+  topology: N connections instead of N²; every byte still crosses the
+  loopback TCP stack).  The broker is also the supervisor's injection
+  point for ``recover`` / ``stop`` broadcasts and its crash detector
+  (a SIGKILLed worker surfaces as a connection reset).
+
+Both backends preserve per-sender FIFO order, which the epoch-based
+stale-message filter relies on (a ``recover`` broadcast is written to
+every peer before any post-recovery frame can be routed to it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+from .wire import (
+    SUPERVISOR,
+    check_handshake,
+    decode_frame,
+    encode_frame,
+    hello_frame,
+    welcome_frame,
+)
+
+
+class Endpoint:
+    """Interface a live host drives: sync send, awaitable recv."""
+
+    pid: int
+
+    def send(self, frame: dict[str, Any]) -> None:
+        """Queue one frame for delivery to ``frame['dst']``."""
+        raise NotImplementedError
+
+    async def recv(self) -> dict[str, Any] | None:
+        """Next inbound frame, or ``None`` once the transport closed."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear the endpoint down (idempotent)."""
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# in-process backend
+# --------------------------------------------------------------------------
+
+
+class LocalTransport:
+    """All workers in one event loop; frames through asyncio queues."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._queues: dict[int, asyncio.Queue] = {
+            pid: asyncio.Queue() for pid in range(n)}
+        #: Frames addressed to a disconnected pid (crashed worker).
+        self.dropped = 0
+
+    def endpoint(self, pid: int) -> "LocalEndpoint":
+        """The endpoint for worker ``pid`` (reconnects after a crash)."""
+        if pid not in self._queues:
+            self._queues[pid] = asyncio.Queue()
+        return LocalEndpoint(self, pid)
+
+    def route(self, frame: dict[str, Any]) -> None:
+        """Deliver a frame to its ``dst`` queue (drop if disconnected)."""
+        queue = self._queues.get(frame["dst"])
+        if queue is None:
+            self.dropped += 1
+            return
+        queue.put_nowait(frame)
+
+    def disconnect(self, pid: int) -> None:
+        """Simulate a crash: discard the worker's queue and future frames."""
+        self._queues.pop(pid, None)
+
+    def inject(self, dst: int, frame: dict[str, Any]) -> None:
+        """Supervisor-originated frame to one worker."""
+        queue = self._queues.get(dst)
+        if queue is not None:
+            queue.put_nowait(frame)
+
+    def broadcast(self, frame: dict[str, Any]) -> None:
+        """Supervisor-originated frame to every connected worker."""
+        for pid in sorted(self._queues):
+            self._queues[pid].put_nowait(frame)
+
+
+class LocalEndpoint(Endpoint):
+    """One worker's handle on a :class:`LocalTransport`."""
+
+    def __init__(self, transport: LocalTransport, pid: int) -> None:
+        self.transport = transport
+        self.pid = pid
+        self._closed = False
+
+    def send(self, frame: dict[str, Any]) -> None:
+        """Route the frame through the shared in-process switch."""
+        if not self._closed:
+            self.transport.route(frame)
+
+    async def recv(self) -> dict[str, Any] | None:
+        """Wait on this worker's queue."""
+        queue = self.transport._queues.get(self.pid)
+        if self._closed or queue is None:
+            return None
+        return await queue.get()
+
+    def close(self) -> None:
+        """Stop sending; the queue stays until ``disconnect``."""
+        self._closed = True
+
+
+# --------------------------------------------------------------------------
+# TCP backend
+# --------------------------------------------------------------------------
+
+
+class TcpBroker:
+    """Supervisor-side hub: accepts worker connections, routes frames.
+
+    ``on_disconnect`` (if set) is called with the pid whenever a worker's
+    connection drops — the supervisor's crash detector.
+    """
+
+    def __init__(self, epoch: int = 0) -> None:
+        self.epoch = epoch
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._connected = asyncio.Event()
+        self.port: int | None = None
+        #: Frames addressed to a pid with no live connection.
+        self.dropped = 0
+        self.on_disconnect: Callable[[int], None] | None = None
+        #: Frames workers addressed to the supervisor (unused for now, kept
+        #: so the wire format has a worker→supervisor path).
+        self.inbox: asyncio.Queue = asyncio.Queue()
+
+    async def start(self) -> int:
+        """Listen on an ephemeral localhost port; returns the port."""
+        self._server = await asyncio.start_server(
+            self._handle, host="127.0.0.1", port=0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    @property
+    def connected_pids(self) -> list[int]:
+        """Pids with a live connection, ascending."""
+        return sorted(self._writers)
+
+    async def wait_connected(self, n: int, timeout: float = 10.0) -> None:
+        """Block until ``n`` workers are connected (raises on timeout)."""
+
+        async def _wait() -> None:
+            while len(self._writers) < n:
+                self._connected.clear()
+                await self._connected.wait()
+
+        await asyncio.wait_for(_wait(), timeout)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """Per-connection task: handshake, then route until EOF."""
+        pid = None
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            hello = check_handshake(decode_frame(line), "hello")
+            pid = hello["pid"]
+            self._writers[pid] = writer
+            writer.write(encode_frame(welcome_frame(self.epoch)))
+            self._connected.set()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                self.route(decode_frame(line))
+        except (ConnectionError, ValueError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if pid is not None and self._writers.get(pid) is writer:
+                del self._writers[pid]
+                if self.on_disconnect is not None:
+                    self.on_disconnect(pid)
+            writer.close()
+
+    def route(self, frame: dict[str, Any]) -> None:
+        """Forward a frame to its destination worker (or the inbox)."""
+        dst = frame["dst"]
+        if dst == SUPERVISOR:
+            self.inbox.put_nowait(frame)
+            return
+        writer = self._writers.get(dst)
+        if writer is None:
+            self.dropped += 1
+            return
+        writer.write(encode_frame(frame))
+
+    def inject(self, dst: int, frame: dict[str, Any]) -> None:
+        """Supervisor-originated frame to one worker."""
+        writer = self._writers.get(dst)
+        if writer is not None:
+            writer.write(encode_frame(frame))
+
+    def broadcast(self, frame: dict[str, Any]) -> None:
+        """Supervisor-originated frame to every connected worker."""
+        data = encode_frame(frame)
+        for pid in sorted(self._writers):
+            self._writers[pid].write(data)
+
+    async def close(self) -> None:
+        """Close the listener and every worker connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for pid in sorted(self._writers):
+            self._writers[pid].close()
+        self._writers.clear()
+
+
+class TcpEndpoint(Endpoint):
+    """Worker-side handle on one broker connection."""
+
+    def __init__(self, pid: int, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, epoch: int) -> None:
+        self.pid = pid
+        self._reader = reader
+        self._writer = writer
+        #: Recovery epoch the broker reported at handshake time.
+        self.epoch = epoch
+        self._closed = False
+
+    def send(self, frame: dict[str, Any]) -> None:
+        """Write the frame into the socket buffer (never blocks)."""
+        if not self._closed:
+            self._writer.write(encode_frame(frame))
+
+    async def recv(self) -> dict[str, Any] | None:
+        """Next frame from the broker; ``None`` on EOF/reset."""
+        if self._closed:
+            return None
+        try:
+            line = await self._reader.readline()
+        except ConnectionError:
+            return None
+        if not line:
+            return None
+        return decode_frame(line)
+
+    async def drain(self) -> None:
+        """Flow-control flush of the socket buffer."""
+        if not self._closed:
+            await self._writer.drain()
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._writer.close()
+
+
+async def connect_tcp(port: int, pid: int, incarnation: int,
+                      host: str = "127.0.0.1",
+                      timeout: float = 10.0) -> TcpEndpoint:
+    """Open a worker connection to the broker and run the handshake."""
+
+    async def _handshake() -> TcpEndpoint:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(encode_frame(hello_frame(pid, incarnation)))
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("broker closed during handshake")
+        welcome = check_handshake(decode_frame(line), "welcome")
+        return TcpEndpoint(pid, reader, writer, epoch=welcome["epoch"])
+
+    return await asyncio.wait_for(_handshake(), timeout)
+
+
+#: Convenience alias used by supervisor type hints.
+RecvLoop = Callable[[], Awaitable[dict[str, Any] | None]]

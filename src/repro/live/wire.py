@@ -1,0 +1,135 @@
+"""Live wire format: newline-delimited JSON frames between real processes.
+
+Both live transports (in-process queue pairs and TCP sockets, see
+:mod:`repro.live.transport`) carry the same frames.  A frame is one JSON
+object per line; the protocol payloads inside it — the paper's
+``(csn, stat, tentSet)`` piggyback and ``CM(type, csn)`` control message —
+use the version-stamped encoders of :mod:`repro.storage.serialize`, so the
+simulator, the checkpoint files, and the live wire share one format.
+
+Frame kinds
+-----------
+
+``hello`` / ``welcome``
+    Connection handshake (worker → broker / broker → worker).  Both carry
+    the wire version; a mismatch fails the connection immediately instead
+    of corrupting a run.
+``app``
+    One application message: src, dst, uid, payload size, the sender's
+    piggyback, and the sender's recovery epoch.
+``ctl``
+    One protocol control message (CK_BGN / CK_REQ / CK_END) plus epoch.
+``recover``
+    Supervisor broadcast: roll back to finalized generation ``seq`` and
+    enter recovery ``epoch`` (the live analogue of
+    :class:`repro.recovery.restart.RecoveryManager`'s system-wide rollback).
+``stop``
+    Supervisor broadcast: finish up, flush journals, exit cleanly.
+
+Epochs implement the "drop in-flight messages of the discarded execution"
+rule: every data frame is stamped with the sender's epoch and receivers
+discard frames from older epochs after a rollback.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.types import ControlMessage, Piggyback
+from ..storage.serialize import (
+    WIRE_VERSION,
+    control_message_from_dict,
+    control_message_to_dict,
+    piggyback_from_dict,
+    piggyback_to_dict,
+)
+
+#: Destination pid denoting the supervisor/broker itself.
+SUPERVISOR = -1
+
+#: Maximum incarnations per pid encodable in a message uid.
+MAX_INCARNATIONS = 1 << 10
+
+
+def make_uid(pid: int, incarnation: int, counter: int) -> int:
+    """Globally-unique message uid across processes and restarts.
+
+    Layout: ``(pid * MAX_INCARNATIONS + incarnation) << 32 | counter`` —
+    uids from a crashed incarnation can never collide with uids minted
+    after the restart, which keeps the conformance replay's endpoint map
+    unambiguous.
+    """
+    if not (0 <= incarnation < MAX_INCARNATIONS):
+        raise ValueError(f"incarnation {incarnation} out of range")
+    return ((pid * MAX_INCARNATIONS + incarnation) << 32) | counter
+
+
+def encode_frame(frame: dict[str, Any]) -> bytes:
+    """One frame as a newline-terminated JSON line."""
+    return (json.dumps(frame, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> dict[str, Any]:
+    """Parse one wire line back into a frame dict."""
+    frame = json.loads(line.decode("utf-8"))
+    if not isinstance(frame, dict) or "t" not in frame:
+        raise ValueError(f"malformed frame: {line!r}")
+    return frame
+
+
+def hello_frame(pid: int, incarnation: int) -> dict[str, Any]:
+    """Handshake sent by a worker right after connecting."""
+    return {"t": "hello", "v": WIRE_VERSION, "pid": pid,
+            "inc": incarnation}
+
+
+def welcome_frame(epoch: int) -> dict[str, Any]:
+    """Handshake reply carrying the current recovery epoch."""
+    return {"t": "welcome", "v": WIRE_VERSION, "epoch": epoch}
+
+
+def check_handshake(frame: dict[str, Any], expect: str) -> dict[str, Any]:
+    """Validate a handshake frame's kind and wire version."""
+    if frame.get("t") != expect:
+        raise ValueError(f"expected {expect} frame, got {frame.get('t')!r}")
+    if frame.get("v") != WIRE_VERSION:
+        raise ValueError(
+            f"wire version mismatch: peer speaks {frame.get('v')!r}, "
+            f"we speak {WIRE_VERSION}")
+    return frame
+
+
+def app_frame(src: int, dst: int, uid: int, size: int, pb: Piggyback,
+              epoch: int) -> dict[str, Any]:
+    """One application message with its protocol piggyback."""
+    return {"t": "app", "src": src, "dst": dst, "uid": uid, "size": size,
+            "pb": piggyback_to_dict(pb), "epoch": epoch}
+
+
+def ctl_frame(src: int, dst: int, cm: ControlMessage,
+              epoch: int) -> dict[str, Any]:
+    """One protocol control message."""
+    return {"t": "ctl", "src": src, "dst": dst,
+            "cm": control_message_to_dict(cm), "epoch": epoch}
+
+
+def recover_frame(epoch: int, seq: int) -> dict[str, Any]:
+    """Supervisor order: roll back to generation ``seq``, enter ``epoch``."""
+    return {"t": "recover", "epoch": epoch, "seq": seq}
+
+
+def stop_frame() -> dict[str, Any]:
+    """Supervisor order: shut down cleanly."""
+    return {"t": "stop"}
+
+
+def frame_piggyback(frame: dict[str, Any]) -> Piggyback:
+    """Decode the piggyback carried by an ``app`` frame."""
+    return piggyback_from_dict(frame["pb"])
+
+
+def frame_control(frame: dict[str, Any]) -> ControlMessage:
+    """Decode the control message carried by a ``ctl`` frame."""
+    return control_message_from_dict(frame["cm"])

@@ -1,0 +1,97 @@
+"""Live worker process: ``python -m repro.live.worker``.
+
+One OS process running one :class:`~repro.live.host.LiveHost` over a TCP
+connection to the supervisor's broker.  The supervisor spawns N of these
+(:mod:`repro.live.supervisor`), SIGKILLs them to inject crashes, and
+respawns them with ``--resume-seq`` so the restart goes through the
+restart-from-disk path: load the finalized generation from the worker's
+stable-storage directory, restore the replay digest, rejoin the protocol.
+
+The worker is deliberately dumb: it never decides to stop or recover on
+its own — ``stop`` and ``recover`` frames from the supervisor drive the
+lifecycle, and a dropped broker connection ends the process (crash-safe
+default).  ``--max-lifetime`` is a belt-and-braces wall-clock bound so an
+orphaned worker can never outlive a dead supervisor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import Sequence
+
+from .host import LiveHost
+from .journal import Journal
+from .storage import FileStableStorage
+from .transport import connect_tcp
+from .workload import LIVE_WORKLOADS, drive, make_traffic
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Worker argv schema (the supervisor is the only intended caller)."""
+    p = argparse.ArgumentParser(prog="repro-live-worker")
+    p.add_argument("--pid", type=int, required=True)
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--dir", required=True, help="run directory")
+    p.add_argument("--inc", type=int, default=0,
+                   help="incarnation number (0 = first spawn)")
+    p.add_argument("--resume-seq", type=int, default=None,
+                   help="restart-from-disk: roll forward from this "
+                        "finalized generation")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="checkpoint initiation interval (wall seconds)")
+    p.add_argument("--timeout", type=float, default=0.5,
+                   help="convergence timer (wall seconds)")
+    p.add_argument("--workload", default="uniform",
+                   choices=sorted(LIVE_WORKLOADS))
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="app messages per process per second")
+    p.add_argument("--msg-size", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-lifetime", type=float, default=120.0,
+                   help="hard wall-clock bound on this process")
+    return p
+
+
+async def async_main(args: argparse.Namespace) -> int:
+    """Connect, (re)start the host, drive traffic until stopped."""
+    endpoint = await connect_tcp(args.port, args.pid, args.inc)
+    storage = FileStableStorage(args.dir, args.pid)
+    journal = Journal(args.dir, args.pid, args.inc)
+    host = LiveHost(
+        args.pid, args.n, endpoint, storage, journal,
+        checkpoint_interval=args.interval, timeout=args.timeout,
+        epoch=endpoint.epoch, incarnation=args.inc)
+    if args.resume_seq is not None:
+        host.resume(args.resume_seq)
+    else:
+        host.start()
+    traffic = make_traffic(args.workload, args.n, args.pid, rate=args.rate,
+                           msg_size=args.msg_size, seed=args.seed,
+                           incarnation=args.inc)
+    driver = asyncio.ensure_future(drive(host, traffic))
+    try:
+        await asyncio.wait_for(host.run(), timeout=args.max_lifetime)
+    except asyncio.TimeoutError:
+        host.stop()
+    finally:
+        driver.cancel()
+        try:
+            await driver
+        except asyncio.CancelledError:
+            pass
+        await endpoint.drain()
+        endpoint.close()
+        journal.close()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Process entry point; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    return asyncio.run(async_main(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    raise SystemExit(main())

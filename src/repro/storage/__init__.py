@@ -11,10 +11,16 @@ from .networked import RemoteStorage, StorageServer, install_ack_shim
 from .serialize import (
     checkpoint_from_dict,
     checkpoint_to_dict,
+    control_message_from_dict,
+    control_message_to_dict,
     dumps_checkpoint,
     export_run,
     import_run,
     loads_checkpoint,
+    log_entry_from_dict,
+    log_entry_to_dict,
+    piggyback_from_dict,
+    piggyback_to_dict,
 )
 from .space import SpaceKey, SpaceTracker
 from .stable_storage import StableStorage, WriteRequest
@@ -32,8 +38,14 @@ __all__ = [
     "checkpoint_from_dict",
     "install_ack_shim",
     "checkpoint_to_dict",
+    "control_message_from_dict",
+    "control_message_to_dict",
     "dumps_checkpoint",
     "export_run",
     "import_run",
     "loads_checkpoint",
+    "log_entry_from_dict",
+    "log_entry_to_dict",
+    "piggyback_from_dict",
+    "piggyback_to_dict",
 ]

@@ -1,14 +1,19 @@
-"""Checkpoint serialization: durable JSON form of finalized checkpoints.
+"""Checkpoint and wire serialization: durable JSON forms of protocol data.
 
-A real deployment writes checkpoints to files; downstream tools (recovery
-orchestrators, audits) need to read them back.  This module gives every
-finalized checkpoint a self-contained JSON representation with a
+A real deployment writes checkpoints to files and sends protocol state
+over sockets; downstream tools (recovery orchestrators, audits, the
+:mod:`repro.live` runtime) need to read both back.  This module gives
+every finalized checkpoint a self-contained JSON representation with a
 round-trip guarantee, plus a whole-run export that mirrors what a file
-server's checkpoint directory would contain.
+server's checkpoint directory would contain, plus the *wire* encodings of
+the paper's two cross-process payloads — the ``(csn, stat, tentSet)``
+piggyback (§3.4.2) and the ``CM(type, csn)`` control message (§3.5.1) —
+used verbatim by the live transports.
 
-The format is versioned and intentionally boring: one JSON object per
-checkpoint with the tentative-state metadata, the selective log, and the
-verification sets.
+Every encoding is version-stamped and intentionally boring: checkpoint
+files carry ``format_version`` (:data:`FORMAT_VERSION`), wire payloads
+carry ``v`` (:data:`WIRE_VERSION`), and every decoder validates the stamp
+so either format can evolve without silently misreading old data.
 """
 
 from __future__ import annotations
@@ -16,9 +21,68 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from ..core.types import FinalizedCheckpoint, LogEntry, TentativeCheckpoint
+from ..core.types import (
+    ControlMessage,
+    ControlType,
+    FinalizedCheckpoint,
+    LogEntry,
+    Piggyback,
+    Status,
+    TentativeCheckpoint,
+)
 
+#: On-disk checkpoint format version (files under a checkpoint directory).
 FORMAT_VERSION = 1
+
+#: Wire format version for cross-process payloads (piggybacks, control
+#: messages, live-runtime frames).  Bumped independently of the checkpoint
+#: file format — the two evolve on different schedules.
+WIRE_VERSION = 1
+
+
+def _check_wire_version(data: dict[str, Any], what: str) -> None:
+    """Reject payloads stamped with an unknown wire version."""
+    version = data.get("v")
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"unsupported {what} wire version {version!r} "
+            f"(expected {WIRE_VERSION})")
+
+
+def piggyback_to_dict(pb: Piggyback) -> dict[str, Any]:
+    """JSON-ready form of the ``(csn, stat, tentSet)`` piggyback."""
+    return {"v": WIRE_VERSION, "csn": pb.csn, "stat": pb.stat.value,
+            "tent_set": sorted(pb.tent_set)}
+
+
+def piggyback_from_dict(data: dict[str, Any]) -> Piggyback:
+    """Inverse of :func:`piggyback_to_dict` (validates the version stamp)."""
+    _check_wire_version(data, "piggyback")
+    return Piggyback(csn=data["csn"], stat=Status(data["stat"]),
+                     tent_set=frozenset(data["tent_set"]))
+
+
+def control_message_to_dict(cm: ControlMessage) -> dict[str, Any]:
+    """JSON-ready form of a ``CM(type, csn)`` control message."""
+    return {"v": WIRE_VERSION, "ctype": cm.ctype.value, "csn": cm.csn}
+
+
+def control_message_from_dict(data: dict[str, Any]) -> ControlMessage:
+    """Inverse of :func:`control_message_to_dict` (validates the stamp)."""
+    _check_wire_version(data, "control message")
+    return ControlMessage(ctype=ControlType(data["ctype"]), csn=data["csn"])
+
+
+def log_entry_to_dict(entry: LogEntry) -> dict[str, Any]:
+    """JSON-ready form of one selective-log entry."""
+    return {"uid": entry.uid, "bytes": entry.nbytes,
+            "direction": entry.direction, "time": entry.time}
+
+
+def log_entry_from_dict(data: dict[str, Any]) -> LogEntry:
+    """Inverse of :func:`log_entry_to_dict`."""
+    return LogEntry(uid=data["uid"], nbytes=data["bytes"],
+                    direction=data["direction"], time=data["time"])
 
 
 def checkpoint_to_dict(fc: FinalizedCheckpoint) -> dict[str, Any]:
@@ -36,11 +100,7 @@ def checkpoint_to_dict(fc: FinalizedCheckpoint) -> dict[str, Any]:
             "digest": fc.tentative.digest,
             "full": fc.tentative.full,
         },
-        "log": [
-            {"uid": e.uid, "bytes": e.nbytes, "direction": e.direction,
-             "time": e.time}
-            for e in fc.log_entries
-        ],
+        "log": [log_entry_to_dict(e) for e in fc.log_entries],
         "new_sent_uids": sorted(fc.new_sent_uids),
         "new_recv_uids": sorted(fc.new_recv_uids),
     }
@@ -58,9 +118,7 @@ def checkpoint_from_dict(data: dict[str, Any]) -> FinalizedCheckpoint:
         pid=data["pid"], csn=data["csn"], taken_at=t["taken_at"],
         state_bytes=t["state_bytes"], flushed_at=t["flushed_at"],
         digest=t.get("digest", 0), full=t.get("full", True))
-    entries = [LogEntry(uid=e["uid"], nbytes=e["bytes"],
-                        direction=e["direction"], time=e["time"])
-               for e in data["log"]]
+    entries = [log_entry_from_dict(e) for e in data["log"]]
     return FinalizedCheckpoint(
         pid=data["pid"], csn=data["csn"], tentative=ct,
         finalized_at=data["finalized_at"], log_entries=entries,

@@ -98,6 +98,18 @@ def _finding(rule_id: str, sf: SourceFile, node: ast.AST, msg: str) -> Finding:
                    col=getattr(node, "col_offset", 0), message=msg)
 
 
+def _prefix_match(module: str, prefixes: Sequence[str]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+#: Packages that run on real wall-clock time with OS-entropy randomness *by
+#: design*: the live runtime exists precisely to execute the protocol
+#: outside the simulated clock, so the determinism rules REP001/REP002 do
+#: not apply there.  Both spellings occur depending on the lint root
+#: (``src/repro`` → ``repro.live.*``; the package dir itself → ``live.*``).
+LIVE_PACKAGES = ("repro.live", "live")
+
+
 # --------------------------------------------------------------------------
 # REP001 — wall clock
 # --------------------------------------------------------------------------
@@ -112,11 +124,17 @@ _WALL_CLOCK = {
 
 
 class WallClockRule:
-    """REP001: wall-clock reads — simulated code uses ``sim.now``."""
+    """REP001: wall-clock reads — simulated code uses ``sim.now``.
+
+    Scoped to the simulation packages: :data:`LIVE_PACKAGES` run on the
+    real clock by design and are exempt.
+    """
 
     rule_id = "REP001"
 
     def __call__(self, sf: SourceFile) -> list[Finding]:
+        if _prefix_match(sf.module, LIVE_PACKAGES):
+            return []
         aliases = _alias_map(sf.tree)
         out = []
         for node in ast.walk(sf.tree):
@@ -140,11 +158,18 @@ _NP_RANDOM_ALLOWED = {
 
 
 class RandomnessRule:
-    """REP002: unseeded randomness outside RngRegistry streams."""
+    """REP002: unseeded randomness outside RngRegistry streams.
+
+    Scoped like REP001: :data:`LIVE_PACKAGES` seed their own per-worker
+    ``random.Random`` instances (see :mod:`repro.live.workload`) and are
+    exempt from the RngRegistry requirement.
+    """
 
     rule_id = "REP002"
 
     def __call__(self, sf: SourceFile) -> list[Finding]:
+        if _prefix_match(sf.module, LIVE_PACKAGES):
+            return []
         aliases = _alias_map(sf.tree)
         out = []
         for node in ast.walk(sf.tree):
@@ -342,10 +367,6 @@ PURE_MODULES = (
 IMPURE_PACKAGES = ("repro.des", "repro.net", "repro.storage")
 #: Pure-data exemptions (no simulator machinery; see module docstring).
 LAYERING_ALLOWED = ("repro.des.trace",)
-
-
-def _prefix_match(module: str, prefixes: Sequence[str]) -> bool:
-    return any(module == p or module.startswith(p + ".") for p in prefixes)
 
 
 class LayeringRule:

@@ -1,0 +1,1 @@
+"""Tests for the live asyncio runtime (repro.live)."""

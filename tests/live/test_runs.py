@@ -1,0 +1,121 @@
+"""End-to-end live runs: real timers, real concurrency, verified.
+
+Short wall-clock runs (tight intervals) so the whole module stays a few
+seconds; the CI ``live-smoke`` job runs the full acceptance configuration.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.live import (
+    LiveRunConfig,
+    run_live_async,
+    supervisor_events,
+    worker_events,
+)
+
+
+def fast_cfg(tmp_path, **overrides) -> LiveRunConfig:
+    base = dict(n=3, transport="local", duration=1.2,
+                checkpoint_interval=0.25, timeout=0.12, rate=60.0,
+                seed=7, run_dir=str(tmp_path / "run"))
+    base.update(overrides)
+    return LiveRunConfig(**base)
+
+
+class TestLocalRun:
+    def test_clean_run_is_consistent_with_rounds(self, tmp_path):
+        report = asyncio.run(run_live_async(fast_cfg(tmp_path)))
+        assert report.ok, report.render()
+        assert report.conformance.consistent
+        assert len(report.conformance.rounds_completed) >= 1
+        assert report.conformance.receives > 0
+        assert report.dropped_frames == 0
+        assert report.msgs_per_sec > 0
+
+    def test_finalized_digests_match_disk(self, tmp_path):
+        # The journal's finalize digests must equal what replaying the
+        # on-disk checkpoint (CT digest folded over the log) yields —
+        # journal, memory, and disk agreeing is the whole point.
+        from repro.live import FileStableStorage
+
+        cfg = fast_cfg(tmp_path)
+        asyncio.run(run_live_async(cfg))
+        checked = 0
+        for pid, events in worker_events(cfg.run_dir).items():
+            st = FileStableStorage(cfg.run_dir, pid)
+            on_disk = set(st.finalized_csns())
+            for ev in events:
+                if ev["ev"] == "finalize" and ev["csn"] in on_disk:
+                    fc = st.load_finalized(ev["csn"])
+                    assert fc.replay_digest() == ev["digest"], (pid, ev)
+                    checked += 1
+        assert checked >= 3
+
+    def test_crash_recovery_round_trip(self, tmp_path):
+        cfg = fast_cfg(tmp_path, duration=2.2, crash_at=1.0)
+        report = asyncio.run(run_live_async(cfg))
+        assert report.ok, report.render()
+        assert report.crash is not None
+        assert report.crash.pid == 2  # default victim: highest pid
+        assert report.conformance.rollbacks >= cfg.n  # all rolled back
+        assert report.conformance.consistent
+        # The victim restarted through resume(): its incarnation-1 journal
+        # opens with a start(resume=seq) then the rollback restoring it.
+        victim = [e for e in worker_events(cfg.run_dir)[2] if e["inc"] == 1]
+        assert victim[0]["ev"] == "start"
+        assert victim[0]["resume"] == report.crash.recovered_seq
+        assert victim[1]["ev"] == "rollback"
+        assert victim[1]["seq"] == report.crash.recovered_seq
+
+    def test_supervisor_journal_records_the_crash(self, tmp_path):
+        cfg = fast_cfg(tmp_path, duration=2.2, crash_at=1.0)
+        asyncio.run(run_live_async(cfg))
+        kinds = [e["ev"] for e in supervisor_events(cfg.run_dir)]
+        assert kinds[0] == "run.start" and kinds[-1] == "run.end"
+        assert "crash.inject" in kinds and "crash.recovered" in kinds
+
+    def test_report_json_written(self, tmp_path):
+        import json
+        from pathlib import Path
+
+        cfg = fast_cfg(tmp_path)
+        report = asyncio.run(run_live_async(cfg))
+        payload = json.loads(
+            (Path(cfg.run_dir) / "report.json").read_text())
+        assert payload["ok"] == report.ok
+        assert payload["conformance"]["consistent"]
+
+    def test_config_validation(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError, match="at least 2"):
+            LiveRunConfig(n=1).validate()
+        with pytest.raises(ValueError, match="transport"):
+            LiveRunConfig(transport="carrier-pigeon").validate()
+        with pytest.raises(ValueError, match="crash_at"):
+            LiveRunConfig(duration=2.0, crash_at=5.0).validate()
+        with pytest.raises(ValueError, match="workload"):
+            LiveRunConfig(workload="nope").validate()
+        with pytest.raises(ValueError, match="crash_pid"):
+            LiveRunConfig(n=3, crash_pid=3, crash_at=1.0).validate()
+
+
+class TestRingWorkload:
+    def test_ring_traffic_run(self, tmp_path):
+        cfg = fast_cfg(tmp_path, workload="ring", rate=40.0)
+        report = asyncio.run(run_live_async(cfg))
+        assert report.ok, report.render()
+
+
+class TestTcpRun:
+    def test_tcp_processes_run_is_consistent(self, tmp_path):
+        # Real OS worker processes over localhost sockets.
+        cfg = fast_cfg(tmp_path, transport="tcp", duration=2.0,
+                       checkpoint_interval=0.4, timeout=0.2, rate=40.0)
+        report = asyncio.run(run_live_async(cfg))
+        assert report.ok, report.render()
+        assert all(code == 0 for code in report.worker_exits.values()), (
+            report.worker_exits)
+        assert len(report.conformance.rounds_completed) >= 1

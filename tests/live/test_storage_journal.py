@@ -1,0 +1,112 @@
+"""File-backed stable storage and crash-safe journal tests."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.types import FinalizedCheckpoint, TentativeCheckpoint
+from repro.live.journal import Journal, read_journal, worker_events
+from repro.live.storage import FileStableStorage, durable_global_seq
+from repro.storage import checkpoint_to_dict
+
+
+def make_checkpoint(pid: int, csn: int, digest: int = 0) -> dict:
+    ct = TentativeCheckpoint(pid=pid, csn=csn, taken_at=1.0, state_bytes=0,
+                             flushed_at=1.5, digest=digest)
+    fc = FinalizedCheckpoint(pid=pid, csn=csn, tentative=ct,
+                             finalized_at=2.0, reason="test")
+    return checkpoint_to_dict(fc)
+
+
+class TestFileStableStorage:
+    def test_finalized_round_trip(self, tmp_path):
+        st = FileStableStorage(tmp_path, 1)
+        st.write_finalized(2, make_checkpoint(1, 2, digest=42))
+        fc = st.load_finalized(2)
+        assert fc.pid == 1 and fc.csn == 2
+        assert fc.tentative.digest == 42
+
+    def test_finalize_subsumes_tentative_flush(self, tmp_path):
+        st = FileStableStorage(tmp_path, 0)
+        st.write_tentative(1, {"csn": 1})
+        assert (st.root / "tent-C1.json").exists()
+        st.write_finalized(1, make_checkpoint(0, 1))
+        assert not (st.root / "tent-C1.json").exists()
+        assert st.finalized_csns() == [1]
+
+    def test_no_torn_tmp_files_left_behind(self, tmp_path):
+        st = FileStableStorage(tmp_path, 0)
+        st.write_finalized(1, make_checkpoint(0, 1))
+        assert not list(st.root.glob("*.tmp"))
+
+    def test_discard_above_drops_rolled_back_generations(self, tmp_path):
+        st = FileStableStorage(tmp_path, 0)
+        for csn in range(4):
+            st.write_finalized(csn, make_checkpoint(0, csn))
+        st.write_tentative(4, {"csn": 4})
+        dropped = st.discard_above(1)
+        assert dropped == [2, 3]
+        assert st.finalized_csns() == [0, 1]
+        assert not list(st.root.glob("tent-*"))
+
+    def test_gc_below_keeps_initial_checkpoint(self, tmp_path):
+        st = FileStableStorage(tmp_path, 0)
+        for csn in range(5):
+            st.write_finalized(csn, make_checkpoint(0, csn))
+        assert st.gc_below(3) == [1, 2]
+        assert st.finalized_csns() == [0, 3, 4]
+
+    def test_durable_global_seq_is_common_prefix_max(self, tmp_path):
+        for pid, top in ((0, 3), (1, 2), (2, 4)):
+            st = FileStableStorage(tmp_path, pid)
+            for csn in range(top + 1):
+                st.write_finalized(csn, make_checkpoint(pid, csn))
+        # Every pid has C_2 on disk; only some have C_3/C_4.
+        assert durable_global_seq(tmp_path, 3) == 2
+
+    def test_durable_global_seq_empty_run_is_zero(self, tmp_path):
+        assert durable_global_seq(tmp_path, 2) == 0
+
+
+class TestJournal:
+    def test_log_and_read_round_trip(self, tmp_path):
+        j = Journal(tmp_path, 3, 0)
+        j.log("start", epoch=0, resume=None)
+        j.log("send", uid=11, dst=1, size=64)
+        j.close()
+        events = read_journal(j.path)
+        assert [e["ev"] for e in events] == ["start", "send"]
+        assert events[1]["uid"] == 11
+        assert events[0]["idx"] == 0 and events[1]["idx"] == 1
+        assert all(e["pid"] == 3 and e["inc"] == 0 for e in events)
+
+    def test_torn_last_line_skipped(self, tmp_path):
+        j = Journal(tmp_path, 0, 0)
+        j.log("start", epoch=0, resume=None)
+        j.log("send", uid=1, dst=1, size=0)
+        j.close()
+        # Simulate a SIGKILL mid-write: truncate inside the final line.
+        raw = j.path.read_text(encoding="utf-8")
+        j.path.write_text(raw[:-10], encoding="utf-8")
+        events = read_journal(j.path)
+        assert [e["ev"] for e in events] == ["start"]
+
+    def test_worker_events_merges_incarnations_in_order(self, tmp_path):
+        j0 = Journal(tmp_path, 1, 0)
+        j0.log("start", epoch=0, resume=None)
+        j0.log("send", uid=5, dst=0, size=0)
+        j0.close()
+        j1 = Journal(tmp_path, 1, 1)
+        j1.log("start", epoch=1, resume=2)
+        j1.close()
+        per_pid = worker_events(tmp_path)
+        assert list(per_pid) == [1]
+        kinds = [(e["inc"], e["ev"]) for e in per_pid[1]]
+        assert kinds == [(0, "start"), (0, "send"), (1, "start")]
+
+    def test_events_are_flushed_immediately(self, tmp_path):
+        j = Journal(tmp_path, 0, 0)
+        j.log("start", epoch=0, resume=None)
+        # Readable before close — what makes SIGKILL journaling work.
+        assert json.loads(j.path.read_text().strip())["ev"] == "start"
+        j.close()

@@ -1,0 +1,148 @@
+"""Transport backend tests: queue pairs and real TCP sockets."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.live.transport import LocalTransport, TcpBroker, connect_tcp
+from repro.live.wire import encode_frame, hello_frame, stop_frame
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLocalTransport:
+    def test_route_between_endpoints(self):
+        async def body():
+            t = LocalTransport(2)
+            a, b = t.endpoint(0), t.endpoint(1)
+            a.send({"t": "app", "src": 0, "dst": 1, "uid": 7})
+            frame = await b.recv()
+            assert frame["uid"] == 7
+
+        run(body())
+
+    def test_disconnect_drops_and_counts(self):
+        async def body():
+            t = LocalTransport(2)
+            a = t.endpoint(0)
+            t.disconnect(1)
+            a.send({"t": "app", "src": 0, "dst": 1, "uid": 7})
+            assert t.dropped == 1
+            # Reconnect gives a fresh, empty queue.
+            b = t.endpoint(1)
+            t.inject(1, stop_frame())
+            assert (await b.recv())["t"] == "stop"
+
+        run(body())
+
+    def test_broadcast_reaches_every_worker(self):
+        async def body():
+            t = LocalTransport(3)
+            eps = [t.endpoint(pid) for pid in range(3)]
+            t.broadcast(stop_frame())
+            for ep in eps:
+                assert (await ep.recv())["t"] == "stop"
+
+        run(body())
+
+    def test_closed_endpoint_stops_sending_and_receiving(self):
+        async def body():
+            t = LocalTransport(2)
+            a = t.endpoint(0)
+            a.close()
+            a.send({"t": "app", "src": 0, "dst": 1, "uid": 1})
+            assert t._queues[1].empty()
+            assert await a.recv() is None
+
+        run(body())
+
+
+class TestTcpTransport:
+    def test_connect_route_and_broadcast(self):
+        async def body():
+            broker = TcpBroker()
+            port = await broker.start()
+            a = await connect_tcp(port, 0, 0)
+            b = await connect_tcp(port, 1, 0)
+            await broker.wait_connected(2)
+            assert broker.connected_pids == [0, 1]
+            assert a.epoch == 0
+
+            a.send({"t": "app", "src": 0, "dst": 1, "uid": 9})
+            await a.drain()
+            frame = await asyncio.wait_for(b.recv(), 5.0)
+            assert frame["uid"] == 9
+
+            broker.broadcast(stop_frame())
+            assert (await asyncio.wait_for(a.recv(), 5.0))["t"] == "stop"
+            assert (await asyncio.wait_for(b.recv(), 5.0))["t"] == "stop"
+            await broker.close()
+
+        run(body())
+
+    def test_welcome_carries_current_epoch(self):
+        async def body():
+            broker = TcpBroker(epoch=3)
+            port = await broker.start()
+            ep = await connect_tcp(port, 0, 1)
+            assert ep.epoch == 3
+            await broker.close()
+
+        run(body())
+
+    def test_disconnect_callback_fires(self):
+        async def body():
+            broker = TcpBroker()
+            port = await broker.start()
+            gone = asyncio.Queue()
+            broker.on_disconnect = gone.put_nowait
+            ep = await connect_tcp(port, 2, 0)
+            await broker.wait_connected(1)
+            ep.close()
+            pid = await asyncio.wait_for(gone.get(), 5.0)
+            assert pid == 2
+            assert broker.connected_pids == []
+            await broker.close()
+
+        run(body())
+
+    def test_route_to_dead_pid_counts_dropped(self):
+        async def body():
+            broker = TcpBroker()
+            await broker.start()
+            broker.route({"t": "app", "src": 0, "dst": 7, "uid": 1})
+            assert broker.dropped == 1
+            await broker.close()
+
+        run(body())
+
+    def test_handshake_version_mismatch_closes_connection(self):
+        async def body():
+            broker = TcpBroker()
+            port = await broker.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           port)
+            bad = hello_frame(0, 0)
+            bad["v"] = 999
+            writer.write(encode_frame(bad))
+            line = await asyncio.wait_for(reader.readline(), 5.0)
+            assert line == b""  # broker rejected us without a welcome
+            assert broker.connected_pids == []
+            writer.close()
+            await broker.close()
+
+        run(body())
+
+    def test_wait_connected_times_out(self):
+        async def body():
+            broker = TcpBroker()
+            await broker.start()
+            with pytest.raises(asyncio.TimeoutError):
+                await broker.wait_connected(1, timeout=0.05)
+            await broker.close()
+
+        run(body())

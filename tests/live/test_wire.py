@@ -1,0 +1,89 @@
+"""Wire-format tests: frames, uids, handshakes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import ControlMessage, ControlType, Piggyback, Status
+from repro.live.wire import (
+    MAX_INCARNATIONS,
+    app_frame,
+    check_handshake,
+    ctl_frame,
+    decode_frame,
+    encode_frame,
+    frame_control,
+    frame_piggyback,
+    hello_frame,
+    make_uid,
+    recover_frame,
+    stop_frame,
+    welcome_frame,
+)
+
+
+class TestMakeUid:
+    def test_unique_across_pids_incarnations_counters(self):
+        seen = set()
+        for pid in range(4):
+            for inc in range(3):
+                for counter in range(1, 5):
+                    seen.add(make_uid(pid, inc, counter))
+        assert len(seen) == 4 * 3 * 4
+
+    def test_crashed_incarnation_never_collides_with_restart(self):
+        # Same pid, same counter, different incarnation: distinct uids.
+        assert make_uid(3, 0, 17) != make_uid(3, 1, 17)
+
+    def test_incarnation_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_uid(0, MAX_INCARNATIONS, 1)
+        with pytest.raises(ValueError):
+            make_uid(0, -1, 1)
+
+
+class TestFrames:
+    def test_encode_decode_round_trip(self):
+        pb = Piggyback(csn=2, stat=Status.TENTATIVE,
+                       tent_set=frozenset({0, 2}))
+        frame = app_frame(0, 1, make_uid(0, 0, 1), 128, pb, epoch=1)
+        back = decode_frame(encode_frame(frame))
+        assert back == frame
+        assert frame_piggyback(back) == pb
+
+    def test_ctl_frame_round_trip(self):
+        cm = ControlMessage(ctype=ControlType.CK_REQ, csn=5)
+        back = decode_frame(encode_frame(ctl_frame(2, 0, cm, epoch=0)))
+        assert frame_control(back) == cm
+        assert back["src"] == 2 and back["dst"] == 0
+
+    def test_frame_is_one_line(self):
+        data = encode_frame(recover_frame(1, 3))
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+
+    def test_decode_rejects_non_frame_json(self):
+        with pytest.raises(ValueError):
+            decode_frame(b"[1, 2, 3]\n")
+        with pytest.raises(ValueError):
+            decode_frame(b'{"no_kind": true}\n')
+
+    def test_stop_and_recover_shapes(self):
+        assert stop_frame()["t"] == "stop"
+        rec = recover_frame(epoch=2, seq=4)
+        assert (rec["t"], rec["epoch"], rec["seq"]) == ("recover", 2, 4)
+
+
+class TestHandshake:
+    def test_hello_welcome_validate(self):
+        assert check_handshake(hello_frame(3, 1), "hello")["pid"] == 3
+        assert check_handshake(welcome_frame(2), "welcome")["epoch"] == 2
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="expected welcome"):
+            check_handshake(hello_frame(0, 0), "welcome")
+
+    def test_version_mismatch_rejected(self):
+        bad = hello_frame(0, 0)
+        bad["v"] = 999
+        with pytest.raises(ValueError, match="wire version"):
+            check_handshake(bad, "hello")

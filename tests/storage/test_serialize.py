@@ -1,20 +1,37 @@
-"""Tests for checkpoint serialization round-trips."""
+"""Tests for checkpoint and wire serialization round-trips."""
 
 from __future__ import annotations
 
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.core.types import FinalizedCheckpoint, LogEntry, TentativeCheckpoint
+from repro.core.types import (
+    ControlMessage,
+    ControlType,
+    FinalizedCheckpoint,
+    LogEntry,
+    Piggyback,
+    Status,
+    TentativeCheckpoint,
+)
 from repro.storage import (
     checkpoint_from_dict,
     checkpoint_to_dict,
+    control_message_from_dict,
+    control_message_to_dict,
     dumps_checkpoint,
     export_run,
     import_run,
     loads_checkpoint,
+    log_entry_from_dict,
+    log_entry_to_dict,
+    piggyback_from_dict,
+    piggyback_to_dict,
 )
+from repro.storage.serialize import WIRE_VERSION
 
 from ..conftest import build_optimistic_run, run_to_quiescence
 
@@ -67,6 +84,113 @@ class TestRoundTrip:
         data["format_version"] = 99
         with pytest.raises(ValueError, match="version"):
             checkpoint_from_dict(data)
+
+
+uids = st.integers(min_value=0, max_value=2**62)
+statuses = st.sampled_from(list(Status))
+ctypes = st.sampled_from(list(ControlType))
+piggybacks = st.builds(
+    Piggyback,
+    csn=st.integers(min_value=0, max_value=10_000),
+    stat=statuses,
+    tent_set=st.frozensets(st.integers(min_value=0, max_value=64),
+                           max_size=8))
+log_entries = st.builds(
+    LogEntry,
+    uid=uids,
+    nbytes=st.integers(min_value=0, max_value=10**9),
+    direction=st.sampled_from(["sent", "recv"]),
+    time=st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+
+
+@st.composite
+def checkpoints(draw):
+    """Arbitrary finalized checkpoints, including the exclusion shapes.
+
+    ``logged_uids`` is derived from the drawn log entries, so the strategy
+    naturally covers both finalize outcomes: everything logged kept
+    (``exclude_uid=None`` in the Finalize effect) and an excluded message
+    absent from the log (empty/shrunk log with the uid only in
+    ``new_recv_uids``).
+    """
+    entries = draw(st.lists(log_entries, max_size=5))
+    sent = draw(st.frozensets(uids, max_size=5))
+    recv = draw(st.frozensets(uids, max_size=5))
+    ct = TentativeCheckpoint(
+        pid=draw(st.integers(min_value=0, max_value=63)),
+        csn=draw(st.integers(min_value=0, max_value=1000)),
+        taken_at=draw(st.floats(min_value=0, max_value=1e6,
+                                allow_nan=False)),
+        state_bytes=draw(st.integers(min_value=0, max_value=10**9)),
+        flushed_at=draw(st.floats(min_value=0, max_value=1e6,
+                                  allow_nan=False)),
+        digest=draw(st.integers(min_value=0, max_value=2**61)))
+    return FinalizedCheckpoint(
+        pid=ct.pid, csn=ct.csn, tentative=ct,
+        finalized_at=draw(st.floats(min_value=0, max_value=1e6,
+                                    allow_nan=False)),
+        log_entries=entries, new_sent_uids=sent, new_recv_uids=recv,
+        reason=draw(st.sampled_from(
+            ["piggyback.allset", "piggyback.logset-exclude",
+             "control.ck_end", "timer.converged"])))
+
+
+class TestWireEncodings:
+    """The cross-process payload encodings the live runtime rides on."""
+
+    @given(pb=piggybacks)
+    def test_piggyback_round_trip(self, pb):
+        data = piggyback_to_dict(pb)
+        json.loads(json.dumps(data))  # JSON-safe
+        assert piggyback_from_dict(data) == pb
+
+    def test_piggyback_tent_set_encoded_sorted(self):
+        pb = Piggyback(csn=4, stat=Status.TENTATIVE,
+                       tent_set=frozenset({3, 0, 2}))
+        data = piggyback_to_dict(pb)
+        assert data["tent_set"] == [0, 2, 3]
+        assert piggyback_from_dict(data).tent_set == pb.tent_set
+
+    @given(ctype=ctypes, csn=st.integers(min_value=0, max_value=10_000))
+    def test_control_message_round_trip(self, ctype, csn):
+        cm = ControlMessage(ctype=ctype, csn=csn)
+        assert control_message_from_dict(control_message_to_dict(cm)) == cm
+
+    @given(entry=log_entries)
+    def test_log_entry_round_trip(self, entry):
+        assert log_entry_from_dict(log_entry_to_dict(entry)) == entry
+
+    def test_wire_payloads_are_version_stamped(self):
+        pb = Piggyback(csn=0, stat=Status.NORMAL, tent_set=frozenset())
+        cm = ControlMessage(ctype=ControlType.CK_BGN, csn=1)
+        assert piggyback_to_dict(pb)["v"] == WIRE_VERSION
+        assert control_message_to_dict(cm)["v"] == WIRE_VERSION
+
+    @pytest.mark.parametrize("bad_version", [None, 0, 99])
+    def test_piggyback_rejects_unknown_version(self, bad_version):
+        data = piggyback_to_dict(
+            Piggyback(csn=0, stat=Status.NORMAL, tent_set=frozenset()))
+        data["v"] = bad_version
+        with pytest.raises(ValueError, match="wire version"):
+            piggyback_from_dict(data)
+
+    @pytest.mark.parametrize("bad_version", [None, 0, 99])
+    def test_control_message_rejects_unknown_version(self, bad_version):
+        data = control_message_to_dict(
+            ControlMessage(ctype=ControlType.CK_REQ, csn=2))
+        data["v"] = bad_version
+        with pytest.raises(ValueError, match="wire version"):
+            control_message_from_dict(data)
+
+    @given(fc=checkpoints())
+    def test_checkpoint_property_round_trip(self, fc):
+        back = loads_checkpoint(dumps_checkpoint(fc))
+        assert back.new_sent_uids == fc.new_sent_uids
+        assert back.new_recv_uids == fc.new_recv_uids
+        assert back.logged_uids == fc.logged_uids
+        assert [e.uid for e in back.log_entries] == [
+            e.uid for e in fc.log_entries]
+        assert back.replay_digest() == fc.replay_digest()
 
 
 class TestRunExport:
