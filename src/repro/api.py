@@ -1,0 +1,88 @@
+"""repro.api — the one run-result surface across both hosts.
+
+Historically each execution path grew its own result type: the serial
+harness returns :class:`~repro.harness.experiment.RunResult` (live
+simulation objects), the parallel executor ships back
+:class:`~repro.harness.executor.RunSummary` (picklable reduction), and
+the live runtime produces :class:`~repro.live.supervisor.LiveRunReport`
+(journal-replay verdict).  They stay distinct classes — each carries
+host-specific payloads — but every *consumer* (sweep tables, comparison
+tables, replication summaries, CI assertions) now types against one
+:class:`RunOutcome` protocol:
+
+``ok``
+    did the run meet its acceptance bar (consistency + completion)?
+``consistent``
+    is every verified global checkpoint orphan-free (Theorem 2)?
+``metrics``
+    an object with ``as_dict()`` returning the flat metrics record
+    (a :class:`~repro.metrics.collectors.RunMetrics` or a
+    :class:`MetricsView` over its dict — same keys either way);
+``as_dict()``
+    the whole outcome as one JSON-ready dict (``--format json``).
+
+The protocol is ``runtime_checkable`` so conformance is testable with
+plain ``isinstance`` (structure only — signatures are the docstring
+contract).  :class:`MetricsView` lives here as the canonical flat-dict
+metrics adapter; ``repro.harness.executor.MetricsView`` remains as a
+deprecated re-export.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+
+class MetricsView:
+    """Read-only stand-in for :class:`RunMetrics` built from its flat dict.
+
+    Exposes ``as_dict()`` plus attribute access to the flat keys
+    (``view.mean_wait``, not ``view.wait.mean`` — the nested
+    :class:`~repro.metrics.stats.Summary` objects are already reduced),
+    which is all the tables, sweeps and replication summaries consume.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: dict[str, Any]):
+        self._data = dict(data)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flatten for table rows (mirrors ``RunMetrics.as_dict``)."""
+        return dict(self._data)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._data[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsView({self._data!r})"
+
+
+@runtime_checkable
+class RunOutcome(Protocol):
+    """What every finished run looks like, whichever host produced it."""
+
+    @property
+    def ok(self) -> bool:
+        """Did the run meet its acceptance bar?"""
+        ...
+
+    @property
+    def consistent(self) -> bool:
+        """Every verified global checkpoint is orphan-free (Theorem 2)."""
+        ...
+
+    @property
+    def metrics(self) -> Any:
+        """Flat metrics surface: an object exposing ``as_dict()``."""
+        ...
+
+    def as_dict(self) -> dict[str, Any]:
+        """The whole outcome as one JSON-ready dict."""
+        ...
+
+
+__all__ = ["MetricsView", "RunOutcome"]

@@ -55,10 +55,13 @@ from .metrics import Table, kv_block
 
 
 def _add_experiment_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--n", type=int, default=8, help="number of processes")
+    p.add_argument("--n", "--procs", dest="n", type=int, default=8,
+                   help="number of processes (alias: --procs)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--horizon", type=float, default=300.0,
-                   help="simulated seconds of application work")
+    p.add_argument("--horizon", "--duration", dest="horizon", type=float,
+                   default=300.0,
+                   help="simulated seconds of application work "
+                        "(alias: --duration)")
     p.add_argument("--interval", type=float, default=60.0,
                    help="checkpoint interval (s)")
     p.add_argument("--timeout", type=float, default=20.0,
@@ -81,6 +84,30 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
                    help="do not read/write the on-disk result cache")
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                    help="result cache directory")
+
+
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", action="store_true",
+                   help="emit schema-versioned trace events "
+                        "(see docs/OBSERVABILITY.md)")
+    p.add_argument("--trace-file", default=None,
+                   help="trace JSONL output path (implies --trace; "
+                        "default: trace.jsonl)")
+
+
+def _tracer_from(args: argparse.Namespace, *, host: str) -> "Any | None":
+    """Build the run's Tracer from ``--trace``/``--trace-file`` (or None).
+
+    None — not a disabled tracer — is the fully-off path: nothing is
+    constructed and nothing subscribes to the run.
+    """
+    if not (args.trace or args.trace_file):
+        return None
+    from .obs import DashboardSink, JsonlSink, Tracer
+    sinks: list[Any] = [JsonlSink(args.trace_file or "trace.jsonl")]
+    if getattr(args, "trace_dashboard", False):
+        sinks.append(DashboardSink(sys.stderr))
+    return Tracer(sinks, host=host)
 
 
 def _cache_from(args: argparse.Namespace) -> ResultCache | None:
@@ -132,13 +159,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: one experiment, metrics or full report.
 
     Exits 1 whenever verification found an orphaned global checkpoint —
-    the ``--report`` branch included, so scripted runs can't mistake an
-    inconsistent run for success.
+    the ``--report`` and ``--format json`` branches included, so
+    scripted runs can't mistake an inconsistent run for success.
     """
     cfg = _config_from(args, protocol=args.protocol)
-    res = run_experiment(cfg)
+    tracer = _tracer_from(args, host="des")
+    try:
+        # Only pass the kwarg when tracing: run_experiment stand-ins in
+        # tests (and any third-party runner) need not know about it.
+        res = (run_experiment(cfg, tracer=tracer) if tracer is not None
+               else run_experiment(cfg))
+    finally:
+        if tracer is not None:
+            tracer.close()
     bad = {k: v for k, v in res.orphans.items() if v}
-    if args.report:
+    if args.format == "json":
+        print(json.dumps(res.as_dict(), indent=2, sort_keys=True))
+    elif args.report:
         from .metrics import render_run_report
         print(render_run_report(res))
     else:
@@ -169,7 +206,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """``repro sweep``: one config parameter across values."""
+    """``repro sweep``: one config parameter across values.
+
+    With ``--trace``, per-run ``point`` events plus a final deterministic
+    :class:`~repro.obs.MetricsRegistry` snapshot are emitted *after* the
+    batch, in input order — so the trace file is byte-identical whatever
+    ``--jobs`` interleaving produced the results.
+    """
     protocols = _parse_protocols(args.protocols)
     if protocols is None:
         return 2
@@ -177,9 +220,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cfg = _config_from(args)
     result = sweep(cfg, args.param, values, protocols=protocols,
                    jobs=args.jobs, cache=_cache_from(args))
+    tracer = _tracer_from(args, host="harness")
+    if tracer is not None:
+        try:
+            _trace_sweep(tracer, result, args.param, args.metric)
+        finally:
+            tracer.close()
     print(result.table(args.metric,
                        title=f"{args.metric} vs {args.param}").render())
     return 0
+
+
+def _trace_sweep(tracer: "Any", result: "Any", param: str,
+                 metric: str) -> None:
+    """Emit one harness-level event stream for a finished sweep."""
+    from .obs import MetricsRegistry
+    registry = MetricsRegistry()
+    for pt in result.points:
+        for name in sorted(pt.results):
+            out = pt.results[name]
+            row = out.metrics.as_dict()
+            value = row.get(metric)
+            # t is the run's own makespan (simulated seconds) — the only
+            # deterministic clock a harness-level event can carry.
+            t = float(row.get("makespan", 0.0))
+            tracer.point("sweep.run", t, protocol=name,
+                         **{param: pt.value, metric: value})
+            registry.counter("sweep.runs").inc()
+            if out.consistent:
+                registry.counter("sweep.consistent").inc()
+            if isinstance(value, (int, float)):
+                registry.histogram(f"sweep.{metric}").observe(float(value))
+    tracer.metrics_snapshot(registry.snapshot(), 0.0)
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -286,7 +358,13 @@ def cmd_recover(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """``repro bench``: serial-vs-parallel executor timing → BENCH JSON."""
+    """``repro bench``: serial-vs-parallel executor timing → BENCH JSON.
+
+    The payload follows the shared ``repro.bench/1`` envelope (same shape
+    as ``repro live bench``) and includes a tracing-overhead measurement;
+    exits 1 when the benchmark's own acceptance bar fails (parallel and
+    serial metrics diverged), like every other consistency failure.
+    """
     from .harness.executor import bench_configs
     n_values = [int(v) for v in args.values.split(",")]
     protocols = _parse_protocols(args.protocols)
@@ -298,8 +376,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
     payload = bench_executor(jobs=args.jobs, out_path=args.out,
                              configs=configs,
                              progress=not args.quiet)
-    print(json.dumps(payload, indent=2))
-    return 0
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(kv_block("bench: executor", {
+            "runs": payload["runs"],
+            "serial_seconds": payload["serial_seconds"],
+            "parallel_seconds": payload["parallel_seconds"],
+            "speedup": payload["speedup"],
+            "trace_overhead_frac": payload["tracing"]["overhead_frac"],
+            "ok": payload["ok"],
+        }))
+    return 0 if payload["ok"] else 1
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -349,6 +437,45 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    """``repro trace report``: per-phase latency breakdown of a trace.
+
+    ``target`` is a trace JSONL file (``repro run --trace``) or a live
+    run directory (every ``trace*.jsonl`` under it).  Exits 1 on schema
+    violations or a missing trace.
+    """
+    from .obs import SchemaError, report_from
+    try:
+        report = report_from(args.target)
+    except (FileNotFoundError, SchemaError) as exc:
+        print(f"repro trace report: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+def cmd_trace_validate(args: argparse.Namespace) -> int:
+    """``repro trace validate``: schema-check every event under a target.
+
+    Unlike ``report`` this never stops early: all violations are listed
+    (the CI trace-smoke job runs this over both hosts' traces).
+    """
+    from .obs import SCHEMA_VERSION, validate_file
+    problems = validate_file(args.target)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"repro trace validate: {len(problems)} violation(s) "
+              f"in {args.target}", file=sys.stderr)
+        return 1
+    print(f"OK — every event under {args.target} conforms to trace "
+          f"schema v{SCHEMA_VERSION}")
+    return 0
+
+
 def _live_config_from(args: argparse.Namespace,
                       crash_at: float | None) -> "Any":
     """Map ``repro live`` flags onto a :class:`repro.live.LiveRunConfig`."""
@@ -358,7 +485,7 @@ def _live_config_from(args: argparse.Namespace,
         checkpoint_interval=args.interval, timeout=args.timeout,
         workload=args.workload, rate=args.rate, msg_size=args.msg_size,
         seed=args.seed, crash_at=crash_at, crash_pid=args.crash_pid,
-        run_dir=args.run_dir)
+        run_dir=args.run_dir, trace=args.trace)
 
 
 def cmd_live_run(args: argparse.Namespace) -> int:
@@ -405,8 +532,8 @@ def cmd_live_bench(args: argparse.Namespace) -> int:
 
 
 def _add_live_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("-n", "--n", type=int, default=4,
-                   help="number of workers")
+    p.add_argument("-n", "--n", "--procs", dest="n", type=int, default=4,
+                   help="number of workers (alias: --procs)")
     p.add_argument("--transport", choices=("local", "tcp"), default="local",
                    help="local = asyncio tasks over queue pairs; "
                         "tcp = one OS process per worker over localhost")
@@ -428,6 +555,10 @@ def _add_live_args(p: argparse.ArgumentParser) -> None:
                    help="run artifact directory "
                         "(default: .repro-live/run-<stamp>)")
     p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--trace", action="store_true",
+                   help="emit schema-versioned trace events into the run "
+                        "directory (trace-P<pid>-<inc>.jsonl per worker + "
+                        "trace-supervisor.jsonl)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -444,7 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", action="store_true",
                    help="print a full one-page report incl. a space-time "
                         "diagram")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="json = the RunOutcome as_dict() record")
+    p.add_argument("--trace-dashboard", action="store_true",
+                   help="with --trace: stream an in-terminal run "
+                        "dashboard to stderr")
     _add_experiment_args(p)
+    _add_trace_args(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("compare", help="run several protocols on one workload")
@@ -462,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--protocols", default="optimistic")
     _add_experiment_args(p)
     _add_executor_args(p)
+    _add_trace_args(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("figures", help="replay the paper's figures")
@@ -483,15 +621,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the parallel pass")
     p.add_argument("--out", default="BENCH_executor.json",
                    help="output JSON path")
-    p.add_argument("--values", default="16,24",
-                   help="comma-separated n values of the fixed sweep")
+    p.add_argument("--values", "--procs", dest="values", default="16,24",
+                   help="comma-separated n values of the fixed sweep "
+                        "(alias: --procs)")
     p.add_argument("--protocols", default="optimistic,chandy-lamport")
-    p.add_argument("--horizon", type=float, default=1200.0)
+    p.add_argument("--horizon", "--duration", dest="horizon", type=float,
+                   default=1200.0,
+                   help="simulated seconds per run (alias: --duration)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--repeats", type=int, default=2,
                    help="seed repeats per (n, protocol) point")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-run progress on stderr")
+    p.add_argument("--format", choices=("text", "json"), default="json")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -527,6 +669,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "counterexample)")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect schema-versioned trace streams "
+             "(see docs/OBSERVABILITY.md)")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    q = trace_sub.add_parser(
+        "report", help="per-phase latency/overhead breakdown of a trace")
+    q.add_argument("target",
+                   help="trace JSONL file or a live run directory")
+    q.add_argument("--format", choices=("text", "json"), default="text")
+    q.set_defaults(fn=cmd_trace_report)
+
+    q = trace_sub.add_parser(
+        "validate",
+        help="schema-check every event; exit 1 on any violation")
+    q.add_argument("target",
+                   help="trace JSONL file or a live run directory")
+    q.set_defaults(fn=cmd_trace_validate)
 
     p = sub.add_parser(
         "live",

@@ -63,6 +63,10 @@ class TraceRecorder:
         self._seq = 0
         #: Optional live subscribers: callables invoked on every record.
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+        #: Kind-filtered subscribers: called only for matching records,
+        #: so rare-kind listeners stay off the per-message hot path.
+        self._kind_subscribers: dict[str, list[Callable[[TraceRecord],
+                                                        None]]] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -77,10 +81,24 @@ class TraceRecorder:
         self.records.append(rec)
         for sub in self._subscribers:
             sub(rec)
+        kind_subs = self._kind_subscribers.get(kind)
+        if kind_subs:
+            for sub in kind_subs:
+                sub(rec)
 
-    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
-        """Register a live subscriber (metrics collectors use this)."""
-        self._subscribers.append(fn)
+    def subscribe(self, fn: Callable[[TraceRecord], None], *,
+                  kinds: tuple[str, ...] | None = None) -> None:
+        """Register a live subscriber (metrics collectors use this).
+
+        With ``kinds``, the callable fires only for records of those
+        exact kinds (no prefix matching) — use this for listeners that
+        ignore the high-volume ``msg.*`` traffic.
+        """
+        if kinds is None:
+            self._subscribers.append(fn)
+        else:
+            for kind in kinds:
+                self._kind_subscribers.setdefault(kind, []).append(fn)
 
     # -- querying ----------------------------------------------------------
 

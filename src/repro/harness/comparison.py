@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..api import RunOutcome
 from ..metrics.report import Table
 from .executor import (
     ProgressArg,
@@ -51,7 +52,7 @@ def compare(cfg: ExperimentConfig,
             protocols: Sequence[str] = DEFAULT_PROTOCOLS,
             jobs: int = 1, cache: ResultCache | None = None,
             progress: ProgressArg = None
-            ) -> dict[str, RunResult | RunSummary]:
+            ) -> dict[str, RunOutcome]:
     """Run ``cfg`` under each protocol (same seed ⇒ same app traffic).
 
     With ``jobs > 1`` or a ``cache`` the runs go through
@@ -60,7 +61,7 @@ def compare(cfg: ExperimentConfig,
     :class:`RunResult` path; a failed run raises with its traceback).
     """
     if jobs <= 1 and cache is None:
-        out: dict[str, RunResult | RunSummary] = {}
+        out: dict[str, RunOutcome] = {}
         for name in protocols:
             out[name] = run_experiment(cfg.derive(protocol=name))
         return out
@@ -71,7 +72,7 @@ def compare(cfg: ExperimentConfig,
             if isinstance(outcome, RunSummary)}
 
 
-def comparison_table(results: dict[str, RunResult | RunSummary],
+def comparison_table(results: dict[str, RunOutcome],
                      columns: Sequence[str] = DEFAULT_COLUMNS,
                      title: str = "") -> Table:
     """Protocol-rows table over selected metric columns."""
@@ -82,7 +83,7 @@ def comparison_table(results: dict[str, RunResult | RunSummary],
     return table
 
 
-def assert_all_consistent(results: dict[str, RunResult | RunSummary]
+def assert_all_consistent(results: dict[str, RunOutcome]
                           ) -> None:
     """Every verified cut of every protocol must be orphan-free."""
     for name, res in results.items():

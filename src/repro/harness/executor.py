@@ -32,6 +32,10 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
+from ..api import MetricsView  # noqa: F401 - deprecated re-export; the
+#                                canonical flat-dict adapter lives in
+#                                repro.api (one RunOutcome surface for
+#                                every host — see docs/API.md).
 from .experiment import ExperimentConfig, RunResult, run_experiment
 
 #: Bump to invalidate every cached summary (format or semantics change).
@@ -43,34 +47,6 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: Progress is either off (None/False), on (True → stderr lines), or a
 #: callable ``(done, total, outcome)``.
 ProgressArg = Any
-
-
-class MetricsView:
-    """Read-only stand-in for :class:`RunMetrics` built from its flat dict.
-
-    Exposes ``as_dict()`` plus attribute access to the flat keys
-    (``view.mean_wait``, not ``view.wait.mean`` — the nested
-    :class:`~repro.metrics.stats.Summary` objects are already reduced),
-    which is all the tables, sweeps and replication summaries consume.
-    """
-
-    __slots__ = ("_data",)
-
-    def __init__(self, data: dict[str, Any]):
-        self._data = dict(data)
-
-    def as_dict(self) -> dict[str, Any]:
-        """Flatten for table rows (mirrors ``RunMetrics.as_dict``)."""
-        return dict(self._data)
-
-    def __getattr__(self, name: str) -> Any:
-        try:
-            return self._data[name]
-        except KeyError:
-            raise AttributeError(name) from None
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"MetricsView({self._data!r})"
 
 
 @dataclass
@@ -99,6 +75,24 @@ class RunSummary:
     def consistent(self) -> bool:
         """Every verified global checkpoint is orphan-free."""
         return all(v == 0 for v in self.orphans.values())
+
+    @property
+    def ok(self) -> bool:
+        """Acceptance (RunOutcome): consistent and ran to quiescence."""
+        return self.consistent and not self.truncated
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready outcome record (the RunOutcome surface)."""
+        return {
+            "protocol": self.config.protocol,
+            "n": self.config.n,
+            "seed": self.config.seed,
+            "ok": self.ok,
+            "consistent": self.consistent,
+            "truncated": self.truncated,
+            "orphans": {str(k): v for k, v in sorted(self.orphans.items())},
+            "metrics": dict(self.metrics_dict),
+        }
 
     @classmethod
     def from_result(cls, result: RunResult) -> "RunSummary":
@@ -370,6 +364,56 @@ def bench_configs(n_values: Sequence[int] = (16, 24),
             for r in range(repeats)]
 
 
+def _tracing_overhead(configs: Sequence[ExperimentConfig],
+                      repeats: int = 3) -> tuple[dict[str, Any],
+                                                 dict[str, Any]]:
+    """Serial baseline-vs-traced rerun over a small subset of the sweep.
+
+    Returns ``(tracing, metrics)``: the ``repro.bench/1`` tracing block
+    (baseline/traced wall seconds + overhead fraction) and the merged
+    :class:`~repro.obs.metrics.MetricsRegistry` snapshot collected from
+    the traced runs' ``metrics`` events — the shared metrics schema both
+    BENCH files carry.  Each pass takes the best of ``repeats`` timings:
+    runs are deterministic, so the minimum is the least
+    scheduler-disturbed measurement of the same work.
+    """
+    from ..obs import MemorySink, MetricsRegistry, Tracer
+    from ..obs.profile import wall_now
+    subset = list(configs)[:2]
+
+    def _timed(tracer_for: Any) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = wall_now()
+            for cfg in subset:
+                tracer = tracer_for()
+                if tracer is None:
+                    run_experiment(cfg)
+                else:
+                    run_experiment(cfg, tracer=tracer)
+            best = min(best, wall_now() - t0)
+        return best
+
+    baseline_s = _timed(lambda: None)
+    sink = MemorySink()
+    traced_s = _timed(lambda: Tracer([sink], host="harness"))
+    registry = MetricsRegistry()
+    merged = 0
+    for event in sink.events:
+        if event.ev == "metrics":
+            merged += 1
+            if merged > len(subset):
+                break  # identical repeats: fold each config's run once
+            registry.merge(event.attrs)
+    tracing = {
+        "baseline_seconds": round(baseline_s, 4),
+        "traced_seconds": round(traced_s, 4),
+        "overhead_frac": (round((traced_s - baseline_s) / baseline_s, 4)
+                          if baseline_s > 0 else None),
+    }
+    return tracing, registry.snapshot()
+
+
 def bench_executor(jobs: int = 4, out_path: str | Path | None =
                    "BENCH_executor.json",
                    configs: Sequence[ExperimentConfig] | None = None,
@@ -378,7 +422,13 @@ def bench_executor(jobs: int = 4, out_path: str | Path | None =
 
     The two passes must produce identical summaries (asserted into the
     payload as ``identical_metrics``) — parallelism only buys wall-clock.
+    The payload follows the shared ``repro.bench/1`` envelope
+    (:data:`repro.obs.BENCH_SCHEMA`): ``schema``/``bench``/``ok``/
+    ``config``/``metrics``/``tracing`` on top of the legacy executor
+    keys, so ``BENCH_executor.json`` and ``BENCH_live.json`` validate
+    against the same schema.
     """
+    from ..obs import BENCH_SCHEMA
     if configs is None:
         configs = bench_configs()
     configs = list(configs)
@@ -397,8 +447,20 @@ def bench_executor(jobs: int = 4, out_path: str | Path | None =
         a.metrics_dict == b.metrics_dict and a.orphans == b.orphans
         and a.truncated == b.truncated
         for a, b in zip(serial, parallel))
+    tracing, metrics = _tracing_overhead(configs)
     payload: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
         "bench": "executor",
+        "ok": identical,
+        "config": {
+            "jobs": jobs,
+            "runs": len(configs),
+            "configs": [{"protocol": c.protocol, "n": c.n, "seed": c.seed,
+                         "horizon": c.horizon} for c in configs],
+        },
+        "metrics": metrics,
+        "tracing": tracing,
+        # Legacy executor keys (kept for existing consumers) -----------
         "runs": len(configs),
         "jobs": jobs,
         "host_cpus": mp.cpu_count(),

@@ -146,6 +146,24 @@ class RunResult:
         """Every verified global checkpoint is orphan-free."""
         return all(v == 0 for v in self.orphans.values())
 
+    @property
+    def ok(self) -> bool:
+        """Acceptance (RunOutcome): consistent and ran to quiescence."""
+        return self.consistent and not self.truncated
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready outcome record (the RunOutcome surface)."""
+        return {
+            "protocol": self.config.protocol,
+            "n": self.config.n,
+            "seed": self.config.seed,
+            "ok": self.ok,
+            "consistent": self.consistent,
+            "truncated": self.truncated,
+            "orphans": {str(k): v for k, v in sorted(self.orphans.items())},
+            "metrics": self.metrics.as_dict(),
+        }
+
 
 # -- protocol registry -------------------------------------------------------------
 
@@ -306,9 +324,27 @@ def build_experiment(cfg: ExperimentConfig
     return sim, net, storage, runtime
 
 
-def run_experiment(cfg: ExperimentConfig) -> RunResult:
-    """Build, run to quiescence, collect metrics, optionally verify."""
+def run_experiment(cfg: ExperimentConfig,
+                   tracer: Any | None = None) -> RunResult:
+    """Build, run to quiescence, collect metrics, optionally verify.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, optional) attaches the
+    observability bridge for the run: protocol-phase spans translated
+    live from the simulation trace, a whole-run span, a hot-path
+    profiler, and a final deterministic metrics snapshot.  It is a
+    keyword argument rather than a config field so that enabling
+    tracing never changes :func:`~repro.harness.executor.config_key`
+    cache identities.  ``None`` (or a disabled tracer) is the zero-cost
+    path: nothing subscribes to the trace stream.
+    """
     sim, net, storage, runtime = build_experiment(cfg)
+    bridge = None
+    if tracer is not None and tracer.enabled:
+        from ..obs import DesProfiler, attach_des_tracer
+        bridge = attach_des_tracer(sim, tracer)
+        DesProfiler(tracer).attach(sim)
+        tracer.span_start("run", f"run:{cfg.protocol}:{cfg.seed}", sim.now,
+                          protocol=cfg.protocol, n=cfg.n, seed=cfg.seed)
     runtime.start()
     sim.run(max_events=cfg.max_events)
     truncated = sim.peek_time() is not None
@@ -318,6 +354,13 @@ def run_experiment(cfg: ExperimentConfig) -> RunResult:
         results = verifier.verify_all(runtime.global_records())
         orphans = {seq: len(o) for seq, o in results.items()}
     metrics = collect(cfg.protocol, sim, net, storage, runtime)
+    if bridge is not None:
+        tracer.span_end("run", f"run:{cfg.protocol}:{cfg.seed}", sim.now,
+                        truncated=truncated,
+                        orphans=sum(orphans.values()))
+        bridge.finish(sim)
+        bridge.registry.gauge("run.makespan").set(metrics.makespan)
+        tracer.metrics_snapshot(bridge.registry.snapshot(), sim.now)
     return RunResult(config=cfg, sim=sim, network=net, storage=storage,
                      runtime=runtime, metrics=metrics, orphans=orphans,
                      truncated=truncated)

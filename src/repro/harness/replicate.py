@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 from scipy import stats
 
+from ..api import RunOutcome
 from ..metrics.report import Table
 from .executor import (
     ProgressArg,
@@ -67,7 +68,7 @@ def confidence_interval(values: Sequence[float],
 def replicate(cfg: ExperimentConfig, seeds: Sequence[int],
               jobs: int = 1, cache: ResultCache | None = None,
               progress: ProgressArg = None
-              ) -> list[RunResult | RunSummary]:
+              ) -> list[RunOutcome]:
     """Run ``cfg`` once per seed.
 
     With ``jobs > 1`` or a ``cache`` the batch fans out through
@@ -85,7 +86,7 @@ def replicate(cfg: ExperimentConfig, seeds: Sequence[int],
     return [o for o in outcomes if isinstance(o, RunSummary)]
 
 
-def replication_summary(results: Sequence[RunResult | RunSummary],
+def replication_summary(results: Sequence[RunOutcome],
                         metrics: Sequence[str],
                         confidence: float = 0.95) -> dict[str, MetricCI]:
     """Per-metric CI over a replication batch.

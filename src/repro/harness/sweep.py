@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..api import RunOutcome
 from ..metrics.report import Table
 from .executor import (
     ProgressArg,
@@ -36,7 +37,7 @@ class SweepPoint:
     """All protocol results at one parameter value."""
 
     value: Any
-    results: dict[str, RunResult | RunSummary] = field(default_factory=dict)
+    results: dict[str, RunOutcome] = field(default_factory=dict)
 
 
 @dataclass
@@ -47,7 +48,7 @@ class SweepResult:
     points: list[SweepPoint] = field(default_factory=list)
 
     def series(self, protocol: str,
-               metric: Callable[[RunResult | RunSummary], Any] | str
+               metric: Callable[[RunOutcome], Any] | str
                ) -> tuple[list[Any], list[Any]]:
         """Extract (xs, ys) for one protocol and one metric.
 

@@ -46,6 +46,11 @@ from .transport import LocalTransport, TcpBroker, connect_tcp
 from .wire import MAX_INCARNATIONS, SUPERVISOR, make_uid
 from .workload import LIVE_WORKLOADS, LiveTraffic, drive, make_traffic
 
+#: Deprecated alias — the live run result is :class:`LiveRunReport`; the
+#: cross-host surface it (and the harness results) satisfy is
+#: :class:`repro.api.RunOutcome`.  Kept so old imports keep working.
+RunResult = LiveRunReport
+
 __all__ = [
     "ConformanceReport",
     "CrashOutcome",
@@ -58,6 +63,7 @@ __all__ = [
     "LiveTraffic",
     "LocalTransport",
     "MAX_INCARNATIONS",
+    "RunResult",
     "SUPERVISOR",
     "TcpBroker",
     "connect_tcp",

@@ -21,6 +21,7 @@ import time
 from pathlib import Path
 from typing import Any
 
+from ..obs import BENCH_SCHEMA, MetricsRegistry
 from .supervisor import LiveRunConfig, LiveRunReport, run_live
 
 
@@ -44,11 +45,28 @@ def _summarize(report: LiveRunReport) -> dict[str, Any]:
     return out
 
 
+def _fold_metrics(registry: MetricsRegistry, phase: str,
+                  report: LiveRunReport) -> None:
+    """Record one run's flat metrics as ``<phase>.<key>`` gauges."""
+    for key, value in report.metrics.as_dict().items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        registry.gauge(f"{phase}.{key}").set(float(value))
+
+
 def run_bench(out_path: str | Path = "BENCH_live.json", *, n: int = 4,
               transport: str = "tcp", duration: float = 4.0,
               rate: float = 40.0, seed: int = 0,
               run_root: str | None = None) -> dict[str, Any]:
-    """Run both benchmark phases and write the JSON payload."""
+    """Run the benchmark phases and write the JSON payload.
+
+    Three runs: throughput (untraced baseline), traced (same config with
+    ``--trace`` on, measuring the tracing overhead on delivered
+    throughput), and crash (one SIGKILL + recovery).  The payload follows
+    the shared ``repro.bench/1`` envelope (:data:`repro.obs.BENCH_SCHEMA`)
+    so ``BENCH_live.json`` and ``BENCH_executor.json`` validate against
+    the same schema.
+    """
     base = dict(n=n, transport=transport, duration=duration, rate=rate,
                 seed=seed)
 
@@ -59,16 +77,37 @@ def run_bench(out_path: str | Path = "BENCH_live.json", *, n: int = 4,
         return cfg
 
     throughput = run_live(_cfg("throughput"))
+    traced = run_live(_cfg("traced", trace=True))
     crash = run_live(_cfg("crash", crash_at=duration / 2))
 
+    registry = MetricsRegistry()
+    _fold_metrics(registry, "throughput", throughput)
+    _fold_metrics(registry, "traced", traced)
+    _fold_metrics(registry, "crash", crash)
+
+    # Fixed-duration runs: wall time is pinned, so the overhead that
+    # matters is lost throughput — traced msgs/s vs the untraced baseline.
+    base_rate = throughput.msgs_per_sec
+    traced_rate = traced.msgs_per_sec
+    tracing = {
+        "baseline_seconds": round(throughput.wall_seconds, 4),
+        "traced_seconds": round(traced.wall_seconds, 4),
+        "overhead_frac": (round((base_rate - traced_rate) / base_rate, 4)
+                          if base_rate > 0 else None),
+    }
+
     payload = {
+        "schema": BENCH_SCHEMA,
         "bench": "live",
         "format": 1,
         "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "config": base,
+        "metrics": registry.snapshot(),
+        "tracing": tracing,
         "throughput": _summarize(throughput),
+        "traced": _summarize(traced),
         "crash": _summarize(crash),
-        "ok": throughput.ok and crash.ok,
+        "ok": throughput.ok and traced.ok and crash.ok,
     }
     Path(out_path).write_text(json.dumps(payload, indent=2, sort_keys=True)
                               + "\n", encoding="utf-8")

@@ -44,6 +44,7 @@ from ..core.effects import (
     TakeTentative,
 )
 from ..core.state_machine import MachineConfig, OptimisticStateMachine
+from ..obs import NULL_TRACER, Tracer
 from ..core.types import (
     ControlMessage,
     FinalizedCheckpoint,
@@ -67,12 +68,17 @@ class LiveHost:
                  checkpoint_interval: float = 1.0, timeout: float = 0.5,
                  epoch: int = 0, incarnation: int = 0,
                  state_bytes: int = 0,
-                 machine_config: MachineConfig | None = None) -> None:
+                 machine_config: MachineConfig | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.pid = pid
         self.n = n
         self.endpoint = endpoint
         self.storage = storage
         self.journal = journal
+        #: Structured protocol-phase tracing (repro.obs).  Defaults to the
+        #: no-op tracer so every emission site can guard on ``.enabled``
+        #: without a None check — zero cost when tracing is off.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.machine = OptimisticStateMachine(pid, n, config=machine_config)
         self.checkpoint_interval = checkpoint_interval
         self.timeout = timeout
@@ -250,6 +256,10 @@ class LiveHost:
 
     def _on_ctl(self, frame: dict[str, Any]) -> None:
         cm = frame_control(frame)
+        if self.tracer.enabled:
+            self.tracer.point("ctl.recv", asyncio.get_running_loop().time(),
+                              pid=self.pid, ctype=cm.ctype.value, csn=cm.csn,
+                              src=frame["src"])
         self._execute(self.machine.on_control(cm, frame["src"]))
 
     # -- recovery ---------------------------------------------------------------
@@ -291,6 +301,10 @@ class LiveHost:
         self.state_digest = self.finalized[seq].replay_digest()
         self.journal.log("rollback", seq=seq, epoch=epoch,
                          digest=self.state_digest)
+        if self.tracer.enabled:
+            self.tracer.point("ckpt.rollback",
+                              asyncio.get_running_loop().time(),
+                              pid=self.pid, csn=seq, epoch=epoch)
         self._arm_initiation()
 
     # -- effect execution --------------------------------------------------------
@@ -323,10 +337,18 @@ class LiveHost:
             elif isinstance(eff, Anomaly):
                 self.anomalies.append(eff.description)
                 self.journal.log("anomaly", description=eff.description)
+                if self.tracer.enabled:
+                    self.tracer.point("ckpt.anomaly", loop.time(),
+                                      pid=self.pid,
+                                      description=eff.description)
             else:  # pragma: no cover - future-proofing
                 raise TypeError(f"unknown effect {eff!r}")
 
     def _send_control(self, dst: int, cm: ControlMessage) -> None:
+        if self.tracer.enabled:
+            self.tracer.point("ctl.send", asyncio.get_running_loop().time(),
+                              pid=self.pid, ctype=cm.ctype.value, csn=cm.csn,
+                              dst=dst)
         self.endpoint.send(ctl_frame(self.pid, dst, cm, self.epoch))
 
     def _on_conv_timer(self) -> None:
@@ -347,6 +369,10 @@ class LiveHost:
             "pid": self.pid, "csn": csn, "digest": self.state_digest,
             "state_bytes": self.state_bytes})
         self.journal.log("tentative", csn=csn, digest=self.state_digest)
+        if self.tracer.enabled:
+            self.tracer.span_start("tentative", f"{self.pid}:{csn}", now,
+                                   pid=self.pid, csn=csn,
+                                   bytes=self.state_bytes)
 
     def _do_finalize(self, csn: int, exclude_uid: int | None, reason: str,
                      now: float) -> None:
@@ -369,7 +395,23 @@ class LiveHost:
             finalized_at=now, log_entries=entries,
             new_sent_uids=new_sent, new_recv_uids=new_recv, reason=reason)
         self.finalized[csn] = fc
+        traced = self.tracer.enabled
+        if traced:
+            key = f"{self.pid}:{csn}"
+            log_bytes = sum(e.nbytes for e in entries)
+            self.tracer.span_end("tentative", key, now, pid=self.pid,
+                                 csn=csn, reason=reason,
+                                 log_msgs=len(entries), log_bytes=log_bytes)
+            self.tracer.span_start("finalize", key, now, pid=self.pid,
+                                   csn=csn,
+                                   flush_bytes=self.state_bytes + log_bytes)
         self.storage.write_finalized(csn, checkpoint_to_dict(fc))
+        if traced:
+            # The live flush is the synchronous write above; the finalize
+            # span measures it on the loop clock (real disk latency).
+            self.tracer.span_end("finalize", f"{self.pid}:{csn}",
+                                 asyncio.get_running_loop().time(),
+                                 pid=self.pid, csn=csn)
         self.journal.log(
             "finalize", csn=csn, reason=reason, exclude=exclude_uid,
             new_sent=sorted(new_sent), new_recv=sorted(new_recv),

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..api import MetricsView
+from ..obs import JsonlSink, LoopLagProbe, Tracer
 from .conformance import ConformanceReport, replay
 from .host import LiveHost
 from .journal import Journal
@@ -60,6 +62,7 @@ class LiveRunConfig:
     crash_pid: int | None = None        # victim (default: highest pid)
     run_dir: str | None = None          # default: .repro-live/run-...
     stop_grace: float = 10.0            # max wait for clean worker shutdown
+    trace: bool = False                 # repro.obs tracing (per-worker JSONL)
 
     def validate(self) -> None:
         """Reject configurations that cannot run."""
@@ -118,11 +121,37 @@ class LiveRunReport:
                 and recovered)
 
     @property
+    def consistent(self) -> bool:
+        """Theorem 2 on the real run (RunOutcome surface): the journal
+        replay found every complete global checkpoint orphan-free."""
+        return self.conformance.consistent
+
+    @property
     def msgs_per_sec(self) -> float:
         """Delivered application messages per wall second."""
         if self.wall_seconds <= 0:
             return 0.0
         return self.conformance.receives / self.wall_seconds
+
+    @property
+    def metrics(self) -> MetricsView:
+        """Flat metrics record (RunOutcome surface), same shape idea as
+        the simulator's ``RunMetrics.as_dict()``: scalar keys only."""
+        return MetricsView({
+            "protocol": "optimistic-live",
+            "n": self.config.n,
+            "wall_seconds": self.wall_seconds,
+            "msgs_per_sec": self.msgs_per_sec,
+            "app_messages": self.conformance.receives,
+            "sends": self.conformance.sends,
+            "rollbacks": self.conformance.rollbacks,
+            "rounds_completed": len(self.conformance.rounds_completed),
+            "orphans": sum(len(o)
+                           for o in self.conformance.orphans.values()),
+            "dropped_frames": self.dropped_frames,
+            "recovery_seconds": (self.crash.recovery_seconds
+                                 if self.crash else 0.0),
+        })
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready summary (CLI ``--format json`` / CI assertions)."""
@@ -213,13 +242,33 @@ async def run_live_async(cfg: LiveRunConfig) -> LiveRunReport:
     sup.log("run.start", n=cfg.n, transport=cfg.transport,
             duration=cfg.duration, seed=cfg.seed, workload=cfg.workload,
             crash_at=cfg.crash_at)
+    # Supervisor-side tracing: its own JSONL stream (run span, recovery
+    # span, event-loop-lag profile) next to the per-worker trace files.
+    tracer: Tracer | None = None
+    probe: LoopLagProbe | None = None
+    loop = asyncio.get_running_loop()
+    if cfg.trace:
+        tracer = Tracer([JsonlSink(run_dir / "trace-supervisor.jsonl")],
+                        host="live")
+        probe = LoopLagProbe(tracer)
+        probe.start()
+        tracer.span_start("run", f"live:{cfg.transport}:{cfg.seed}",
+                          loop.time(), n=cfg.n, transport=cfg.transport,
+                          seed=cfg.seed)
     started = time.monotonic()
     try:
         if cfg.transport == "local":
-            crash, dropped, exits = await _run_local(cfg, run_dir, sup)
+            crash, dropped, exits = await _run_local(cfg, run_dir, sup,
+                                                     tracer)
         else:
-            crash, dropped, exits = await _run_tcp(cfg, run_dir, sup)
+            crash, dropped, exits = await _run_tcp(cfg, run_dir, sup, tracer)
     finally:
+        if probe is not None:
+            probe.stop()
+        if tracer is not None:
+            tracer.span_end("run", f"live:{cfg.transport}:{cfg.seed}",
+                            loop.time())
+            tracer.close()
         sup.log("run.end")
         sup.close()
     wall = time.monotonic() - started
@@ -245,11 +294,17 @@ class _LocalWorker:
                  transport: LocalTransport, pid: int, incarnation: int,
                  epoch: int, resume_seq: int | None) -> None:
         self.journal = Journal(run_dir, pid, incarnation)
+        self.tracer: Tracer | None = None
+        if cfg.trace:
+            self.tracer = Tracer(
+                [JsonlSink(run_dir / f"trace-P{pid}-{incarnation}.jsonl")],
+                host="live", pid=pid)
         self.host = LiveHost(
             pid, cfg.n, transport.endpoint(pid),
             FileStableStorage(run_dir, pid), self.journal,
             checkpoint_interval=cfg.checkpoint_interval,
-            timeout=cfg.timeout, epoch=epoch, incarnation=incarnation)
+            timeout=cfg.timeout, epoch=epoch, incarnation=incarnation,
+            tracer=self.tracer)
         if resume_seq is not None:
             self.host.resume(resume_seq)
         else:
@@ -267,6 +322,8 @@ class _LocalWorker:
         await asyncio.gather(self.task, self.driver,
                              return_exceptions=True)
         self.journal.close()
+        if self.tracer is not None:
+            self.tracer.close()
 
     async def join(self, grace: float) -> None:
         """Wait for a clean stop (the host saw a ``stop`` frame)."""
@@ -277,9 +334,12 @@ class _LocalWorker:
             await self.kill()
             return
         self.journal.close()
+        if self.tracer is not None:
+            self.tracer.close()
 
 
-async def _run_local(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog
+async def _run_local(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
+                     tracer: Tracer | None = None
                      ) -> tuple[CrashOutcome | None, int, dict[int, int]]:
     """Local backend: every worker an asyncio task on this loop."""
     transport = LocalTransport(cfg.n)
@@ -287,6 +347,7 @@ async def _run_local(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog
     workers = {pid: _LocalWorker(cfg, run_dir, transport, pid, 0, epoch,
                                  None)
                for pid in range(cfg.n)}
+    loop = asyncio.get_running_loop()
     started = time.monotonic()
     crash: CrashOutcome | None = None
     if cfg.crash_at is not None:
@@ -295,6 +356,9 @@ async def _run_local(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog
         kill_started = time.monotonic()
         sup.log("crash.inject", pid=victim,
                 at=kill_started - started)
+        if tracer is not None:
+            tracer.span_start("recovery", f"{victim}:1", loop.time(),
+                              pid=victim)
         await workers[victim].kill()
         transport.disconnect(victim)
         seq = durable_global_seq(run_dir, cfg.n)
@@ -308,6 +372,9 @@ async def _run_local(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog
                              recovered_seq=seq,
                              recovery_seconds=recovery_seconds,
                              epoch=epoch)
+        if tracer is not None:
+            tracer.span_end("recovery", f"{victim}:1", loop.time(),
+                            pid=victim, seq=seq, epoch=epoch)
         sup.log("crash.recovered", pid=victim, seq=seq, epoch=epoch,
                 recovery_seconds=recovery_seconds)
         await asyncio.sleep(max(0.0, cfg.duration - cfg.crash_at))
@@ -347,6 +414,8 @@ def _spawn_worker(cfg: LiveRunConfig, run_dir: Path, port: int, pid: int,
            "--rate", str(cfg.rate), "--msg-size", str(cfg.msg_size),
            "--seed", str(cfg.seed),
            "--max-lifetime", str(cfg.duration + 60.0)]
+    if cfg.trace:
+        cmd.append("--trace")
     if resume_seq is not None:
         cmd += ["--resume-seq", str(resume_seq)]
     log = (run_dir / f"worker-P{pid}-{incarnation}.log").open("wb")
@@ -364,7 +433,8 @@ async def _wait_proc(proc: subprocess.Popen, grace: float) -> int:
         return await loop.run_in_executor(None, proc.wait)
 
 
-async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog
+async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
+                   tracer: Tracer | None = None
                    ) -> tuple[CrashOutcome | None, int, dict[int, int]]:
     """TCP backend: real worker processes over localhost sockets."""
     broker = TcpBroker(epoch=0)
@@ -373,6 +443,7 @@ async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog
     procs = {pid: _spawn_worker(cfg, run_dir, port, pid, 0, None)
              for pid in range(cfg.n)}
     crash: CrashOutcome | None = None
+    loop = asyncio.get_running_loop()
     try:
         await broker.wait_connected(cfg.n, timeout=30.0)
         started = time.monotonic()
@@ -381,6 +452,9 @@ async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog
             victim = cfg.victim
             kill_started = time.monotonic()
             sup.log("crash.inject", pid=victim, at=kill_started - started)
+            if tracer is not None:
+                tracer.span_start("recovery", f"{victim}:1", loop.time(),
+                                  pid=victim)
             procs[victim].kill()   # SIGKILL — a true fail-stop crash
             await _wait_proc(procs[victim], grace=10.0)
             # The recovery line comes from what actually hit the disk.
@@ -396,6 +470,9 @@ async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog
                                  recovered_seq=seq,
                                  recovery_seconds=recovery_seconds,
                                  epoch=broker.epoch)
+            if tracer is not None:
+                tracer.span_end("recovery", f"{victim}:1", loop.time(),
+                                pid=victim, seq=seq, epoch=broker.epoch)
             sup.log("crash.recovered", pid=victim, seq=seq,
                     epoch=broker.epoch,
                     recovery_seconds=recovery_seconds)

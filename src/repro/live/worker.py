@@ -20,6 +20,9 @@ import argparse
 import asyncio
 from typing import Sequence
 
+from pathlib import Path
+
+from ..obs import JsonlSink, Tracer
 from .host import LiveHost
 from .journal import Journal
 from .storage import FileStableStorage
@@ -51,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-lifetime", type=float, default=120.0,
                    help="hard wall-clock bound on this process")
+    p.add_argument("--trace", action="store_true",
+                   help="emit repro.obs schema events to "
+                        "trace-P<pid>-<inc>.jsonl in the run directory")
     return p
 
 
@@ -59,10 +65,14 @@ async def async_main(args: argparse.Namespace) -> int:
     endpoint = await connect_tcp(args.port, args.pid, args.inc)
     storage = FileStableStorage(args.dir, args.pid)
     journal = Journal(args.dir, args.pid, args.inc)
+    tracer = None
+    if args.trace:
+        trace_path = Path(args.dir) / f"trace-P{args.pid}-{args.inc}.jsonl"
+        tracer = Tracer([JsonlSink(trace_path)], host="live", pid=args.pid)
     host = LiveHost(
         args.pid, args.n, endpoint, storage, journal,
         checkpoint_interval=args.interval, timeout=args.timeout,
-        epoch=endpoint.epoch, incarnation=args.inc)
+        epoch=endpoint.epoch, incarnation=args.inc, tracer=tracer)
     if args.resume_seq is not None:
         host.resume(args.resume_seq)
     else:
@@ -84,6 +94,8 @@ async def async_main(args: argparse.Namespace) -> int:
         await endpoint.drain()
         endpoint.close()
         journal.close()
+        if tracer is not None:
+            tracer.close()
     return 0
 
 

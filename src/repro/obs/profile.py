@@ -1,0 +1,119 @@
+"""Lightweight profiling hooks for both hosts.
+
+* :class:`DesProfiler` — samples the simulator's hot path (events
+  executed, heap size) every N trace records, **off the event heap**:
+  it piggybacks on the existing trace-subscriber channel, so it never
+  schedules anything and never perturbs event sequence allocation.  Its
+  samples are pure functions of simulation state → deterministic, so a
+  profiled trace stays byte-identical across reruns.  Opt-in wall-clock
+  rate sampling (``rate=True``) adds events/sec — useful interactively,
+  excluded from determinism-checked runs.
+* :class:`LoopLagProbe` — measures asyncio event-loop lag for the live
+  runtime: how late ``sleep(interval)`` wakes up is exactly the delay a
+  protocol timer suffers under load.  Uses ``loop.time()``; wall-clock
+  by nature, like everything live-scoped.
+* :func:`wall_now` — the one real-clock read in ``repro.obs``, confined
+  here and suppression-audited; only live/harness-side profiling may
+  call it, never anything that feeds a determinism-checked stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from .tracer import Tracer
+
+
+def wall_now() -> float:
+    """Real monotonic seconds — live/harness profiling only (see above)."""
+    return time.perf_counter()  # repro: allow[REP001] live/harness-scoped profiling clock, never feeds simulated state
+
+
+class DesProfiler:
+    """Simulator hot-path sampler (see module docstring).
+
+    Attach with :meth:`attach` before ``sim.run()``; emits ``profile``
+    events named ``des.engine`` with ``executed``/``pending`` counts.
+    """
+
+    def __init__(self, tracer: Tracer, *, sample_every: int = 500,
+                 rate: bool = False) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.tracer = tracer
+        self.sample_every = sample_every
+        self.rate = rate
+        self._seen = 0
+        self._sim: Any = None
+        self._last_wall: float | None = None
+        self._last_executed = 0
+
+    def attach(self, sim: Any) -> "DesProfiler":
+        """Subscribe to ``sim.trace``; call before ``sim.run()``."""
+        self._sim = sim
+        sim.trace.subscribe(self._on_record)
+        return self
+
+    def _on_record(self, rec: Any) -> None:
+        self._seen += 1
+        if self._seen % self.sample_every != 0:
+            return
+        if not self.tracer.enabled:
+            return
+        executed = self._sim.executed
+        attrs: dict[str, Any] = {
+            "executed": executed,
+            "pending": self._sim.pending,
+            "trace_records": self._seen,
+        }
+        if self.rate:
+            wall = wall_now()
+            if self._last_wall is not None and wall > self._last_wall:
+                attrs["events_per_sec"] = (
+                    (executed - self._last_executed)
+                    / (wall - self._last_wall))
+            self._last_wall = wall
+            self._last_executed = executed
+        self.tracer.profile("des.engine", self._sim.now, **attrs)
+
+
+class LoopLagProbe:
+    """Asyncio event-loop lag sampler for the live runtime.
+
+    Emits ``profile`` events named ``live.loop_lag`` whose ``lag`` attr
+    is how many seconds past its deadline the probe's sleep woke up —
+    the same delay every protocol timer in the worker experiences.
+    """
+
+    def __init__(self, tracer: Tracer, *, pid: int = -1,
+                 interval: float = 0.25) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.tracer = tracer
+        self.pid = pid
+        self.interval = interval
+        self._task: asyncio.Task[None] | None = None
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            before = loop.time()
+            await asyncio.sleep(self.interval)
+            after = loop.time()
+            lag = max(0.0, (after - before) - self.interval)
+            if self.tracer.enabled:
+                self.tracer.profile("live.loop_lag", after, pid=self.pid,
+                                    lag=lag, interval=self.interval)
+
+    def start(self) -> None:
+        """Begin sampling on the running loop (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.ensure_future(self._run())
+
+    def stop(self) -> None:
+        """Cancel the sampling task (idempotent)."""
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None

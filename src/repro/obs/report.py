@@ -1,0 +1,263 @@
+"""Span aggregation: the ``repro trace report`` engine.
+
+Reads schema-conformant JSONL trace streams (a single file, or every
+``trace*.jsonl`` under a live run directory), pairs ``span.start`` /
+``span.end`` events by ``(phase, key)``, and reduces them to a
+per-phase latency/overhead breakdown — the same table for a simulated
+run and a live one, which is the whole point of the shared schema.
+
+Derived rows:
+
+* ``round`` — per-csn global checkpoint rounds are not emitted directly;
+  a round's span is ``[min(start), max(end)]`` of the ``tentative``
+  spans with that csn across all pids (the paper's convergence window:
+  first tentative take → last finalize).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from .schema import SchemaError, TraceEvent, decode_event
+
+
+def iter_trace_paths(target: str | Path) -> list[Path]:
+    """The trace files behind a CLI target: the file itself, or every
+    ``trace*.jsonl`` under a directory (a live run dir)."""
+    target = Path(target)
+    if target.is_dir():
+        return sorted(target.glob("trace*.jsonl"))
+    return [target]
+
+
+def load_events(target: str | Path) -> list[TraceEvent]:
+    """Decode (and validate) every event under ``target``.
+
+    Raises :class:`~repro.obs.schema.SchemaError` on the first invalid
+    event, naming the file and line.
+    """
+    events: list[TraceEvent] = []
+    paths = iter_trace_paths(target)
+    if not paths:
+        raise FileNotFoundError(f"no trace*.jsonl files under {target}")
+    for path in paths:
+        with path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SchemaError(
+                        f"{path}:{lineno}: not JSON: {exc}") from exc
+                try:
+                    events.append(decode_event(data))
+                except SchemaError as exc:
+                    raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+    return events
+
+
+def validate_file(target: str | Path) -> list[str]:
+    """Every schema violation under ``target`` (empty = fully valid).
+
+    Unlike :func:`load_events` this does not stop at the first problem —
+    the CI trace-smoke job wants the full list.
+    """
+    problems: list[str] = []
+    paths = iter_trace_paths(target)
+    if not paths:
+        return [f"no trace*.jsonl files under {target}"]
+    for path in paths:
+        with path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    decode_event(json.loads(line))
+                except (json.JSONDecodeError, SchemaError) as exc:
+                    problems.append(f"{path}:{lineno}: {exc}")
+    return problems
+
+
+@dataclass
+class Span:
+    """One paired start/end interval."""
+
+    phase: str
+    key: str
+    pid: int
+    start: float
+    end: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """End minus start, in the host's time unit."""
+        return self.end - self.start
+
+
+@dataclass
+class PhaseStats:
+    """Latency summary of all completed spans of one phase."""
+
+    phase: str
+    count: int
+    total: float
+    mean: float
+    p_max: float
+
+    @classmethod
+    def of(cls, phase: str, durations: list[float]) -> "PhaseStats":
+        """Reduce a list of span durations to one summary row."""
+        if not durations:
+            return cls(phase=phase, count=0, total=0.0, mean=0.0, p_max=0.0)
+        total = sum(durations)
+        return cls(phase=phase, count=len(durations), total=total,
+                   mean=total / len(durations), p_max=max(durations))
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready row for ``--format json``."""
+        return {"phase": self.phase, "count": self.count,
+                "total": self.total, "mean": self.mean, "max": self.p_max}
+
+
+def pair_spans(events: Iterable[TraceEvent]) -> tuple[list[Span], list[str]]:
+    """Match ``span.start``/``span.end`` by ``(phase, key)``.
+
+    Returns the completed spans plus a list of problems (unmatched ends,
+    never-closed starts) — a truncated horizon legitimately leaves spans
+    open, so problems are reported, not raised.
+    """
+    open_spans: dict[tuple[str, str], TraceEvent] = {}
+    spans: list[Span] = []
+    problems: list[str] = []
+    for ev in events:
+        if ev.ev == "span.start":
+            k = (ev.phase or "", ev.key or "")
+            if k in open_spans:
+                problems.append(f"span {k} started twice")
+            open_spans[k] = ev
+        elif ev.ev == "span.end":
+            k = (ev.phase or "", ev.key or "")
+            start = open_spans.pop(k, None)
+            if start is None:
+                problems.append(f"span.end without start: {k}")
+                continue
+            spans.append(Span(phase=ev.phase or "", key=ev.key or "",
+                              pid=start.pid, start=start.t, end=ev.t,
+                              attrs={**start.attrs, **ev.attrs}))
+    for k in sorted(open_spans):
+        problems.append(f"span never closed: {k}")
+    return spans, problems
+
+
+def round_spans(spans: Iterable[Span]) -> list[Span]:
+    """Derive per-csn ``round`` spans from the ``tentative`` spans.
+
+    A round ``k``'s window is first tentative take → last finalize of
+    ``C_{i,k}`` across all pids (see module docstring).
+    """
+    by_csn: dict[int, list[Span]] = {}
+    for s in spans:
+        if s.phase != "tentative":
+            continue
+        csn = s.attrs.get("csn")
+        if csn is None:
+            csn = int(s.key.split(":")[-1])
+        by_csn.setdefault(int(csn), []).append(s)
+    out = []
+    for csn in sorted(by_csn):
+        members = by_csn[csn]
+        out.append(Span(phase="round", key=f"csn:{csn}", pid=-1,
+                        start=min(s.start for s in members),
+                        end=max(s.end for s in members),
+                        attrs={"csn": csn, "pids": len(members)}))
+    return out
+
+
+@dataclass
+class TraceReport:
+    """The per-phase breakdown plus stream-level tallies."""
+
+    hosts: list[str]
+    event_count: int
+    phase_stats: list[PhaseStats]
+    points: dict[str, int]
+    problems: list[str]
+    counters: dict[str, float]
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready report for ``--format json`` / CI assertions."""
+        return {
+            "hosts": self.hosts,
+            "events": self.event_count,
+            "phases": [s.as_dict() for s in self.phase_stats],
+            "points": dict(sorted(self.points.items())),
+            "counters": dict(sorted(self.counters.items())),
+            "problems": list(self.problems),
+        }
+
+    def render(self) -> str:
+        """Human-readable report: phase table + tallies + problems."""
+        lines = [f"trace report — {self.event_count} events "
+                 f"from host(s): {', '.join(self.hosts) or '-'}",
+                 "",
+                 f"{'phase':<12} {'count':>7} {'total':>12} "
+                 f"{'mean':>12} {'max':>12}"]
+        for s in self.phase_stats:
+            lines.append(f"{s.phase:<12} {s.count:>7} {s.total:>12.6g} "
+                         f"{s.mean:>12.6g} {s.p_max:>12.6g}")
+        if self.points:
+            lines.append("")
+            lines.append("points: " + "  ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.points.items())))
+        if self.counters:
+            lines.append("counters: " + "  ".join(
+                f"{name}={value:g}"
+                for name, value in sorted(self.counters.items())))
+        if self.problems:
+            lines.append("")
+            lines.append(f"problems ({len(self.problems)}):")
+            lines.extend(f"  - {p}" for p in self.problems[:20])
+        return "\n".join(lines)
+
+
+def build_report(events: list[TraceEvent]) -> TraceReport:
+    """Aggregate a decoded event stream into a :class:`TraceReport`."""
+    spans, problems = pair_spans(events)
+    spans = spans + round_spans(spans)
+    durations: dict[str, list[float]] = {}
+    for s in spans:
+        durations.setdefault(s.phase, []).append(s.duration)
+    phase_order = ("run", "round", "tentative", "finalize", "flush",
+                   "recovery")
+    stats = [PhaseStats.of(phase, sorted(durations[phase]))
+             for phase in phase_order if phase in durations]
+    for phase in sorted(set(durations) - set(phase_order)):
+        stats.append(PhaseStats.of(phase, sorted(durations[phase])))
+    points: dict[str, int] = {}
+    counters: dict[str, float] = {}
+    hosts: dict[str, None] = {}
+    for ev in events:
+        hosts.setdefault(ev.host)
+        if ev.ev == "point" and ev.name:
+            points[ev.name] = points.get(ev.name, 0) + 1
+        elif ev.ev == "counter" and ev.name:
+            counters[ev.name] = counters.get(ev.name, 0.0) + (ev.value or 0.0)
+        elif ev.ev == "metrics":
+            for name in sorted(ev.attrs.get("counters", {})):
+                counters[name] = float(ev.attrs["counters"][name])
+    return TraceReport(hosts=sorted(hosts), event_count=len(events),
+                       phase_stats=stats, points=points, problems=problems,
+                       counters=counters)
+
+
+def report_from(target: str | Path) -> TraceReport:
+    """Load + aggregate: the one-call form the CLI uses."""
+    return build_report(load_events(target))

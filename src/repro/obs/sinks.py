@@ -1,0 +1,116 @@
+"""Trace sinks: JSONL export, in-memory capture, terminal dashboard.
+
+Sinks receive already-built :class:`~repro.obs.schema.TraceEvent`
+objects from a :class:`~repro.obs.tracer.Tracer`; they never read a
+clock themselves (events carry their host's timestamp), so every sink
+here is deterministic and REP001-clean.  The dashboard refreshes on
+*event count*, not elapsed time, for the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any
+
+from .schema import TraceEvent, encode_event
+
+
+class JsonlSink:
+    """Append events to a JSONL file, one sorted-key object per line.
+
+    Sorted keys + explicit timestamps make the file byte-identical across
+    reruns of the same seeded config — the property the ``--jobs 2``
+    determinism test asserts.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+
+    def write(self, event: TraceEvent) -> None:
+        """Append one event as a compact sorted-key JSON line."""
+        if self._fh is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        json.dump(encode_event(event), self._fh, sort_keys=True,
+                  separators=(",", ":"))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+
+
+class MemorySink:
+    """Keep events in a list — the test double and the report's feeder."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def write(self, event: TraceEvent) -> None:
+        """Keep the event object."""
+        self.events.append(event)
+
+    def encoded(self) -> list[dict[str, Any]]:
+        """Every captured event in wire (dict) form."""
+        return [encode_event(e) for e in self.events]
+
+
+class DashboardSink:
+    """A line-oriented in-terminal run dashboard.
+
+    Every ``refresh_every`` events it prints one status line summarizing
+    the run so far: host time, event count, open/closed span tallies per
+    phase, and the latest counter values.  Count-based refresh (rather
+    than a wall-clock timer) keeps output identical across reruns and
+    keeps this module free of real-time reads.
+    """
+
+    def __init__(self, stream: IO[str], *, refresh_every: int = 200) -> None:
+        if refresh_every < 1:
+            raise ValueError("refresh_every must be >= 1")
+        self.stream = stream
+        self.refresh_every = refresh_every
+        self._seen = 0
+        self._open: dict[str, int] = {}
+        self._closed: dict[str, int] = {}
+        self._counters: dict[str, float] = {}
+        self._latest_t = 0.0
+
+    def write(self, event: TraceEvent) -> None:
+        """Fold the event into the tallies; render every Nth event."""
+        self._seen += 1
+        self._latest_t = event.t
+        if event.ev == "span.start" and event.phase:
+            self._open[event.phase] = self._open.get(event.phase, 0) + 1
+        elif event.ev == "span.end" and event.phase:
+            self._open[event.phase] = max(
+                0, self._open.get(event.phase, 0) - 1)
+            self._closed[event.phase] = self._closed.get(event.phase, 0) + 1
+        elif event.ev == "counter" and event.name:
+            self._counters[event.name] = (
+                self._counters.get(event.name, 0.0) + (event.value or 0.0))
+        if self._seen % self.refresh_every == 0:
+            self._render()
+
+    def _render(self) -> None:
+        spans = " ".join(
+            f"{phase}={self._closed.get(phase, 0)}"
+            + (f"(+{self._open[phase]} open)" if self._open.get(phase) else "")
+            for phase in sorted(set(self._closed) | set(self._open)))
+        counters = " ".join(f"{name}={self._counters[name]:g}"
+                            for name in sorted(self._counters)[:4])
+        self.stream.write(
+            f"[trace t={self._latest_t:10.3f}] {self._seen} events"
+            + (f" | {spans}" if spans else "")
+            + (f" | {counters}" if counters else "") + "\n")
+
+    def close(self) -> None:
+        """Render any unrendered remainder and flush the stream."""
+        if self._seen % self.refresh_every != 0:
+            self._render()
+        self.stream.flush()

@@ -1,0 +1,86 @@
+"""Both BENCH payloads validate against the shared repro.bench/1 envelope.
+
+The satellite bugfix of the observability PR: ``repro bench`` and
+``repro live bench`` used to emit differently-shaped JSON; both now carry
+``{schema, bench, ok, config, metrics, tracing}`` and are checked by one
+validator (:func:`repro.obs.validate_bench_payload`).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.executor import bench_configs, bench_executor
+from repro.obs import BENCH_SCHEMA, validate_bench_payload
+
+
+@pytest.fixture(scope="module")
+def executor_payload(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_executor.json"
+    configs = bench_configs(n_values=(3,), protocols=("optimistic",),
+                            horizon=150.0, seed=0, repeats=1)
+    return bench_executor(jobs=2, out_path=out, configs=configs), out
+
+
+class TestExecutorBench:
+    def test_payload_validates(self, executor_payload):
+        payload, _ = executor_payload
+        validate_bench_payload(payload)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["bench"] == "executor"
+        assert payload["ok"] is True
+
+    def test_written_file_validates(self, executor_payload):
+        _, out = executor_payload
+        validate_bench_payload(json.loads(out.read_text("utf-8")))
+
+    def test_tracing_overhead_measured(self, executor_payload):
+        payload, _ = executor_payload
+        tracing = payload["tracing"]
+        assert tracing["baseline_seconds"] > 0
+        assert tracing["traced_seconds"] > 0
+        assert tracing["overhead_frac"] is not None
+
+    def test_metrics_carry_protocol_counters(self, executor_payload):
+        payload, _ = executor_payload
+        assert payload["metrics"]["counters"]["ckpt.finalize"] > 0
+
+    def test_legacy_keys_survive(self, executor_payload):
+        payload, _ = executor_payload
+        assert payload["identical_metrics"] is True
+        assert payload["serial_seconds"] > 0
+        assert payload["runs"] == 1
+
+
+class TestLiveBench:
+    @pytest.fixture(scope="class")
+    def live_payload(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("livebench")
+        out = root / "BENCH_live.json"
+        from repro.live.bench import run_bench
+        payload = run_bench(out, n=2, transport="local", duration=1.5,
+                            rate=20.0, seed=0, run_root=str(root))
+        return payload, out
+
+    def test_payload_validates(self, live_payload):
+        payload, out = live_payload
+        validate_bench_payload(payload)
+        validate_bench_payload(json.loads(out.read_text("utf-8")))
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["bench"] == "live"
+
+    def test_tracing_block_present(self, live_payload):
+        payload, _ = live_payload
+        tracing = payload["tracing"]
+        assert tracing["baseline_seconds"] > 0
+        assert tracing["traced_seconds"] > 0
+        # overhead is lost throughput; a traced run must still deliver
+        assert payload["traced"]["msgs_per_sec"] > 0
+
+    def test_metrics_cover_all_phases(self, live_payload):
+        payload, _ = live_payload
+        gauges = payload["metrics"]["gauges"]
+        for phase in ("throughput", "traced", "crash"):
+            assert f"{phase}.msgs_per_sec" in gauges

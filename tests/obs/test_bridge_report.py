@@ -1,0 +1,120 @@
+"""DES bridge + span report over a real (small) simulated run.
+
+The bridge subscribes to the simulator's existing trace stream, so one
+short optimistic run exercises the whole translation path: tentative →
+finalize spans, flush spans, control-message points, the derived round
+rows, and the metrics registry counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.obs import (
+    MemorySink,
+    MetricsRegistry,
+    Tracer,
+    build_report,
+    pair_spans,
+    round_spans,
+    validate_event,
+)
+
+CFG = ExperimentConfig(protocol="optimistic", n=3, seed=7, horizon=200.0,
+                       checkpoint_interval=60.0, timeout=20.0)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    sink = MemorySink()
+    tracer = Tracer([sink], host="des")
+    res = run_experiment(CFG, tracer=tracer)
+    return res, sink
+
+
+class TestBridgedRun:
+    def test_every_bridged_event_validates(self, traced_run):
+        _, sink = traced_run
+        assert sink.events, "a traced run must emit events"
+        for data in sink.encoded():
+            validate_event(data)
+
+    def test_run_span_brackets_the_stream(self, traced_run):
+        _, sink = traced_run
+        assert sink.events[0].ev == "span.start"
+        assert sink.events[0].phase == "run"
+        ends = [e for e in sink.events if e.ev == "span.end"
+                and e.phase == "run"]
+        assert len(ends) == 1
+
+    def test_tentative_spans_pair_per_checkpoint(self, traced_run):
+        res, sink = traced_run
+        spans, _ = pair_spans(sink.events)
+        tentative = [s for s in spans if s.phase == "tentative"]
+        # one tentative→finalize interval per finalized checkpoint
+        finalized = sum(
+            len([c for c in host.finalized if c > 0])
+            for host in res.runtime.hosts.values())
+        assert len(tentative) == finalized
+        assert all(s.duration >= 0 for s in tentative)
+
+    def test_round_spans_derived_per_csn(self, traced_run):
+        _, sink = traced_run
+        spans, _ = pair_spans(sink.events)
+        rounds = round_spans(spans)
+        assert rounds, "at least one checkpoint round must complete"
+        for r in rounds:
+            assert r.phase == "round"
+            assert r.attrs["pids"] == CFG.n
+            members = [s for s in spans if s.phase == "tentative"
+                       and s.attrs.get("csn") == r.attrs["csn"]]
+            assert r.start == min(s.start for s in members)
+            assert r.end == max(s.end for s in members)
+
+    def test_metrics_snapshot_matches_run(self, traced_run):
+        res, sink = traced_run
+        snaps = [e for e in sink.events if e.ev == "metrics"]
+        assert len(snaps) == 1
+        counters = snaps[0].attrs["counters"]
+        finalized = sum(
+            len([c for c in host.finalized if c > 0])
+            for host in res.runtime.hosts.values())
+        assert counters["ckpt.finalize"] == finalized
+        assert counters["msg.delivered"] > 0
+        assert snaps[0].attrs["gauges"]["run.makespan"] == pytest.approx(
+            res.metrics.makespan)
+
+    def test_report_has_all_core_phases(self, traced_run):
+        _, sink = traced_run
+        report = build_report(list(sink.events))
+        phases = {s.phase for s in report.phase_stats}
+        assert {"run", "round", "tentative", "finalize", "flush"} <= phases
+        assert report.hosts == ["des"]
+        row = {s.phase: s for s in report.phase_stats}
+        # the run span dominates every other phase's max
+        assert row["run"].p_max >= row["round"].p_max
+
+    def test_disabled_tracer_attaches_nothing(self):
+        # Zero-cost contract: an untraced run leaves the simulator's
+        # subscriber lists alone (nothing converts trace records).
+        res = run_experiment(CFG)
+        assert not res.sim.trace._subscribers
+        assert not res.sim.trace._kind_subscribers
+
+    def test_bridge_stays_off_the_message_hot_path(self, traced_run):
+        # Message records are counted in one pass at run end, never via
+        # a per-record callback — the bridge registers no msg.* handler.
+        res, _ = traced_run
+        assert "msg.send" not in res.sim.trace._kind_subscribers
+        assert "msg.send" in {r.kind for r in res.sim.trace.records}
+
+
+class TestRegistryMerge:
+    def test_bench_style_merge_from_metrics_events(self, traced_run):
+        _, sink = traced_run
+        merged = MetricsRegistry()
+        for e in sink.events:
+            if e.ev == "metrics":
+                merged.merge(e.attrs)
+        assert merged.snapshot()["counters"]["ckpt.tentative"] > 0

@@ -1,0 +1,50 @@
+"""Trace/metrics determinism: same seed ⇒ byte-identical output.
+
+Two layers:
+
+* the same traced experiment run twice produces byte-identical JSONL
+  (caller-supplied timestamps + sorted-key serialization);
+* ``repro sweep --trace`` writes byte-identical trace files under
+  ``--jobs 1`` and ``--jobs 2`` — harness events are emitted after the
+  batch, in input order, so pool interleaving cannot leak into the file.
+"""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.harness import ExperimentConfig, run_experiment
+from repro.obs import JsonlSink, Tracer
+
+CFG = ExperimentConfig(protocol="optimistic", n=3, seed=11, horizon=150.0,
+                       checkpoint_interval=50.0, timeout=20.0)
+
+
+def _traced_bytes(tmp_path, name):
+    path = tmp_path / name
+    tracer = Tracer([JsonlSink(path)], host="des")
+    run_experiment(CFG, tracer=tracer)
+    tracer.close()
+    data = path.read_bytes()
+    assert data, "traced run must write events"
+    return data
+
+
+def test_rerun_is_byte_identical(tmp_path):
+    assert _traced_bytes(tmp_path, "a.jsonl") == _traced_bytes(
+        tmp_path, "b.jsonl")
+
+
+def test_sweep_trace_identical_across_jobs(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    out = {}
+    for jobs in (1, 2):
+        trace_file = tmp_path / f"trace-j{jobs}.jsonl"
+        rc = main(["sweep", "--param", "n", "--values", "3,4",
+                   "--horizon", "150", "--interval", "50",
+                   "--seed", "3", "--jobs", str(jobs), "--no-cache",
+                   "--trace", "--trace-file", str(trace_file)])
+        assert rc == 0
+        capsys.readouterr()
+        out[jobs] = trace_file.read_bytes()
+        assert out[jobs]
+    assert out[1] == out[2]

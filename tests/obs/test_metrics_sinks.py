@@ -1,0 +1,127 @@
+"""MetricsRegistry semantics + sink behaviour (determinism contract)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    DashboardSink,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    TraceEvent,
+    validate_metrics_snapshot,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_and_rejects_decrease(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs").inc()
+        reg.counter("msgs").inc(2.0)
+        assert reg.snapshot()["counters"]["msgs"] == 3.0
+        with pytest.raises(ValueError):
+            reg.counter("msgs").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        reg.gauge("level").set(5.0)
+        reg.gauge("level").add(-2.0)
+        assert reg.snapshot()["gauges"]["level"] == 3.0
+
+    def test_histogram_aggregates(self):
+        reg = MetricsRegistry()
+        for v in (4.0, 1.0, 3.0):
+            reg.histogram("lat").observe(v)
+        h = reg.snapshot()["histograms"]["lat"]
+        assert h == {"count": 3, "sum": 8.0, "min": 1.0, "max": 4.0,
+                     "mean": 8.0 / 3}
+
+    def test_empty_histogram_snapshot_is_zeros(self):
+        reg = MetricsRegistry()
+        reg.histogram("never")
+        assert reg.snapshot()["histograms"]["never"]["count"] == 0
+
+    def test_snapshot_is_order_insensitive(self):
+        # The determinism contract: a snapshot depends only on the
+        # multiset of observations, never on interleaving.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1.0, 5.0, 2.0):
+            a.histogram("h").observe(v)
+        for v in (2.0, 1.0, 5.0):
+            b.histogram("h").observe(v)
+        a.counter("z").inc(); a.counter("y").inc(2)
+        b.counter("y").inc(2); b.counter("z").inc()
+        assert (json.dumps(a.snapshot(), sort_keys=True)
+                == json.dumps(b.snapshot(), sort_keys=True))
+
+    def test_merge_folds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("runs").inc(2)
+        a.histogram("lat").observe(1.0)
+        b.counter("runs").inc(3)
+        b.histogram("lat").observe(5.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["runs"] == 5.0
+        assert snap["histograms"]["lat"]["count"] == 2
+        assert snap["histograms"]["lat"]["max"] == 5.0
+        validate_metrics_snapshot(snap)
+
+    def test_snapshot_validates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2.0)
+        validate_metrics_snapshot(reg.snapshot())
+
+
+class TestTracerAndSinks:
+    def test_tracer_fans_out_and_stamps_host(self):
+        sink = MemorySink()
+        tracer = Tracer([sink], host="harness", pid=7)
+        tracer.span_start("run", "r:1", 0.0, n=3)
+        tracer.span_end("run", "r:1", 2.0)
+        tracer.point("ctl.send", 1.0, pid=2, ctype="CK_BGN")
+        assert [e.ev for e in sink.events] == ["span.start", "span.end",
+                                               "point"]
+        assert sink.events[0].host == "harness"
+        assert sink.events[0].pid == 7       # tracer default
+        assert sink.events[2].pid == 2       # per-event override
+
+    def test_null_tracer_is_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.point("x", 0.0)  # no-op, must not raise
+        NULL_TRACER.close()
+
+    def test_jsonl_sink_writes_sorted_compact_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write(TraceEvent(ev="point", host="des", pid=0, t=1.0,
+                              name="x", attrs={"b": 1, "a": 2}))
+        sink.close()
+        line = path.read_text().strip()
+        assert line == json.dumps(json.loads(line), sort_keys=True,
+                                  separators=(",", ":"))
+
+    def test_jsonl_sink_rejects_write_after_close(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.write(TraceEvent(ev="point", host="des", pid=0, t=0.0,
+                                  name="x"))
+
+    def test_dashboard_renders_on_count_not_time(self):
+        out = io.StringIO()
+        sink = DashboardSink(out, refresh_every=2)
+        ev = TraceEvent(ev="point", host="des", pid=0, t=1.0, name="x")
+        sink.write(ev)
+        assert out.getvalue() == ""          # below the refresh threshold
+        sink.write(ev)
+        assert "2 events" in out.getvalue()
+        sink.close()

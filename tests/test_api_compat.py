@@ -1,0 +1,81 @@
+"""repro.api.RunOutcome: one result surface across hosts + import compat.
+
+Satellite contract of the observability PR: the three result types —
+``RunResult`` (simulator, in-process), ``RunSummary`` (harness,
+picklable) and ``LiveRunReport`` (live runtime) — all satisfy the
+``repro.api.RunOutcome`` protocol, and the pre-unification import paths
+(``MetricsView`` from the executor module, ``RunResult`` from
+``repro.live``) keep working as deprecation shims.
+"""
+
+from __future__ import annotations
+
+from repro.api import MetricsView, RunOutcome
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.executor import RunSummary
+from repro.live.conformance import ConformanceReport
+from repro.live.supervisor import LiveRunConfig, LiveRunReport
+
+CFG = ExperimentConfig(protocol="optimistic", n=3, seed=5, horizon=150.0,
+                       checkpoint_interval=50.0, timeout=20.0)
+
+
+def _live_report(consistent: bool = True) -> LiveRunReport:
+    conformance = ConformanceReport(
+        run_dir="x", n=2, complete_seqs=[0, 1],
+        orphans={} if consistent else {1: ["orphan"]},
+        sends=10, receives=10, round_latency={1: 0.2})
+    return LiveRunReport(config=LiveRunConfig(n=2),
+                         conformance=conformance, wall_seconds=2.0)
+
+
+class TestImportCompat:
+    def test_metrics_view_reexported_from_executor(self):
+        from repro.harness import executor
+        assert executor.MetricsView is MetricsView
+
+    def test_live_run_result_alias(self):
+        from repro.live import RunResult
+        assert RunResult is LiveRunReport
+
+
+class TestRunOutcomeProtocol:
+    def test_des_run_result_satisfies_protocol(self):
+        res = run_experiment(CFG)
+        assert isinstance(res, RunOutcome)
+        assert res.ok and res.consistent
+        d = res.as_dict()
+        assert d["ok"] is True
+        assert d["metrics"]["protocol"] == "optimistic"
+
+    def test_run_summary_satisfies_protocol(self):
+        summary = RunSummary.from_result(run_experiment(CFG))
+        assert isinstance(summary, RunOutcome)
+        assert summary.ok and summary.consistent
+        assert summary.as_dict()["seed"] == CFG.seed
+        # the picklable summary and the live result agree on the record
+        assert summary.metrics.as_dict() == \
+            run_experiment(CFG).metrics.as_dict()
+
+    def test_live_report_satisfies_protocol(self):
+        report = _live_report()
+        assert isinstance(report, RunOutcome)
+        assert report.consistent
+        m = report.metrics
+        assert m.msgs_per_sec == 5.0
+        assert m.orphans == 0
+
+    def test_live_report_inconsistent_is_not_ok(self):
+        report = _live_report(consistent=False)
+        assert not report.consistent
+        assert not report.ok
+
+    def test_metrics_view_is_flat_and_attr_addressable(self):
+        view = MetricsView({"a": 1, "b": 2.5})
+        assert view.a == 1 and view.b == 2.5
+        assert view.as_dict() == {"a": 1, "b": 2.5}
+
+    def test_truncated_run_summary_not_ok(self):
+        summary = RunSummary(config=CFG, metrics_dict={}, orphans={1: 0},
+                             truncated=True)
+        assert summary.consistent and not summary.ok

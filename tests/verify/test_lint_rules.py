@@ -377,4 +377,7 @@ class TestSuppressionRegistry:
         assert by_site == {
             # benchmark timers measure real elapsed time by definition
             ("executor.py", "REP001"): 3,
+            # the one wall-clock read in repro.obs: wall_now(), confined
+            # to live/harness-side profiling (see obs/profile.py docstring)
+            ("profile.py", "REP001"): 1,
         }
