@@ -1,0 +1,84 @@
+"""repro.chaos — the unified fault-injection engine.
+
+One fault-plan vocabulary (:mod:`~repro.chaos.plan`), two interposers —
+the DES delivery-gate injector (:mod:`~repro.chaos.des`) and the live
+endpoint/storage injector (:mod:`~repro.chaos.live`) — and the
+conformance matrix (:mod:`~repro.chaos.matrix`) that runs every fault
+kind through both runtimes and proves, per cell, that the optimistic
+protocol stayed consistent (Theorem 2: no orphans) and recovered
+(Theorem 1: checkpoint rounds keep finalizing after the faults end).
+
+See docs/ROBUSTNESS.md for the fault-plan format and the matrix's
+acceptance semantics; ``repro chaos`` is the CLI entry point.
+
+The DES and matrix symbols load lazily (PEP 562): live worker processes
+import ``repro.chaos.live`` on their startup path and must not pay for
+the simulator/harness import chain they never use.
+"""
+
+from .plan import (
+    ALL_KINDS,
+    CRASH_KINDS,
+    ChaosError,
+    Fault,
+    FaultPlan,
+    PARTITION_KINDS,
+    STORAGE_KINDS,
+    WIRE_KINDS,
+    single_fault_plan,
+)
+
+#: Lazily-resolved exports: name -> defining submodule.
+_LAZY = {
+    "DesChaosInjector": "des",
+    "default_des_plan": "des",
+    "run_des_cell": "des",
+    "ChaosEndpoint": "live",
+    "ChaosStorage": "live",
+    "chaos_storage": "live",
+    "lost_messages": "live",
+    "CellResult": "matrix",
+    "DEFAULT_KINDS": "matrix",
+    "MatrixReport": "matrix",
+    "default_live_plan": "matrix",
+    "run_live_cell": "matrix",
+    "run_matrix": "matrix",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(f".{module}", __name__), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "ALL_KINDS",
+    "CRASH_KINDS",
+    "CellResult",
+    "ChaosEndpoint",
+    "ChaosError",
+    "ChaosStorage",
+    "DEFAULT_KINDS",
+    "DesChaosInjector",
+    "Fault",
+    "FaultPlan",
+    "MatrixReport",
+    "PARTITION_KINDS",
+    "STORAGE_KINDS",
+    "WIRE_KINDS",
+    "chaos_storage",
+    "default_des_plan",
+    "default_live_plan",
+    "lost_messages",
+    "run_des_cell",
+    "run_live_cell",
+    "run_matrix",
+    "single_fault_plan",
+]

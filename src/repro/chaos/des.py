@@ -1,0 +1,327 @@
+"""DES fault injection: the plan interposed on the simulated network.
+
+:class:`DesChaosInjector` chains onto ``Network.delivery_gate`` (the same
+idiom the failure and partition injectors use), draws every fault decision
+from a named ``sim.rng`` stream (``chaos.<kind>.<index>``), and therefore
+replays byte-identically for the same seed + plan.  Partition faults
+delegate to the existing :class:`~repro.recovery.partition.PartitionInjector`
+(park + redeliver at heal); crash faults are composed by the cell runner
+through :class:`~repro.recovery.restart.RecoveryManager`; storage faults
+wrap ``StableStorage.write``.
+
+``run_des_cell`` is one matrix cell: build the standard small experiment,
+install the injector before the first event, run to quiescence, and judge
+the outcome — *consistent* (the independent verifier finds no orphans and
+no host recorded a protocol anomaly) and *recovered* (the run quiesced and
+at least one checkpoint round finalized everywhere strictly after the last
+fault ended — the paper's Theorem 1 convergence, demonstrated post-fault).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..harness.experiment import ExperimentConfig, run_experiment
+from ..net.message import Message
+from ..net.network import Network
+from ..recovery.partition import PartitionInjector
+from ..recovery.restart import RecoveryManager
+from .plan import ChaosError, Fault, FaultPlan, single_fault_plan
+
+#: Spacing for duplicate/reorder/delay redeliveries (mirrors the partition
+#: injector's heal spacing: deterministic order, no zero-duration bursts).
+REDELIVERY_SPACING = 1e-6
+
+#: Crash cells: detection + restart time before system-wide rollback.
+CRASH_RECOVERY_DELAY = 5.0
+
+
+class DesChaosInjector:
+    """Interpose a :class:`FaultPlan` on a simulated network."""
+
+    def __init__(self, sim: Any, network: Network, plan: FaultPlan) -> None:
+        plan.validate()
+        self.sim = sim
+        self.network = network
+        self.plan = plan
+        #: fault-kind -> number of injections actually performed.
+        self.injected: dict[str, int] = {}
+        self._wire = plan.wire_faults()
+        self._rngs = {i: sim.rng.stream(f"chaos.{f.kind}.{i}")
+                      for i, f in self._wire + plan.storage_faults()}
+        #: (src, dst) -> held message, per reorder fault index.
+        self._reorder_held: dict[int, dict[tuple[int, int], Message]] = {
+            i: {} for i, f in self._wire if f.kind == "reorder"}
+        # Partitions ride on the proven injector (park + redeliver at heal).
+        self._partitions: PartitionInjector | None = None
+        if plan.partition_faults():
+            self._partitions = PartitionInjector(sim, network)
+            for _, f in plan.partition_faults():
+                self._partitions.partition(f.group_a, f.group_b,
+                                           f.start, f.end)
+        # Wire gate chains last so it runs first (innermost faults win).
+        self._prev_gate = network.delivery_gate
+        if self._wire:
+            network.delivery_gate = self._gate
+            for i, f in self._wire:
+                if f.kind == "reorder":
+                    # Window close flushes any message still held for the
+                    # swap — nothing may stay parked into quiescence.
+                    sim.schedule_at(f.end, lambda i=i: self._flush_reorder(i))
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def total_injected(self) -> int:
+        """Total number of fault injections across all kinds."""
+        return sum(self.injected.values())
+
+    # -- the delivery gate -------------------------------------------------
+
+    def _gate(self, msg: Message) -> bool:
+        now = self.sim.now
+        for i, fault in self._wire:
+            if not fault.active(now) or msg.kind not in fault.frames:
+                continue
+            rng = self._rngs[i]
+            if fault.kind == "drop":
+                if rng.random() < fault.p:
+                    self._count("drop")
+                    msg.meta["drop_cause"] = "chaos.drop"
+                    self.sim.trace.record(now, "chaos.drop", msg.dst,
+                                          uid=msg.uid, src=msg.src,
+                                          kind=msg.kind)
+                    return False
+            elif fault.kind == "duplicate":
+                if rng.random() < fault.p:
+                    self._count("duplicate")
+                    self.sim.trace.record(now, "chaos.duplicate", msg.dst,
+                                          uid=msg.uid, src=msg.src,
+                                          kind=msg.kind)
+                    self.sim.schedule(REDELIVERY_SPACING,
+                                      lambda m=msg: self._redeliver(m))
+            elif fault.kind == "delay":
+                if rng.random() < fault.p:
+                    self._count("delay")
+                    msg.meta["drop_cause"] = "chaos.delay"
+                    self.sim.trace.record(now, "chaos.delay", msg.dst,
+                                          uid=msg.uid, src=msg.src,
+                                          kind=msg.kind, delay=fault.delay)
+                    self.sim.schedule(fault.delay,
+                                      lambda m=msg: self._redeliver(m))
+                    return False
+            elif fault.kind == "reorder":
+                held = self._reorder_held[i]
+                key = (msg.src, msg.dst)
+                parked = held.get(key)
+                if parked is not None:
+                    # The successor arrived: deliver it now (fall through)
+                    # and release the held one right after — order swapped.
+                    del held[key]
+                    self.sim.schedule(REDELIVERY_SPACING,
+                                      lambda m=parked: self._redeliver(m))
+                elif rng.random() < fault.p:
+                    self._count("reorder")
+                    held[key] = msg
+                    msg.meta["drop_cause"] = "chaos.reorder"
+                    self.sim.trace.record(now, "chaos.reorder", msg.dst,
+                                          uid=msg.uid, src=msg.src,
+                                          kind=msg.kind)
+                    return False
+        if self._prev_gate is not None:
+            return self._prev_gate(msg)
+        return True
+
+    def _redeliver(self, msg: Message) -> None:
+        """Deliver a duplicated/delayed/reordered message now.
+
+        Re-runs the *full* gate chain first — the destination may have
+        crashed or a partition begun since the message was intercepted
+        (mirrors ``PartitionInjector._redeliver``).
+        """
+        msg.meta.pop("drop_cause", None)
+        if not self.network.delivery_gate(msg):
+            return
+        msg.deliver_time = self.sim.now
+        self.sim.trace.record(self.sim.now, "msg.deliver", msg.dst,
+                              uid=msg.uid, src=msg.src, kind=msg.kind,
+                              bytes=msg.total_bytes, redelivered=True)
+        self.network.processes[msg.dst]._deliver(msg)
+
+    def _flush_reorder(self, index: int) -> None:
+        held = self._reorder_held[index]
+        for j, key in enumerate(sorted(held)):
+            self.sim.schedule((j + 1) * REDELIVERY_SPACING,
+                              lambda m=held[key]: self._redeliver(m))
+        held.clear()
+
+    # -- storage faults ----------------------------------------------------
+
+    def attach_storage(self, storage: Any) -> None:
+        """Wrap ``storage.write`` with the plan's storage faults.
+
+        * ``slow-flush`` — the write carries ``delay`` seconds of extra
+          service time (modelled as the equivalent extra bytes at the
+          disk's bandwidth);
+        * ``torn-write`` / ``fsync-fail`` — the first attempt is wasted
+          (an equal-size ``chaos:`` write occupies the disk) and the real
+          write follows, modelling interrupt-and-retry.
+        """
+        faults = self.plan.storage_faults()
+        if not faults:
+            return
+        inner = storage.write
+
+        def write(pid: int, nbytes: int, label: str = "",
+                  callback: Any = None) -> Any:
+            now = self.sim.now
+            extra = 0
+            for i, fault in faults:
+                if not fault.active(now):
+                    continue
+                if self._rngs[i].random() >= fault.p:
+                    continue
+                self._count(fault.kind)
+                self.sim.trace.record(now, "chaos.storage", pid,
+                                      fault=fault.kind, label=label)
+                if fault.kind == "slow-flush":
+                    extra += int(fault.delay * storage.disk.bandwidth)
+                else:  # torn-write / fsync-fail: wasted first attempt
+                    inner(pid, nbytes, label=f"chaos:{fault.kind}:{label}")
+            return inner(pid, nbytes + extra, label=label, callback=callback)
+
+        storage.write = write
+
+
+# -- the standard DES cell -------------------------------------------------
+
+#: Cell geometry: small enough to run in well under a second, long enough
+#: for several checkpoint rounds before, during and after the fault window.
+DES_N = 4
+DES_HORIZON = 120.0
+DES_INTERVAL = 30.0
+DES_TIMEOUT = 10.0
+
+
+def default_des_plan(kind: str, seed: int = 0) -> FaultPlan:
+    """The canonical one-fault plan the matrix runs for ``kind``."""
+    if kind == "drop":
+        return single_fault_plan("drop", seed, p=0.15, start=10.0, end=70.0)
+    if kind == "duplicate":
+        return single_fault_plan("duplicate", seed, p=0.25,
+                                 start=10.0, end=70.0)
+    if kind == "reorder":
+        return single_fault_plan("reorder", seed, p=0.3,
+                                 start=10.0, end=70.0)
+    if kind == "delay":
+        return single_fault_plan("delay", seed, p=0.25, start=10.0,
+                                 end=70.0, delay=3.0)
+    if kind == "partition":
+        return single_fault_plan("partition", seed, start=20.0, end=50.0,
+                                 group_a=(0, 1),
+                                 group_b=tuple(range(2, DES_N)))
+    if kind == "crash":
+        return single_fault_plan("crash", seed, pid=DES_N - 1, at=40.0)
+    if kind == "torn-write":
+        return single_fault_plan("torn-write", seed, p=0.5,
+                                 start=5.0, end=80.0)
+    if kind == "fsync-fail":
+        return single_fault_plan("fsync-fail", seed, p=0.5,
+                                 start=5.0, end=80.0)
+    if kind == "slow-flush":
+        return single_fault_plan("slow-flush", seed, p=0.5,
+                                 start=5.0, end=80.0, delay=0.5)
+    raise ChaosError(f"unknown fault kind {kind!r}")
+
+
+def _last_fault_end(plan: FaultPlan) -> float:
+    """Simulated time after which the system runs fault-free."""
+    end = 0.0
+    for f in plan:
+        if f.kind == "crash":
+            end = max(end, (f.at or 0.0) + CRASH_RECOVERY_DELAY)
+        elif f.end is not None:
+            end = max(end, f.end)
+        else:
+            end = max(end, f.start)
+    return end
+
+
+def run_des_cell(kind: str, seed: int = 0,
+                 plan: FaultPlan | None = None,
+                 tracer: Any | None = None) -> dict[str, Any]:
+    """Run one DES matrix cell; returns a picklable outcome record."""
+    if plan is None:
+        plan = default_des_plan(kind, seed)
+    plan.validate()
+    cfg = ExperimentConfig(
+        protocol="optimistic", n=DES_N, seed=seed, horizon=DES_HORIZON,
+        checkpoint_interval=DES_INTERVAL, timeout=DES_TIMEOUT,
+        state_bytes=1_000_000,
+        workload_kwargs={"rate": 1.0, "msg_size": 512})
+    holder: dict[str, Any] = {}
+
+    def before_run(sim: Any, net: Any, storage: Any, runtime: Any) -> None:
+        injector = DesChaosInjector(sim, net, plan)
+        injector.attach_storage(storage)
+        holder["injector"] = injector
+        if plan.crash_faults():
+            rm = RecoveryManager(runtime)
+            for _, f in plan.crash_faults():
+                rm.crash_and_recover(f.pid, f.at,
+                                     recovery_delay=CRASH_RECOVERY_DELAY)
+            holder["recovery"] = rm
+
+    result = run_experiment(cfg, tracer=tracer, before_run=before_run)
+    injector: DesChaosInjector = holder["injector"]
+    rm: RecoveryManager | None = holder.get("recovery")
+    injected = dict(injector.injected)
+    dropped_by_cause = result.network.dropped_by_cause()
+    if plan.partition_faults():
+        # Partition parks are performed by the delegated PartitionInjector;
+        # its per-cause drop counter is the injection count.
+        injected["partition"] = dropped_by_cause.get("partition", 0)
+    if rm is not None:
+        injected["crash"] = len(rm.events)
+    anomalies = result.runtime.anomalies()
+    consistent = result.consistent and not anomalies
+    fault_end = _last_fault_end(plan)
+    # Convergence after the faults: some round must have finalized at every
+    # process strictly after the last fault ended (Theorem 1 post-fault).
+    runtime = result.runtime
+    post_fault_rounds = 0
+    for seq in runtime.finalized_seqs():
+        if seq == 0:
+            continue
+        ends = [runtime.hosts[pid].finalized[seq].finalized_at
+                for pid in runtime.hosts]
+        if min(ends) > fault_end:
+            post_fault_rounds += 1
+    recovered = (not result.truncated and post_fault_rounds >= 1
+                 and sum(injected.values()) > 0)
+    if rm is not None:
+        recovered = recovered and len(rm.events) == len(
+            list(plan.crash_faults()))
+    return {
+        "runtime": "des",
+        "fault": kind,
+        "seed": seed,
+        "consistent": consistent,
+        "recovered": recovered,
+        "injected": injected,
+        "recovered_actions": {
+            "redelivered": sum(1 for rec in result.sim.trace.records
+                               if rec.kind == "msg.deliver"
+                               and rec.data.get("redelivered")),
+            "rollbacks": sum(1 for rec in result.sim.trace.records
+                             if rec.kind == "ckpt.rollback"),
+        },
+        "rounds": len([s for s in runtime.finalized_seqs() if s > 0]),
+        "post_fault_rounds": post_fault_rounds,
+        "anomalies": anomalies,
+        "orphans": sum(result.orphans.values()),
+        "dropped_by_cause": dropped_by_cause,
+        "makespan": result.sim.now,
+    }

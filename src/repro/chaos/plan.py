@@ -1,0 +1,205 @@
+"""The fault-plan vocabulary shared by both runtimes.
+
+One :class:`FaultPlan` describes *what goes wrong* in a run — message
+loss, duplication, reordering, delay, a network partition that heals, a
+process crash, or a stable-storage fault — independently of *where* it is
+injected.  The DES interposer (:mod:`repro.chaos.des`) and the live
+interposer (:mod:`repro.chaos.live`) both consume the same plan, so a
+scenario exercised under the simulated clock can be replayed against real
+sockets without re-encoding the faults.
+
+Every fault draws from a seeded stream (``FaultPlan.seed`` + the fault's
+index), so the same plan + seed reproduces the same injected faults —
+in the DES byte-identically, in the live runtime statistically.
+
+The vocabulary (``Fault.kind``):
+
+===============  ==========================================================
+``drop``         lose matching messages with probability ``p``
+``duplicate``    deliver matching messages twice with probability ``p``
+``reorder``      swap adjacent matching messages per channel with prob ``p``
+``delay``        hold matching messages for ``delay`` seconds with prob ``p``
+``partition``    cut ``group_a`` ↔ ``group_b`` during [start, end), heal after
+``crash``        kill process ``pid`` at time ``at`` (runner-composed)
+``torn-write``   a checkpoint write is interrupted mid-flush and retried
+``fsync-fail``   a checkpoint fsync fails transiently and is retried
+``slow-flush``   a checkpoint flush takes ``delay`` extra seconds
+===============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Faults that act on in-flight messages (wire interposers).
+WIRE_KINDS = ("drop", "duplicate", "reorder", "delay")
+#: Faults that act on the topology.
+PARTITION_KINDS = ("partition",)
+#: Faults that act on processes (composed by the cell runner, not a gate).
+CRASH_KINDS = ("crash",)
+#: Faults that act on stable storage.
+STORAGE_KINDS = ("torn-write", "fsync-fail", "slow-flush")
+
+ALL_KINDS = WIRE_KINDS + PARTITION_KINDS + CRASH_KINDS + STORAGE_KINDS
+
+
+class ChaosError(ValueError):
+    """An invalid fault plan (unknown kind, missing required field)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault.  Fields beyond ``kind`` are kind-specific.
+
+    ``start``/``end`` bound the injection window (``end=None`` = forever);
+    wire faults apply to frame kinds in ``frames`` with probability ``p``
+    per message.  ``reorder`` and ``delay`` faults must have a finite
+    ``end`` so held messages are always flushed before quiescence.
+    """
+
+    kind: str
+    p: float = 1.0
+    start: float = 0.0
+    end: float | None = None
+    #: Frame/message kinds the fault applies to ("app", "ctl").
+    frames: tuple[str, ...] = ("app", "ctl")
+    #: Extra latency (``delay``) / flush stretch (``slow-flush``), seconds.
+    delay: float = 0.0
+    #: Partition sides.
+    group_a: tuple[int, ...] = ()
+    group_b: tuple[int, ...] = ()
+    #: Crash victim.
+    pid: int | None = None
+    #: Crash time.
+    at: float | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ChaosError` unless the record is well-formed."""
+        if self.kind not in ALL_KINDS:
+            raise ChaosError(f"unknown fault kind {self.kind!r}; "
+                             f"choices: {sorted(ALL_KINDS)}")
+        if not (0.0 <= self.p <= 1.0):
+            raise ChaosError(f"fault {self.kind}: p={self.p} not in [0, 1]")
+        if self.end is not None and self.end <= self.start:
+            raise ChaosError(f"fault {self.kind}: end={self.end} <= "
+                             f"start={self.start}")
+        if self.kind in ("reorder", "delay") and self.end is None:
+            # Held messages are only flushed at window close; an unbounded
+            # window could park a message forever and stall quiescence.
+            raise ChaosError(f"fault {self.kind}: requires a finite end "
+                             f"(held messages flush at window close)")
+        if self.kind == "delay" and self.delay <= 0.0:
+            raise ChaosError("fault delay: requires delay > 0")
+        if self.kind == "slow-flush" and self.delay <= 0.0:
+            raise ChaosError("fault slow-flush: requires delay > 0")
+        if self.kind == "partition" and (not self.group_a or not self.group_b):
+            raise ChaosError("fault partition: requires group_a and group_b")
+        if self.kind == "partition" and set(self.group_a) & set(self.group_b):
+            raise ChaosError("fault partition: groups overlap")
+        if self.kind == "partition" and self.end is None:
+            raise ChaosError("fault partition: requires a finite end (heal)")
+        if self.kind == "crash" and (self.pid is None or self.at is None):
+            raise ChaosError("fault crash: requires pid and at")
+
+    def active(self, now: float) -> bool:
+        """Is ``now`` inside the injection window?"""
+        return now >= self.start and (self.end is None or now < self.end)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (defaults omitted); `from_dict` inverts."""
+        d: dict[str, Any] = {"kind": self.kind, "p": self.p,
+                             "start": self.start}
+        if self.end is not None:
+            d["end"] = self.end
+        if self.frames != ("app", "ctl"):
+            d["frames"] = list(self.frames)
+        if self.delay:
+            d["delay"] = self.delay
+        if self.group_a:
+            d["group_a"] = list(self.group_a)
+        if self.group_b:
+            d["group_b"] = list(self.group_b)
+        if self.pid is not None:
+            d["pid"] = self.pid
+        if self.at is not None:
+            d["at"] = self.at
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Fault":
+        try:
+            kind = d["kind"]
+        except KeyError:
+            raise ChaosError("fault record missing 'kind'") from None
+        fault = cls(
+            kind=kind,
+            p=float(d.get("p", 1.0)),
+            start=float(d.get("start", 0.0)),
+            end=None if d.get("end") is None else float(d["end"]),
+            frames=tuple(d.get("frames", ("app", "ctl"))),
+            delay=float(d.get("delay", 0.0)),
+            group_a=tuple(d.get("group_a", ())),
+            group_b=tuple(d.get("group_b", ())),
+            pid=d.get("pid"),
+            at=d.get("at"),
+        )
+        fault.validate()
+        return fault
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded list of faults — one scenario, runnable in either runtime."""
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Validate every fault in the plan."""
+        for f in self.faults:
+            f.validate()
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    # -- kind selectors (each with the fault's plan-index for seeding) -----
+
+    def _select(self, kinds: tuple[str, ...]) -> list[tuple[int, Fault]]:
+        return [(i, f) for i, f in enumerate(self.faults) if f.kind in kinds]
+
+    def wire_faults(self) -> list[tuple[int, Fault]]:
+        """Message-level faults (drop/duplicate/reorder/delay)."""
+        return self._select(WIRE_KINDS)
+
+    def partition_faults(self) -> list[tuple[int, Fault]]:
+        """Network-partition faults."""
+        return self._select(PARTITION_KINDS)
+
+    def crash_faults(self) -> list[tuple[int, Fault]]:
+        """Process-crash faults."""
+        return self._select(CRASH_KINDS)
+
+    def storage_faults(self) -> list[tuple[int, Fault]]:
+        """Stable-storage faults (torn-write/fsync-fail/slow-flush)."""
+        return self._select(STORAGE_KINDS)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable form; `from_dict` inverts."""
+        return {"seed": self.seed,
+                "faults": [f.as_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FaultPlan":
+        faults = tuple(Fault.from_dict(fd) for fd in d.get("faults", ()))
+        return cls(faults=faults, seed=int(d.get("seed", 0)))
+
+
+def single_fault_plan(kind: str, seed: int = 0, **kwargs: Any) -> FaultPlan:
+    """Convenience: a one-fault plan (validated)."""
+    fault = Fault(kind=kind, **kwargs)
+    fault.validate()
+    return FaultPlan(faults=(fault,), seed=seed)

@@ -480,12 +480,23 @@ def _live_config_from(args: argparse.Namespace,
                       crash_at: float | None) -> "Any":
     """Map ``repro live`` flags onto a :class:`repro.live.LiveRunConfig`."""
     from .live import LiveRunConfig
+    chaos = None
+    if getattr(args, "chaos_plan", None):
+        from .chaos import FaultPlan
+        with open(args.chaos_plan, encoding="utf-8") as fh:
+            chaos = FaultPlan.from_dict(json.load(fh))
     return LiveRunConfig(
         n=args.n, transport=args.transport, duration=args.duration,
         checkpoint_interval=args.interval, timeout=args.timeout,
         workload=args.workload, rate=args.rate, msg_size=args.msg_size,
         seed=args.seed, crash_at=crash_at, crash_pid=args.crash_pid,
-        run_dir=args.run_dir, trace=args.trace)
+        run_dir=args.run_dir, trace=args.trace,
+        connect_timeout=args.connect_timeout,
+        connect_attempts=args.connect_attempts,
+        connect_wait=args.connect_wait,
+        resilience=not args.no_resilience,
+        max_retries=args.max_retries, retry_base=args.retry_base,
+        retry_max=args.retry_max, chaos=chaos)
 
 
 def cmd_live_run(args: argparse.Namespace) -> int:
@@ -559,6 +570,58 @@ def _add_live_args(p: argparse.ArgumentParser) -> None:
                    help="emit schema-versioned trace events into the run "
                         "directory (trace-P<pid>-<inc>.jsonl per worker + "
                         "trace-supervisor.jsonl)")
+    p.add_argument("--connect-timeout", type=float, default=10.0,
+                   help="per-attempt worker→broker connection timeout (s)")
+    p.add_argument("--connect-attempts", type=int, default=5,
+                   help="worker→broker connection attempts (backoff "
+                        "between retries)")
+    p.add_argument("--connect-wait", type=float, default=30.0,
+                   help="supervisor wait for all workers to connect (s)")
+    p.add_argument("--no-resilience", action="store_true",
+                   help="disable the retry/ack/dedup transport layer "
+                        "(repro.live.resilience)")
+    p.add_argument("--max-retries", type=int, default=6,
+                   help="retransmissions per unacked frame")
+    p.add_argument("--retry-base", type=float, default=0.05,
+                   help="first retransmission backoff (s)")
+    p.add_argument("--retry-max", type=float, default=1.0,
+                   help="retransmission backoff ceiling (s)")
+    p.add_argument("--chaos-plan", default=None,
+                   help="JSON fault plan (repro.chaos) to inject into "
+                        "the run")
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: the fault × runtime conformance matrix.
+
+    Exit 0 only when every cell is consistent (Theorem 2 held under the
+    injected faults) *and* recovered (faults were injected and healed,
+    rounds kept finalizing).  ``--no-retries`` is the discrimination
+    mode: the live drop cell must then fail.
+    """
+    from .chaos import DEFAULT_KINDS, run_matrix
+    kinds = (tuple(k for k in args.kinds.split(",") if k)
+             if args.kinds else DEFAULT_KINDS)
+    runtimes = tuple(r for r in args.runtimes.split(",") if r)
+    unknown_rt = [r for r in runtimes if r not in ("des", "live")]
+    if unknown_rt:
+        print(f"unknown runtimes: {unknown_rt}; choices: ['des', 'live']",
+              file=sys.stderr)
+        return 2
+    tracer = _tracer_from(args, host="harness")
+    try:
+        report = run_matrix(
+            kinds, runtimes, seed=args.seed, transport=args.transport,
+            duration=args.duration, retries=not args.no_retries,
+            jobs=args.jobs, run_root=args.run_root, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -718,13 +781,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output JSON path")
     q.set_defaults(fn=cmd_live_bench)
 
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection conformance matrix: every fault kind x "
+             "both runtimes, each cell conformance-checked (repro.chaos)")
+    p.add_argument("--kinds", default=None,
+                   help="comma-separated fault kinds (default: all; an "
+                        "unknown kind yields a failing cell)")
+    p.add_argument("--runtimes", default="des,live",
+                   help="comma-separated runtimes to exercise (des,live)")
+    p.add_argument("--transport", choices=("local", "tcp"),
+                   default="local", help="transport for the live cells")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=2.5,
+                   help="wall seconds per live cell")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the DES cells (1=serial)")
+    p.add_argument("--no-retries", action="store_true",
+                   help="disable the live resilience layer — the "
+                        "discrimination mode: the drop cell must fail")
+    p.add_argument("--run-root", default=None,
+                   help="keep live cell run directories under this path")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    _add_trace_args(p)
+    p.set_defaults(fn=cmd_chaos)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except Exception as exc:
+        # Setup failures (workers never connected, bad fault plan, …)
+        # become a one-line error + exit 1 instead of a raw traceback.
+        from .chaos.plan import ChaosError
+        from .live import LiveSetupError
+        if isinstance(exc, (LiveSetupError, ChaosError)):
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 1
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

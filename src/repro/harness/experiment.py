@@ -325,7 +325,10 @@ def build_experiment(cfg: ExperimentConfig
 
 
 def run_experiment(cfg: ExperimentConfig,
-                   tracer: Any | None = None) -> RunResult:
+                   tracer: Any | None = None,
+                   before_run: Callable[[Simulator, Network, StableStorage,
+                                         Any], None] | None = None
+                   ) -> RunResult:
     """Build, run to quiescence, collect metrics, optionally verify.
 
     ``tracer`` (a :class:`repro.obs.Tracer`, optional) attaches the
@@ -336,8 +339,15 @@ def run_experiment(cfg: ExperimentConfig,
     tracing never changes :func:`~repro.harness.executor.config_key`
     cache identities.  ``None`` (or a disabled tracer) is the zero-cost
     path: nothing subscribes to the trace stream.
+
+    ``before_run`` (optional) is invoked with the freshly built
+    ``(sim, network, storage, runtime)`` before ``runtime.start()`` —
+    the attachment point for interposers (fault injectors, partitions,
+    recovery managers) that must install before the first event fires.
     """
     sim, net, storage, runtime = build_experiment(cfg)
+    if before_run is not None:
+        before_run(sim, net, storage, runtime)
     bridge = None
     if tracer is not None and tracer.enabled:
         from ..obs import DesProfiler, attach_des_tracer

@@ -34,11 +34,13 @@ Layout:
 from .conformance import ConformanceReport, replay, supervisor_events
 from .host import LiveHost
 from .journal import Journal, read_journal, worker_events
+from .resilience import ResilienceConfig, ResilienceStats, ResilientEndpoint
 from .storage import FileStableStorage, durable_global_seq
 from .supervisor import (
     CrashOutcome,
     LiveRunConfig,
     LiveRunReport,
+    LiveSetupError,
     run_live,
     run_live_async,
 )
@@ -60,9 +62,13 @@ __all__ = [
     "LiveHost",
     "LiveRunConfig",
     "LiveRunReport",
+    "LiveSetupError",
     "LiveTraffic",
     "LocalTransport",
     "MAX_INCARNATIONS",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "ResilientEndpoint",
     "RunResult",
     "SUPERVISOR",
     "TcpBroker",

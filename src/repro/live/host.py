@@ -103,6 +103,13 @@ class LiveHost:
         self.sent_count = 0
         self.recv_count = 0
         self.stale_dropped = 0
+        self.dup_dropped = 0
+        #: App-message uids already processed — the idempotent-receive
+        #: guard.  A retransmitted (or chaos-duplicated) frame must not
+        #: double-apply to the digest, the log window, or the machine.
+        #: uids are globally unique across incarnations (see make_uid),
+        #: so the set survives rollbacks safely.
+        self._seen_app_uids: set[int] = set()
         self._uid_counter = 0
 
     # -- lifecycle -----------------------------------------------------------
@@ -223,6 +230,11 @@ class LiveHost:
         if kind == "recover":
             self._on_recover(frame["seq"], frame["epoch"])
             return
+        if kind == "ack":
+            # Normally consumed by the resilience layer before reaching
+            # the host; tolerated here so mixed configurations (peer
+            # retransmitting, local resilience off) cannot crash a worker.
+            return
         if kind not in ("app", "ctl"):
             raise ValueError(f"unexpected frame kind {kind!r}")
         epoch = frame.get("epoch", 0)
@@ -243,6 +255,13 @@ class LiveHost:
 
     def _on_app(self, frame: dict[str, Any]) -> None:
         uid, size = frame["uid"], frame["size"]
+        if uid in self._seen_app_uids:
+            # Idempotent receive: a retransmission (or an injected
+            # duplicate) of a message already processed — drop before any
+            # journal/digest/log effect so nothing double-applies.
+            self.dup_dropped += 1
+            return
+        self._seen_app_uids.add(uid)
         self.recv_count += 1
         self.journal.log("recv", uid=uid, src=frame["src"], size=size)
         # Paper §3.4.3: process the message first, then checkpointing acts.

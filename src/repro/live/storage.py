@@ -42,22 +42,55 @@ def _atomic_write(path: Path, payload: dict[str, Any]) -> None:
 
 
 class FileStableStorage:
-    """One worker's on-disk checkpoint directory."""
+    """One worker's on-disk checkpoint directory.
+
+    Writes go through :meth:`_write`, which retries transient ``OSError``
+    failures (a torn write leaves only the tmp file; ``os.replace`` is
+    all-or-nothing) — so an interrupted flush, a failing fsync, or an
+    injected storage fault (:mod:`repro.chaos.live`) degrades to a retry,
+    never to a corrupt checkpoint.  ``fault_hook``, when set, is invoked
+    as ``fault_hook(label, attempt)`` before each attempt and may raise
+    ``OSError`` or sleep — the chaos injection point.
+    """
+
+    #: Bounded retry for transient write failures.
+    WRITE_ATTEMPTS = 3
 
     def __init__(self, run_dir: str | Path, pid: int) -> None:
         self.pid = pid
         self.root = Path(run_dir) / f"P{pid}"
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Writes that needed at least one retry (observability surface).
+        self.retried_writes = 0
+        #: Optional fault injection: ``fault_hook(label, attempt)``.
+        self.fault_hook: Any = None
 
     # -- writes --------------------------------------------------------------
 
+    def _write(self, path: Path, payload: dict[str, Any],
+               label: str) -> None:
+        last: OSError | None = None
+        for attempt in range(self.WRITE_ATTEMPTS):
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(label, attempt)
+                _atomic_write(path, payload)
+                if attempt:
+                    self.retried_writes += 1
+                return
+            except OSError as exc:
+                last = exc
+        raise OSError(
+            f"P{self.pid} stable-storage write {label!r} failed after "
+            f"{self.WRITE_ATTEMPTS} attempts") from last
+
     def write_tentative(self, csn: int, payload: dict[str, Any]) -> None:
         """Optimistic flush of ``CT_{i,csn}`` (§3.1: "at its convenience")."""
-        _atomic_write(self.root / f"tent-C{csn}.json", payload)
+        self._write(self.root / f"tent-C{csn}.json", payload, f"tent:{csn}")
 
     def write_finalized(self, csn: int, payload: dict[str, Any]) -> None:
         """Durable ``C_{i,csn}`` (the serialize-module checkpoint dict)."""
-        _atomic_write(self.root / f"C{csn}.json", payload)
+        self._write(self.root / f"C{csn}.json", payload, f"fin:{csn}")
         # The tentative flush is subsumed by the finalized file.
         tent = self.root / f"tent-C{csn}.json"
         if tent.exists():

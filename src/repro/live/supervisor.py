@@ -36,13 +36,25 @@ from ..obs import JsonlSink, LoopLagProbe, Tracer
 from .conformance import ConformanceReport, replay
 from .host import LiveHost
 from .journal import Journal
+from .resilience import ResilienceConfig, ResilientEndpoint
 from .storage import FileStableStorage, durable_global_seq
-from .transport import LocalTransport, TcpBroker
+from .transport import Endpoint, LocalTransport, TcpBroker
 from .wire import recover_frame, stop_frame
 from .workload import LIVE_WORKLOADS, drive, make_traffic
 
 #: Default parent directory for run artifacts (gitignored).
 DEFAULT_RUN_ROOT = ".repro-live"
+
+#: File the supervisor writes a fault plan to for TCP workers to pick up.
+CHAOS_PLAN_FILE = "chaos-plan.json"
+
+
+class LiveSetupError(RuntimeError):
+    """A live run could not even start (workers never connected, …).
+
+    Distinct from a protocol failure: the CLI turns this into a clear
+    one-line error and exit code 1 instead of a raw traceback.
+    """
 
 
 @dataclass
@@ -63,6 +75,17 @@ class LiveRunConfig:
     run_dir: str | None = None          # default: .repro-live/run-...
     stop_grace: float = 10.0            # max wait for clean worker shutdown
     trace: bool = False                 # repro.obs tracing (per-worker JSONL)
+    # -- connection establishment (satellite: no more hard-coded timeouts) --
+    connect_timeout: float = 10.0       # per-attempt worker→broker timeout
+    connect_attempts: int = 5           # worker→broker connection retries
+    connect_wait: float = 30.0          # supervisor wait for all workers
+    # -- resilient transport layer (repro.live.resilience) ------------------
+    resilience: bool = True             # bounded-retry send + ack/dedup
+    max_retries: int = 6                # retransmissions per frame
+    retry_base: float = 0.05            # first backoff delay (seconds)
+    retry_max: float = 1.0              # backoff ceiling (seconds)
+    # -- fault injection (repro.chaos) --------------------------------------
+    chaos: Any = None                   # FaultPlan | None
 
     def validate(self) -> None:
         """Reject configurations that cannot run."""
@@ -80,6 +103,12 @@ class LiveRunConfig:
             raise ValueError("crash_at must fall inside the run duration")
         if self.crash_pid is not None and not (0 <= self.crash_pid < self.n):
             raise ValueError(f"crash_pid {self.crash_pid} out of range")
+        if self.connect_wait <= 0 or self.connect_timeout <= 0:
+            raise ValueError("connection timeouts must be positive")
+        if self.connect_attempts < 1:
+            raise ValueError("connect_attempts must be at least 1")
+        if self.chaos is not None:
+            self.chaos.validate()
 
     @property
     def victim(self) -> int:
@@ -283,6 +312,67 @@ async def run_live_async(cfg: LiveRunConfig) -> LiveRunReport:
 
 
 # --------------------------------------------------------------------------
+# endpoint stack (shared by local workers here and TCP workers in worker.py)
+# --------------------------------------------------------------------------
+
+
+def build_endpoint(inner: Endpoint, storage: FileStableStorage,
+                   cfg: LiveRunConfig, *, incarnation: int = 0,
+                   tracer: Tracer | None = None
+                   ) -> tuple[Endpoint, Any, Any, Any]:
+    """Stack the chaos and resilience layers around a raw endpoint.
+
+    Order matters: chaos sits *below* resilience
+    (``host -> resilient -> chaos -> wire``) so retransmissions traverse
+    the faulty wire again.  Returns ``(endpoint, chaos, chaos_storage,
+    resilient)`` — the wrappers are exposed so run-end evidence
+    (:func:`journal_chaos_evidence`) can read their counters.
+    """
+    chaos = chaos_store = resilient = None
+    if cfg.chaos is not None and cfg.chaos:
+        # Imported lazily: repro.chaos.live itself imports live modules.
+        from ..chaos.live import ChaosEndpoint, chaos_storage
+        chaos = ChaosEndpoint(inner, cfg.chaos, seed=cfg.seed,
+                              tracer=tracer)
+        chaos_store = chaos_storage(storage, cfg.chaos, seed=cfg.seed)
+        inner = chaos
+    if cfg.resilience:
+        resilient = ResilientEndpoint(
+            inner,
+            ResilienceConfig(max_retries=cfg.max_retries,
+                             base_delay=cfg.retry_base,
+                             max_delay=cfg.retry_max),
+            incarnation=incarnation, seed=cfg.seed, tracer=tracer)
+        inner = resilient
+    return inner, chaos, chaos_store, resilient
+
+
+def journal_chaos_evidence(journal: Journal, chaos: Any, chaos_store: Any,
+                           resilient: Any, storage: FileStableStorage,
+                           host: LiveHost) -> None:
+    """Journal one run-end ``chaos`` event with injection/recovery counts.
+
+    The conformance replay ignores unknown event kinds, so this is pure
+    evidence for the chaos matrix (and ``repro trace report``): how many
+    faults were injected vs how many recovery actions healed them.
+    """
+    if chaos is None and chaos_store is None and resilient is None:
+        return
+    injected: dict[str, int] = dict(chaos.injected) if chaos else {}
+    if chaos_store is not None:
+        for kind, count in chaos_store.injected.items():
+            injected[kind] = injected.get(kind, 0) + count
+    data: dict[str, Any] = {
+        "injected": injected,
+        "retried_writes": storage.retried_writes,
+        "dup_dropped": host.dup_dropped,
+    }
+    if resilient is not None:
+        data["resilience"] = resilient.stats.as_dict()
+    journal.log("chaos", **data)
+
+
+# --------------------------------------------------------------------------
 # local (in-process) backend
 # --------------------------------------------------------------------------
 
@@ -299,9 +389,13 @@ class _LocalWorker:
             self.tracer = Tracer(
                 [JsonlSink(run_dir / f"trace-P{pid}-{incarnation}.jsonl")],
                 host="live", pid=pid)
+        storage = FileStableStorage(run_dir, pid)
+        endpoint, self.chaos, self.chaos_storage, self.resilient = (
+            build_endpoint(transport.endpoint(pid), storage, cfg,
+                           incarnation=incarnation, tracer=self.tracer))
+        self.storage = storage
         self.host = LiveHost(
-            pid, cfg.n, transport.endpoint(pid),
-            FileStableStorage(run_dir, pid), self.journal,
+            pid, cfg.n, endpoint, storage, self.journal,
             checkpoint_interval=cfg.checkpoint_interval,
             timeout=cfg.timeout, epoch=epoch, incarnation=incarnation,
             tracer=self.tracer)
@@ -321,6 +415,7 @@ class _LocalWorker:
         self.task.cancel()
         await asyncio.gather(self.task, self.driver,
                              return_exceptions=True)
+        # No chaos-evidence event: a fail-stop crash journals nothing.
         self.journal.close()
         if self.tracer is not None:
             self.tracer.close()
@@ -333,6 +428,9 @@ class _LocalWorker:
         except asyncio.TimeoutError:
             await self.kill()
             return
+        journal_chaos_evidence(self.journal, self.chaos,
+                               self.chaos_storage, self.resilient,
+                               self.storage, self.host)
         self.journal.close()
         if self.tracer is not None:
             self.tracer.close()
@@ -413,7 +511,16 @@ def _spawn_worker(cfg: LiveRunConfig, run_dir: Path, port: int, pid: int,
            "--timeout", str(cfg.timeout), "--workload", cfg.workload,
            "--rate", str(cfg.rate), "--msg-size", str(cfg.msg_size),
            "--seed", str(cfg.seed),
-           "--max-lifetime", str(cfg.duration + 60.0)]
+           "--max-lifetime", str(cfg.duration + 60.0),
+           "--connect-timeout", str(cfg.connect_timeout),
+           "--connect-attempts", str(cfg.connect_attempts),
+           "--max-retries", str(cfg.max_retries),
+           "--retry-base", str(cfg.retry_base),
+           "--retry-max", str(cfg.retry_max)]
+    if not cfg.resilience:
+        cmd.append("--no-resilience")
+    if cfg.chaos is not None and cfg.chaos:
+        cmd += ["--chaos-plan", str(run_dir / CHAOS_PLAN_FILE)]
     if cfg.trace:
         cmd.append("--trace")
     if resume_seq is not None:
@@ -433,6 +540,19 @@ async def _wait_proc(proc: subprocess.Popen, grace: float) -> int:
         return await loop.run_in_executor(None, proc.wait)
 
 
+async def _await_workers(broker: TcpBroker, cfg: LiveRunConfig,
+                         run_dir: Path) -> None:
+    """Wait for every worker to connect, or fail with a clear setup error."""
+    try:
+        await broker.wait_connected(cfg.n, timeout=cfg.connect_wait)
+    except asyncio.TimeoutError:
+        connected = broker.connected_pids
+        raise LiveSetupError(
+            f"only {len(connected)}/{cfg.n} workers connected within "
+            f"{cfg.connect_wait:g}s (connected pids: {connected}); "
+            f"see worker logs under {run_dir}") from None
+
+
 async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
                    tracer: Tracer | None = None
                    ) -> tuple[CrashOutcome | None, int, dict[int, int]]:
@@ -440,12 +560,16 @@ async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
     broker = TcpBroker(epoch=0)
     port = await broker.start()
     sup.log("broker.listening", port=port)
+    if cfg.chaos is not None and cfg.chaos:
+        (run_dir / CHAOS_PLAN_FILE).write_text(
+            json.dumps(cfg.chaos.as_dict(), indent=2, sort_keys=True),
+            encoding="utf-8")
     procs = {pid: _spawn_worker(cfg, run_dir, port, pid, 0, None)
              for pid in range(cfg.n)}
     crash: CrashOutcome | None = None
     loop = asyncio.get_running_loop()
     try:
-        await broker.wait_connected(cfg.n, timeout=30.0)
+        await _await_workers(broker, cfg, run_dir)
         started = time.monotonic()
         if cfg.crash_at is not None:
             await asyncio.sleep(cfg.crash_at)
@@ -463,7 +587,7 @@ async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
             broker.broadcast(recover_frame(broker.epoch, seq))
             procs[victim] = _spawn_worker(cfg, run_dir, port, victim, 1,
                                           seq)
-            await broker.wait_connected(cfg.n, timeout=30.0)
+            await _await_workers(broker, cfg, run_dir)
             recovery_seconds = time.monotonic() - kill_started
             crash = CrashOutcome(pid=victim,
                                  killed_after=kill_started - started,

@@ -277,8 +277,16 @@ class TcpEndpoint(Endpoint):
 
 async def connect_tcp(port: int, pid: int, incarnation: int,
                       host: str = "127.0.0.1",
-                      timeout: float = 10.0) -> TcpEndpoint:
-    """Open a worker connection to the broker and run the handshake."""
+                      timeout: float = 10.0,
+                      attempts: int = 1,
+                      retry_delay: float = 0.2) -> TcpEndpoint:
+    """Open a worker connection to the broker and run the handshake.
+
+    Retries up to ``attempts`` times with exponential backoff starting at
+    ``retry_delay`` (capped at 2 s per wait) — a worker spawned before the
+    broker finished binding, or racing a broker restart, reconnects
+    instead of dying on the first refused connection.
+    """
 
     async def _handshake() -> TcpEndpoint:
         reader, writer = await asyncio.open_connection(host, port)
@@ -289,7 +297,17 @@ async def connect_tcp(port: int, pid: int, incarnation: int,
         welcome = check_handshake(decode_frame(line), "welcome")
         return TcpEndpoint(pid, reader, writer, epoch=welcome["epoch"])
 
-    return await asyncio.wait_for(_handshake(), timeout)
+    last: Exception | None = None
+    for attempt in range(max(1, attempts)):
+        if attempt:
+            await asyncio.sleep(min(retry_delay * (2 ** (attempt - 1)), 2.0))
+        try:
+            return await asyncio.wait_for(_handshake(), timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            last = exc
+    raise ConnectionError(
+        f"worker P{pid} could not reach broker at {host}:{port} after "
+        f"{max(1, attempts)} attempt(s): {last!r}")
 
 
 #: Convenience alias used by supervisor type hints.

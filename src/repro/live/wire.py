@@ -19,6 +19,11 @@ Frame kinds
     piggyback, and the sender's recovery epoch.
 ``ctl``
     One protocol control message (CK_BGN / CK_REQ / CK_END) plus epoch.
+``ack``
+    Per-frame delivery acknowledgement used by the resilient transport
+    layer (:mod:`repro.live.resilience`): confirms receipt of the ``app``
+    or ``ctl`` frame whose retransmission sequence number is ``rs``.
+    Hosts that do not run the resilience layer simply ignore acks.
 ``recover``
     Supervisor broadcast: roll back to finalized generation ``seq`` and
     enter recovery ``epoch`` (the live analogue of
@@ -113,6 +118,16 @@ def ctl_frame(src: int, dst: int, cm: ControlMessage,
     """One protocol control message."""
     return {"t": "ctl", "src": src, "dst": dst,
             "cm": control_message_to_dict(cm), "epoch": epoch}
+
+
+def ack_frame(src: int, dst: int, rs: int) -> dict[str, Any]:
+    """Acknowledge receipt of the frame with retransmission seqno ``rs``.
+
+    ``rs`` values are minted from the :func:`make_uid` namespace, so they
+    stay globally unique across crashes/restarts — a receiver's dedup set
+    can never confuse a new incarnation's frame with a stale one.
+    """
+    return {"t": "ack", "src": src, "dst": dst, "rs": rs}
 
 
 def recover_frame(epoch: int, seq: int) -> dict[str, Any]:

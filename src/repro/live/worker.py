@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import sys
 from typing import Sequence
 
 from pathlib import Path
@@ -54,6 +56,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-lifetime", type=float, default=120.0,
                    help="hard wall-clock bound on this process")
+    p.add_argument("--connect-timeout", type=float, default=10.0,
+                   help="per-attempt broker connection timeout (seconds)")
+    p.add_argument("--connect-attempts", type=int, default=5,
+                   help="broker connection attempts before giving up")
+    p.add_argument("--no-resilience", action="store_true",
+                   help="disable the retry/ack/dedup transport layer")
+    p.add_argument("--max-retries", type=int, default=6,
+                   help="retransmissions per unacked frame")
+    p.add_argument("--retry-base", type=float, default=0.05,
+                   help="first retransmission backoff (seconds)")
+    p.add_argument("--retry-max", type=float, default=1.0,
+                   help="retransmission backoff ceiling (seconds)")
+    p.add_argument("--chaos-plan", default=None,
+                   help="JSON fault plan (repro.chaos) to inject locally")
     p.add_argument("--trace", action="store_true",
                    help="emit repro.obs schema events to "
                         "trace-P<pid>-<inc>.jsonl in the run directory")
@@ -62,17 +78,50 @@ def build_parser() -> argparse.ArgumentParser:
 
 async def async_main(args: argparse.Namespace) -> int:
     """Connect, (re)start the host, drive traffic until stopped."""
-    endpoint = await connect_tcp(args.port, args.pid, args.inc)
+    # Import and parse everything heavy *before* connecting: the broker's
+    # connect marks this worker ready, and the supervisor's run window
+    # starts once all workers are — post-connect import time would eat it.
+    plan = None
+    if args.chaos_plan:
+        from ..chaos.plan import FaultPlan
+        plan = FaultPlan.from_dict(json.loads(
+            Path(args.chaos_plan).read_text(encoding="utf-8")))
+    try:
+        raw = await connect_tcp(args.port, args.pid, args.inc,
+                                timeout=args.connect_timeout,
+                                attempts=args.connect_attempts)
+    except ConnectionError as exc:
+        print(f"repro-live-worker: {exc}", file=sys.stderr)
+        return 1
     storage = FileStableStorage(args.dir, args.pid)
     journal = Journal(args.dir, args.pid, args.inc)
     tracer = None
     if args.trace:
         trace_path = Path(args.dir) / f"trace-P{args.pid}-{args.inc}.jsonl"
         tracer = Tracer([JsonlSink(trace_path)], host="live", pid=args.pid)
+    # Endpoint stack, bottom-up: wire -> chaos -> resilience -> host, so
+    # retransmissions traverse the injected faults like a real lossy net.
+    endpoint = raw
+    chaos = chaos_store = resilient = None
+    if plan is not None:
+        from ..chaos.live import ChaosEndpoint, chaos_storage
+        chaos = ChaosEndpoint(endpoint, plan, seed=args.seed,
+                              tracer=tracer)
+        chaos_store = chaos_storage(storage, plan, seed=args.seed)
+        endpoint = chaos
+    if not args.no_resilience:
+        from .resilience import ResilienceConfig, ResilientEndpoint
+        resilient = ResilientEndpoint(
+            endpoint,
+            ResilienceConfig(max_retries=args.max_retries,
+                             base_delay=args.retry_base,
+                             max_delay=args.retry_max),
+            incarnation=args.inc, seed=args.seed, tracer=tracer)
+        endpoint = resilient
     host = LiveHost(
         args.pid, args.n, endpoint, storage, journal,
         checkpoint_interval=args.interval, timeout=args.timeout,
-        epoch=endpoint.epoch, incarnation=args.inc, tracer=tracer)
+        epoch=raw.epoch, incarnation=args.inc, tracer=tracer)
     if args.resume_seq is not None:
         host.resume(args.resume_seq)
     else:
@@ -91,6 +140,11 @@ async def async_main(args: argparse.Namespace) -> int:
             await driver
         except asyncio.CancelledError:
             pass
+        if chaos is not None or chaos_store is not None \
+                or resilient is not None:
+            from .supervisor import journal_chaos_evidence
+            journal_chaos_evidence(journal, chaos, chaos_store, resilient,
+                                   storage, host)
         await endpoint.drain()
         endpoint.close()
         journal.close()

@@ -37,6 +37,10 @@ class ChannelStats:
     delivered: int = 0
     dropped: int = 0
     max_in_flight: int = 0
+    #: ``dropped`` split by cause ("gate", "crashed", "partition",
+    #: "rollback", "chaos.drop", ...) — protocol-intended drops stay
+    #: distinguishable from injected ones.
+    dropped_by_cause: dict[str, int] = field(default_factory=dict)
 
     def on_send(self, msg: Message) -> None:
         """Account one departure (message + bytes + in-flight)."""
@@ -50,10 +54,11 @@ class ChannelStats:
         self.in_flight -= 1
         self.delivered += 1
 
-    def on_drop(self, msg: Message) -> None:
-        """Account one dropped message (gate/partition/rollback)."""
+    def on_drop(self, msg: Message, cause: str = "gate") -> None:
+        """Account one dropped message, attributed to ``cause``."""
         self.in_flight -= 1
         self.dropped += 1
+        self.dropped_by_cause[cause] = self.dropped_by_cause.get(cause, 0) + 1
 
 
 class Channel:

@@ -219,9 +219,14 @@ class Network:
     def _deliver(self, msg: Message, ch: Channel) -> None:
         self._pending_deliveries.pop(msg.uid, None)
         if self.delivery_gate is not None and not self.delivery_gate(msg):
-            ch.stats.on_drop(msg)
+            # Gates attribute their refusal by stamping meta["drop_cause"]
+            # (failure injector: "crashed"; partitions: "partition"; chaos:
+            # "chaos.*"); an unstamped refusal is a generic gate drop.
+            cause = msg.meta.get("drop_cause", "gate")
+            ch.stats.on_drop(msg, cause=cause)
             self.sim.trace.record(self.sim.now, "msg.drop", msg.dst,
-                                  uid=msg.uid, src=msg.src, kind=msg.kind)
+                                  uid=msg.uid, src=msg.src, kind=msg.kind,
+                                  cause=cause)
             return
         msg.deliver_time = self.sim.now
         ch.stats.on_deliver(msg)
@@ -273,12 +278,25 @@ class Network:
                 ev.cancel()
                 dropped += 1
                 self.sim.trace.record(self.sim.now, "msg.drop", -1,
-                                      uid=uid, reason="rollback")
+                                      uid=uid, reason="rollback",
+                                      cause="rollback")
             self._pending_deliveries.pop(uid, None)
         for ch in self._channels.values():
+            if ch.stats.in_flight:
+                ch.stats.dropped_by_cause["rollback"] = (
+                    ch.stats.dropped_by_cause.get("rollback", 0)
+                    + ch.stats.in_flight)
             ch.stats.dropped += ch.stats.in_flight
             ch.stats.in_flight = 0
         return dropped
+
+    def dropped_by_cause(self) -> dict[str, int]:
+        """Per-cause drop totals summed over all channels."""
+        totals: dict[str, int] = {}
+        for ch in self._channels.values():
+            for cause, count in ch.stats.dropped_by_cause.items():
+                totals[cause] = totals.get(cause, 0) + count
+        return totals
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Network(n={self.n}, topo={self.topology.name}, "

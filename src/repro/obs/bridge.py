@@ -22,7 +22,16 @@ DES trace kind             schema event
 ``msg.send``/``msg.deliver``  registry counters only — app traffic is the
                            hot path and gets no per-message events; the
                            totals are folded in one pass at run end
+``chaos.*``                ``point`` + ``chaos.injected.<kind>`` counters
+                           (fault-injection sites; repro.chaos)
+``partition.begin/heal``   ``point`` + counters
+``failure.crash`` /        ``point`` + counters (the injected crash and
+``recovery.complete``      the rollback that recovers from it)
 =========================  =============================================
+
+Chaos/fault points deliberately omit the message ``uid`` carried by the
+DES records: uids come from a module-global counter that never resets,
+so forwarding them would break byte-identical reruns within one process.
 
 Timestamps are ``sim.now`` (simulated seconds) throughout, so bridged
 streams are deterministic: same config + seed ⇒ byte-identical JSONL.
@@ -66,6 +75,15 @@ class DesBridge:
         "ctl.recv": "_on_ctl_recv",
         "ckpt.rollback": "_on_rollback",
         "ckpt.anomaly": "_on_anomaly",
+        "chaos.drop": "_on_chaos",
+        "chaos.duplicate": "_on_chaos",
+        "chaos.delay": "_on_chaos",
+        "chaos.reorder": "_on_chaos",
+        "chaos.storage": "_on_chaos_storage",
+        "partition.begin": "_on_partition",
+        "partition.heal": "_on_partition",
+        "failure.crash": "_on_failure",
+        "recovery.complete": "_on_recovery_complete",
     }
 
     #: high-volume kinds counted in one pass at run end, never live.
@@ -102,6 +120,20 @@ class DesBridge:
             count = totals.get(kind, 0)
             if count:
                 self.registry.counter(name).inc(count)
+        # Per-cause drop split (gate / crashed / partition / rollback /
+        # chaos.*) and redelivered count — same single pass, folded only
+        # when the run produced any.
+        causes: Counter[str] = Counter()
+        redelivered = 0
+        for rec in sim.trace.records:
+            if rec.kind == "msg.drop":
+                causes[rec.data.get("cause", "gate")] += 1
+            elif rec.kind == "msg.deliver" and rec.data.get("redelivered"):
+                redelivered += 1
+        for cause, count in sorted(causes.items()):
+            self.registry.counter(f"msg.dropped.{cause}").inc(count)
+        if redelivered:
+            self.registry.counter("msg.redelivered").inc(redelivered)
 
     def _on_tentative(self, rec: Any) -> None:
         """``ckpt.tentative`` → span.start phase=tentative.
@@ -202,6 +234,49 @@ class DesBridge:
         self.registry.counter("anomalies").inc()
         self.tracer.point("ckpt.anomaly", rec.time, pid=rec.process,
                           description=rec.data["description"])
+
+    def _on_chaos(self, rec: Any) -> None:
+        """``chaos.drop/duplicate/delay/reorder`` → injected-fault point.
+
+        The record's ``uid`` is not forwarded (module-global counter;
+        would break byte-identical reruns) — src/kind locate the message.
+        """
+        data = rec.data
+        fault = rec.kind.split(".", 1)[1]
+        self.registry.counter(f"chaos.injected.{fault}").inc()
+        self.tracer.point(rec.kind, rec.time, pid=rec.process,
+                          **_present(src=data.get("src"),
+                                     kind=data.get("kind"),
+                                     delay=data.get("delay")))
+
+    def _on_chaos_storage(self, rec: Any) -> None:
+        """``chaos.storage`` → injected storage-fault point."""
+        data = rec.data
+        self.registry.counter(f"chaos.injected.{data['fault']}").inc()
+        self.tracer.point(rec.kind, rec.time, pid=rec.process,
+                          fault=data["fault"],
+                          **_present(label=data.get("label") or None))
+
+    def _on_partition(self, rec: Any) -> None:
+        """``partition.begin`` / ``partition.heal`` → point + counter."""
+        data = rec.data
+        self.registry.counter(rec.kind).inc()
+        self.tracer.point(rec.kind, rec.time, pid=rec.process,
+                          **_present(a=data.get("a"), b=data.get("b"),
+                                     released=data.get("released")))
+
+    def _on_failure(self, rec: Any) -> None:
+        """``failure.crash`` → injected-crash point."""
+        self.registry.counter("failure.crashes").inc()
+        self.tracer.point(rec.kind, rec.time, pid=rec.process)
+
+    def _on_recovery_complete(self, rec: Any) -> None:
+        """``recovery.complete`` → recovered-action point."""
+        data = rec.data
+        self.registry.counter("recovery.completed").inc()
+        self.tracer.point(rec.kind, rec.time, pid=rec.process,
+                          **_present(seq=data.get("seq"),
+                                     dropped=data.get("dropped")))
 
 
 def attach_des_tracer(sim: Any, tracer: Tracer,

@@ -180,6 +180,45 @@ def round_spans(spans: Iterable[Span]) -> list[Span]:
     return out
 
 
+#: Point/counter names that record a fault being *injected* (repro.chaos).
+_INJECTED_POINTS = ("failure.crash", "partition.begin")
+#: …and names that record the system *recovering* from one: redeliveries,
+#: retransmissions, heals, rollbacks, completed recoveries.
+_RECOVERED_NAMES = ("chaos.heal", "partition.heal", "recovery.complete",
+                    "ckpt.rollback", "net.retry", "msg.redelivered",
+                    "recovery.rollbacks", "recovery.completed")
+
+
+def fault_summary(points: dict[str, int],
+                  counters: dict[str, float]) -> dict[str, dict[str, int]]:
+    """Injected-fault vs recovered-action tallies from a trace stream.
+
+    ``repro chaos`` cells assert on these: injected counts come from the
+    ``chaos.*`` injection points (DES bridge and live ChaosEndpoint emit
+    the same names) plus crash/partition events; recovered counts from
+    heals, retransmissions, redeliveries and rollback completions.
+    """
+    injected: dict[str, int] = {}
+    recovered: dict[str, int] = {}
+    for name, count in points.items():
+        if (name.startswith("chaos.")
+                and name not in ("chaos.heal", "chaos.cell")):
+            injected[name] = injected.get(name, 0) + count
+        elif name in _INJECTED_POINTS:
+            injected[name] = injected.get(name, 0) + count
+        elif name in _RECOVERED_NAMES:
+            recovered[name] = recovered.get(name, 0) + count
+    for name, value in counters.items():
+        if name.startswith("chaos.injected."):
+            short = "chaos." + name[len("chaos.injected."):]
+            injected.setdefault(short, 0)
+            injected[short] = max(injected[short], int(value))
+        elif name in _RECOVERED_NAMES:
+            recovered[name] = recovered.get(name, 0) + int(value)
+    return {"injected": dict(sorted(injected.items())),
+            "recovered": dict(sorted(recovered.items()))}
+
+
 @dataclass
 class TraceReport:
     """The per-phase breakdown plus stream-level tallies."""
@@ -191,6 +230,11 @@ class TraceReport:
     problems: list[str]
     counters: dict[str, float]
 
+    @property
+    def faults(self) -> dict[str, dict[str, int]]:
+        """Injected-fault vs recovered-action tallies (may be empty)."""
+        return fault_summary(self.points, self.counters)
+
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready report for ``--format json`` / CI assertions."""
         return {
@@ -199,6 +243,7 @@ class TraceReport:
             "phases": [s.as_dict() for s in self.phase_stats],
             "points": dict(sorted(self.points.items())),
             "counters": dict(sorted(self.counters.items())),
+            "faults": self.faults,
             "problems": list(self.problems),
         }
 
@@ -221,6 +266,15 @@ class TraceReport:
             lines.append("counters: " + "  ".join(
                 f"{name}={value:g}"
                 for name, value in sorted(self.counters.items())))
+        faults = self.faults
+        if faults["injected"] or faults["recovered"]:
+            lines.append("")
+            lines.append("faults injected: " + ("  ".join(
+                f"{name}={count}"
+                for name, count in faults["injected"].items()) or "-"))
+            lines.append("recovered actions: " + ("  ".join(
+                f"{name}={count}"
+                for name, count in faults["recovered"].items()) or "-"))
         if self.problems:
             lines.append("")
             lines.append(f"problems ({len(self.problems)}):")

@@ -62,6 +62,7 @@ class FailureInjector:
 
     def _gate(self, msg: Message) -> bool:
         if msg.dst in self.crashed:
+            msg.meta["drop_cause"] = "crashed"
             return False
         if self._prev_gate is not None:
             return self._prev_gate(msg)

@@ -109,6 +109,7 @@ class PartitionInjector:
         if part is not None and not part.healed \
                 and part.separates(msg.src, msg.dst):
             part.held.append(msg)
+            msg.meta["drop_cause"] = "partition"
             self.sim.trace.record(self.sim.now, "msg.held", msg.dst,
                                   uid=msg.uid, src=msg.src, kind=msg.kind)
             return False

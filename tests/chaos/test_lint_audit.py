@@ -1,0 +1,39 @@
+"""REP-lint audit of the chaos package.
+
+``repro.chaos`` is deliberately *not* in the REP001/REP002-exempt live
+packages: its DES half must stay wall-clock-free and stream-seeded so
+chaos cells rerun byte-identically.  Only the live interposer module may
+touch ``random``/``time``, and every such site carries a justified
+per-line suppression (registered globally in
+``tests/verify/test_lint_rules.py::TestSuppressionRegistry``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.verify import lint_paths
+
+CHAOS_SRC = Path(__file__).resolve().parents[2] / "src" / "repro" / "chaos"
+
+
+def test_chaos_package_lints_clean():
+    report = lint_paths(CHAOS_SRC)
+    assert report.files_checked >= 5
+    assert not report.parse_errors
+    assert report.clean, report.render()
+
+
+def test_suppressions_confined_to_the_live_interposer():
+    report = lint_paths(CHAOS_SRC)
+    sites = {(f.path.rsplit("/", 1)[-1], f.rule) for f in report.suppressed}
+    assert sites == {("live.py", "REP001"), ("live.py", "REP002")}
+
+
+def test_des_half_needs_no_suppressions_at_all():
+    # The simulator-side injector draws from sim.rng streams and sim.now
+    # exclusively — determinism is load-bearing (see test_des_injector's
+    # byte-identical rerun check), so not a single allow comment.
+    for module in ("plan.py", "des.py", "matrix.py", "__init__.py"):
+        report = lint_paths(CHAOS_SRC / module)
+        assert report.clean and not report.suppressed, module

@@ -1,0 +1,169 @@
+"""ChaosEndpoint / ChaosStorage unit tests over the in-process transport."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.chaos import ChaosError, Fault, FaultPlan, single_fault_plan
+from repro.chaos.live import DUP_SPACING, ChaosEndpoint, chaos_storage
+from repro.live.storage import FileStableStorage
+from repro.live.transport import LocalTransport
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def app_frame(src: int, dst: int, uid: int) -> dict:
+    return {"t": "app", "src": src, "dst": dst, "uid": uid}
+
+
+class TestChaosEndpoint:
+    def test_drop_eats_matching_frames(self):
+        async def body():
+            t = LocalTransport(2)
+            a = ChaosEndpoint(t.endpoint(0), single_fault_plan("drop", p=1.0))
+            a.send(app_frame(0, 1, 1))
+            assert t._queues[1].empty()
+            assert a.injected == {"drop": 1}
+            # Non-matching kinds pass untouched.
+            a.send({"t": "ack", "src": 0, "dst": 1, "rs": 9})
+            assert not t._queues[1].empty()
+
+        run(body())
+
+    def test_frames_filter_scopes_the_fault(self):
+        async def body():
+            t = LocalTransport(2)
+            plan = single_fault_plan("drop", p=1.0, frames=("app",))
+            a = ChaosEndpoint(t.endpoint(0), plan)
+            a.send({"t": "ctl", "src": 0, "dst": 1, "ctype": "CK_END"})
+            assert (await t.endpoint(1).recv())["t"] == "ctl"
+
+        run(body())
+
+    def test_duplicate_delivers_twice(self):
+        async def body():
+            t = LocalTransport(2)
+            a = ChaosEndpoint(t.endpoint(0),
+                              single_fault_plan("duplicate", p=1.0))
+            b = t.endpoint(1)
+            a.send(app_frame(0, 1, 7))
+            first = await asyncio.wait_for(b.recv(), 1.0)
+            second = await asyncio.wait_for(b.recv(), 1.0)
+            assert first["uid"] == second["uid"] == 7
+            assert a.injected == {"duplicate": 1}
+
+        run(body())
+
+    def test_delay_holds_then_delivers(self):
+        async def body():
+            t = LocalTransport(2)
+            plan = single_fault_plan("delay", p=1.0, delay=DUP_SPACING,
+                                     end=60.0)
+            a = ChaosEndpoint(t.endpoint(0), plan)
+            b = t.endpoint(1)
+            a.send(app_frame(0, 1, 3))
+            assert t._queues[1].empty()
+            frame = await asyncio.wait_for(b.recv(), 1.0)
+            assert frame["uid"] == 3
+
+        run(body())
+
+    def test_reorder_swaps_adjacent_frames(self):
+        async def body():
+            t = LocalTransport(2)
+            a = ChaosEndpoint(t.endpoint(0),
+                              single_fault_plan("reorder", p=1.0, end=60.0))
+            b = t.endpoint(1)
+            a.send(app_frame(0, 1, 1))
+            a.send(app_frame(0, 1, 2))
+            got = [(await b.recv())["uid"], (await b.recv())["uid"]]
+            assert got == [2, 1]
+
+        run(body())
+
+    def test_reorder_flushes_held_frame_at_window_end(self):
+        async def body():
+            t = LocalTransport(2)
+            a = ChaosEndpoint(t.endpoint(0),
+                              single_fault_plan("reorder", p=1.0, end=0.05))
+            b = t.endpoint(1)
+            a.send(app_frame(0, 1, 1))  # held, no partner ever arrives
+            frame = await asyncio.wait_for(b.recv(), 1.0)
+            assert frame["uid"] == 1
+
+        run(body())
+
+    def test_partition_parks_until_heal(self):
+        async def body():
+            t = LocalTransport(2)
+            plan = single_fault_plan("partition", end=0.08,
+                                     group_a=(0,), group_b=(1,))
+            a = ChaosEndpoint(t.endpoint(0), plan)
+            b = t.endpoint(1)
+            a.send(app_frame(0, 1, 5))
+            assert t._queues[1].empty()
+            assert a.injected == {"partition": 1}
+            frame = await asyncio.wait_for(b.recv(), 1.0)
+            assert frame["uid"] == 5
+
+        run(body())
+
+    def test_close_cancels_held_frames(self):
+        async def body():
+            t = LocalTransport(2)
+            a = ChaosEndpoint(t.endpoint(0),
+                              single_fault_plan("delay", p=1.0, delay=0.01,
+                                                end=60.0))
+            a.send(app_frame(0, 1, 1))
+            a.close()
+            await asyncio.sleep(0.03)
+            assert t._queues[1].empty()
+
+        run(body())
+
+    def test_invalid_plan_rejected_at_construction(self):
+        async def body():
+            t = LocalTransport(2)
+            plan = FaultPlan(faults=(Fault(kind="bit-flip"),))
+            with pytest.raises(ChaosError):
+                ChaosEndpoint(t.endpoint(0), plan)
+
+        run(body())
+
+
+class TestChaosStorage:
+    def _plan(self, kind, **kw):
+        return single_fault_plan(kind, p=1.0, **kw)
+
+    def test_torn_write_healed_by_bounded_retry(self, tmp_path):
+        st = FileStableStorage(tmp_path, 0)
+        cs = chaos_storage(st, self._plan("torn-write"))
+        st.write_finalized(1, {"pid": 0, "csn": 1})
+        assert cs.injected["torn-write"] >= 1
+        assert st.retried_writes >= 1
+        # The torn tmp litter exists but the real file is intact.
+        assert (st.root / "C1.json").exists()
+        assert st.finalized_csns() == [1]
+
+    def test_fsync_fail_healed_by_bounded_retry(self, tmp_path):
+        st = FileStableStorage(tmp_path, 0)
+        cs = chaos_storage(st, self._plan("fsync-fail"))
+        st.write_tentative(1, {"csn": 1})
+        assert cs.injected["fsync-fail"] >= 1
+        assert st.retried_writes >= 1
+
+    def test_slow_flush_does_not_fail_the_write(self, tmp_path):
+        st = FileStableStorage(tmp_path, 0)
+        cs = chaos_storage(st, self._plan("slow-flush", delay=0.001))
+        st.write_tentative(1, {"csn": 1})
+        assert cs.injected["slow-flush"] >= 1
+        assert st.retried_writes == 0
+
+    def test_no_storage_faults_leaves_hook_unset(self, tmp_path):
+        st = FileStableStorage(tmp_path, 0)
+        chaos_storage(st, single_fault_plan("drop"))
+        assert st.fault_hook is None

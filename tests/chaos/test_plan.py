@@ -1,0 +1,103 @@
+"""Fault-plan vocabulary: validation and serialization round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    ALL_KINDS,
+    ChaosError,
+    Fault,
+    FaultPlan,
+    single_fault_plan,
+)
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ChaosError, match="unknown fault kind"):
+            Fault(kind="bit-flip").validate()
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ChaosError, match="not in"):
+            Fault(kind="drop", p=1.5).validate()
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ChaosError, match="end"):
+            Fault(kind="drop", start=10.0, end=5.0).validate()
+
+    @pytest.mark.parametrize("kind", ["reorder", "delay"])
+    def test_hold_faults_require_finite_end(self, kind):
+        # Held messages only flush at window close; an unbounded window
+        # would stall quiescence.
+        kwargs = {"delay": 1.0} if kind == "delay" else {}
+        with pytest.raises(ChaosError, match="finite end"):
+            Fault(kind=kind, **kwargs).validate()
+        Fault(kind=kind, end=10.0, **kwargs).validate()
+
+    def test_partition_requires_disjoint_groups_and_heal(self):
+        with pytest.raises(ChaosError, match="group"):
+            Fault(kind="partition", end=10.0).validate()
+        with pytest.raises(ChaosError, match="overlap"):
+            Fault(kind="partition", end=10.0, group_a=(0, 1),
+                  group_b=(1, 2)).validate()
+        with pytest.raises(ChaosError, match="heal"):
+            Fault(kind="partition", group_a=(0,), group_b=(1,)).validate()
+
+    def test_crash_requires_pid_and_at(self):
+        with pytest.raises(ChaosError, match="pid and at"):
+            Fault(kind="crash").validate()
+        Fault(kind="crash", pid=2, at=40.0).validate()
+
+    @pytest.mark.parametrize("kind", ["delay", "slow-flush"])
+    def test_delay_kinds_require_positive_delay(self, kind):
+        with pytest.raises(ChaosError, match="delay > 0"):
+            Fault(kind=kind, end=10.0).validate()
+
+
+class TestWindow:
+    def test_active_is_half_open(self):
+        f = Fault(kind="drop", start=10.0, end=20.0)
+        assert not f.active(9.99)
+        assert f.active(10.0)
+        assert f.active(19.99)
+        assert not f.active(20.0)
+
+    def test_open_ended_window(self):
+        assert Fault(kind="drop").active(1e9)
+
+
+class TestRoundTrip:
+    def test_every_kind_survives_dict_round_trip(self):
+        plans = []
+        for kind in ALL_KINDS:
+            kwargs = {}
+            if kind in ("reorder", "delay", "partition"):
+                kwargs["end"] = 50.0
+            if kind in ("delay", "slow-flush"):
+                kwargs["delay"] = 2.0
+            if kind == "partition":
+                kwargs.update(group_a=(0, 1), group_b=(2, 3))
+            if kind == "crash":
+                kwargs.update(pid=3, at=40.0)
+            plans.append(single_fault_plan(kind, seed=7, **kwargs))
+        for plan in plans:
+            again = FaultPlan.from_dict(plan.as_dict())
+            assert again == plan
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ChaosError):
+            FaultPlan.from_dict({"faults": [{"kind": "bit-flip"}]})
+        with pytest.raises(ChaosError, match="missing 'kind'"):
+            FaultPlan.from_dict({"faults": [{"p": 0.5}]})
+
+    def test_kind_selectors_carry_plan_indices(self):
+        plan = FaultPlan(faults=(
+            Fault(kind="drop"),
+            Fault(kind="torn-write"),
+            Fault(kind="partition", end=9.0, group_a=(0,), group_b=(1,)),
+        ), seed=3)
+        assert [i for i, _ in plan.wire_faults()] == [0]
+        assert [i for i, _ in plan.storage_faults()] == [1]
+        assert [i for i, _ in plan.partition_faults()] == [2]
+        assert plan.crash_faults() == []

@@ -48,3 +48,39 @@ def test_sweep_trace_identical_across_jobs(tmp_path, monkeypatch, capsys):
         out[jobs] = trace_file.read_bytes()
         assert out[jobs]
     assert out[1] == out[2]
+
+
+def _chaos_traced_bytes(tmp_path, name, kind="duplicate", seed=7):
+    from repro.chaos import run_des_cell
+
+    path = tmp_path / name
+    tracer = Tracer([JsonlSink(path)], host="des")
+    run_des_cell(kind, seed=seed, tracer=tracer)
+    tracer.close()
+    data = path.read_bytes()
+    assert data
+    return data
+
+
+def test_chaos_cell_trace_is_byte_identical(tmp_path):
+    # Same seed + same fault plan ⇒ the injected faults, the protocol's
+    # reaction and every bridged obs event replay byte-for-byte.  This is
+    # why chaos points must never carry message uids (module-global
+    # counter — differs between in-process reruns).
+    assert _chaos_traced_bytes(tmp_path, "a.jsonl") == _chaos_traced_bytes(
+        tmp_path, "b.jsonl")
+
+
+def test_chaos_cli_trace_identical_across_jobs(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    out = {}
+    for jobs in (1, 2):
+        trace_file = tmp_path / f"chaos-j{jobs}.jsonl"
+        rc = main(["chaos", "--kinds", "drop,crash", "--runtimes", "des",
+                   "--seed", "5", "--jobs", str(jobs), "--format", "json",
+                   "--trace", "--trace-file", str(trace_file)])
+        assert rc == 0
+        capsys.readouterr()
+        out[jobs] = trace_file.read_bytes()
+        assert out[jobs]
+    assert out[1] == out[2]

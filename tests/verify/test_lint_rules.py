@@ -380,4 +380,11 @@ class TestSuppressionRegistry:
             # the one wall-clock read in repro.obs: wall_now(), confined
             # to live/harness-side profiling (see obs/profile.py docstring)
             ("profile.py", "REP001"): 1,
+            # chaos *live* interposer (repro.chaos.live): fault windows
+            # are wall-clock by definition there, and the fault draws use
+            # seeded private random.Random instances — repro.chaos is not
+            # package-exempt (its DES half must stay deterministic), so
+            # each site carries an audited allow.
+            ("live.py", "REP001"): 2,
+            ("live.py", "REP002"): 2,
         }
