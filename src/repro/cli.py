@@ -404,16 +404,24 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from .verify import ExploreConfig, explore, lint_paths
 
     run_both = args.all or not (args.lint or args.model_check)
+    lint_runs = args.lint or run_both
+    if args.paths and not lint_runs:
+        # Positional paths scope the lint; with --model-check alone there
+        # is nothing for them to scope — that is a usage error (exit 2).
+        print("repro verify: path arguments require the lint to run "
+              "(drop --model-check or add --lint)", file=sys.stderr)
+        return 2
     payload: dict = {}
     ok = True
 
-    if args.lint or run_both:
-        report = lint_paths(args.path)
+    if lint_runs:
+        lint_target = args.paths if args.paths else args.path
+        report = lint_paths(lint_target)
         payload["lint"] = report.as_dict()
         ok = ok and report.clean
         if report.files_checked == 0:
-            # A typo'd --path would otherwise "pass" by checking nothing.
-            print(f"repro verify: no Python files under {args.path!r}",
+            # A typo'd path would otherwise "pass" by checking nothing.
+            print(f"repro verify: no Python files under {lint_target!r}",
                   file=sys.stderr)
             ok = False
         if args.format == "text":
@@ -710,8 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only the AST lint")
     p.add_argument("--model-check", action="store_true",
                    help="run only the bounded model checker")
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="directory trees to lint (default: src/repro); "
+                        "several trees are linted as one file set, so "
+                        "cross-file rules see their union")
     p.add_argument("--path", default="src/repro",
-                   help="directory tree to lint")
+                   help="directory tree to lint (legacy spelling; "
+                        "positional PATHs take precedence)")
     p.add_argument("--n", type=int, default=3,
                    help="model: number of processes")
     p.add_argument("--rounds", type=int, default=1,

@@ -305,9 +305,12 @@ async def run_live_async(cfg: LiveRunConfig) -> LiveRunReport:
     report = LiveRunReport(config=cfg, conformance=conformance,
                            wall_seconds=wall, crash=crash,
                            dropped_frames=dropped, worker_exits=exits)
-    (run_dir / "report.json").write_text(
-        json.dumps(report.as_dict(), indent=2, sort_keys=True),
-        encoding="utf-8")
+    # Executor thread: the report write happens while worker loops may
+    # still be draining; a sync write here would stall them (REP101).
+    report_json = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    await loop.run_in_executor(
+        None, lambda: (run_dir / "report.json").write_text(
+            report_json, encoding="utf-8"))
     return report
 
 
@@ -560,14 +563,16 @@ async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
     broker = TcpBroker(epoch=0)
     port = await broker.start()
     sup.log("broker.listening", port=port)
+    loop = asyncio.get_running_loop()
     if cfg.chaos is not None and cfg.chaos:
-        (run_dir / CHAOS_PLAN_FILE).write_text(
-            json.dumps(cfg.chaos.as_dict(), indent=2, sort_keys=True),
-            encoding="utf-8")
+        plan_json = json.dumps(cfg.chaos.as_dict(), indent=2,
+                               sort_keys=True)
+        await loop.run_in_executor(
+            None, lambda: (run_dir / CHAOS_PLAN_FILE).write_text(
+                plan_json, encoding="utf-8"))
     procs = {pid: _spawn_worker(cfg, run_dir, port, pid, 0, None)
              for pid in range(cfg.n)}
     crash: CrashOutcome | None = None
-    loop = asyncio.get_running_loop()
     try:
         await _await_workers(broker, cfg, run_dir)
         started = time.monotonic()

@@ -225,10 +225,12 @@ class TcpBroker:
 
     async def close(self) -> None:
         """Close the listener and every worker connection."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Take-then-null before awaiting: a second close() arriving while
+        # wait_closed() is suspended must see None, not re-close (REP103).
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         for pid in sorted(self._writers):
             self._writers[pid].close()
         self._writers.clear()

@@ -43,6 +43,7 @@ from typing import Any
 
 from ..core.types import ControlMessage, Piggyback
 from ..storage.serialize import (
+    ACCEPTED_WIRE_VERSIONS,
     WIRE_VERSION,
     control_message_from_dict,
     control_message_to_dict,
@@ -99,10 +100,10 @@ def check_handshake(frame: dict[str, Any], expect: str) -> dict[str, Any]:
     """Validate a handshake frame's kind and wire version."""
     if frame.get("t") != expect:
         raise ValueError(f"expected {expect} frame, got {frame.get('t')!r}")
-    if frame.get("v") != WIRE_VERSION:
+    if frame.get("v") not in ACCEPTED_WIRE_VERSIONS:
         raise ValueError(
             f"wire version mismatch: peer speaks {frame.get('v')!r}, "
-            f"we speak {WIRE_VERSION}")
+            f"we accept {ACCEPTED_WIRE_VERSIONS}")
     return frame
 
 

@@ -84,8 +84,10 @@ async def async_main(args: argparse.Namespace) -> int:
     plan = None
     if args.chaos_plan:
         from ..chaos.plan import FaultPlan
-        plan = FaultPlan.from_dict(json.loads(
-            Path(args.chaos_plan).read_text(encoding="utf-8")))
+        plan_path = Path(args.chaos_plan)
+        plan_text = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: plan_path.read_text(encoding="utf-8"))
+        plan = FaultPlan.from_dict(json.loads(plan_text))
     try:
         raw = await connect_tcp(args.port, args.pid, args.inc,
                                 timeout=args.connect_timeout,

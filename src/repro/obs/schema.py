@@ -55,6 +55,36 @@ PHASES = ("run", "tentative", "round", "finalize", "flush", "recovery")
 #: Host kinds an event can originate from.
 HOSTS = ("des", "live", "harness")
 
+#: The ``point`` name vocabulary — every instantaneous protocol
+#: occurrence any host emits.  REP108 checks both directions statically:
+#: every ``tracer.point(...)`` emission in the tree must be listed here
+#: (or match a prefix below), and every name here must have a live
+#: emission site — so reports and dashboards filtering by name can trust
+#: the list.  ``validate_event`` deliberately does *not* enforce it at
+#: runtime: third-party sinks may extend the vocabulary, the static
+#: check is about *this* tree's emitters.
+POINT_NAMES = (
+    # protocol control traffic and checkpoint actions
+    "ctl.send", "ctl.recv", "ckpt.rollback", "ckpt.anomaly",
+    # injected faults (see repro.chaos)
+    "chaos.drop", "chaos.duplicate", "chaos.delay", "chaos.reorder",
+    "chaos.partition", "chaos.storage", "chaos.heal", "chaos.cell",
+    "partition.begin", "partition.heal",
+    # crash/recovery lifecycle
+    "failure.crash", "recovery.complete",
+    # live transport resilience
+    "net.retry", "net.give_up",
+    # harness
+    "sweep.run",
+)
+
+#: Prefixes under which dynamically-composed point names may fall
+#: (``f"chaos.{kind}"`` in the live injector).
+POINT_NAME_PREFIXES = ("chaos.",)
+
+#: The ``profile`` name vocabulary (see :mod:`repro.obs.profile`).
+PROFILE_NAMES = ("des.engine", "live.loop_lag")
+
 #: Fields every event must carry.
 _COMMON_REQUIRED = ("v", "ev", "host", "pid", "t")
 

@@ -39,14 +39,21 @@ FORMAT_VERSION = 1
 #: file format — the two evolve on different schedules.
 WIRE_VERSION = 1
 
+#: Every wire version decoders still accept.  Encoders always stamp
+#: :data:`WIRE_VERSION`; the accept-set is what lets a rolling upgrade
+#: keep decoding the previous version's frames and journals.  REP106
+#: statically checks that the stamped version (and v1) stay in this
+#: tuple and that decoders test membership rather than equality.
+ACCEPTED_WIRE_VERSIONS = (1,)
+
 
 def _check_wire_version(data: dict[str, Any], what: str) -> None:
     """Reject payloads stamped with an unknown wire version."""
     version = data.get("v")
-    if version != WIRE_VERSION:
+    if version not in ACCEPTED_WIRE_VERSIONS:
         raise ValueError(
             f"unsupported {what} wire version {version!r} "
-            f"(expected {WIRE_VERSION})")
+            f"(accepted: {ACCEPTED_WIRE_VERSIONS})")
 
 
 def piggyback_to_dict(pb: Piggyback) -> dict[str, Any]:

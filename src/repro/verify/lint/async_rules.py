@@ -1,0 +1,403 @@
+"""REP101–REP104: asyncio concurrency hygiene for the live runtime.
+
+The live/chaos layers run real coroutines on a real event loop, so the
+determinism rules (REP001/REP002) exempt them — which until now meant
+they had *no* custom static checking at all.  These rules cover the
+asyncio failure modes that unit tests are worst at catching, because
+each one needs a particular interleaving or load pattern to fire:
+
+REP101  blocking call inside ``async def`` — ``time.sleep``, synchronous
+        file IO, ``subprocess.run``.  One blocking call stalls the whole
+        event loop: every peer's heartbeats, timers and sends stop for
+        the duration.  Use ``await asyncio.sleep`` or
+        ``loop.run_in_executor``.
+REP102  fire-and-forget task — ``asyncio.create_task``/``ensure_future``
+        whose return value is discarded.  The task can be garbage
+        collected mid-flight, and its exception is silently dropped
+        ("Task exception was never retrieved" at interpreter exit, long
+        after the cause).  Retain the task and await or cancel it.
+REP103  shared attribute written across an ``await`` — flow-sensitive:
+        ``self.x`` read before a suspension point and assigned after it
+        without a re-read or a lock.  Another task can interleave at the
+        await and its update is lost.  Re-read after awaiting, or hold
+        an ``asyncio.Lock``.
+REP104  ``await`` while holding a lock / inside a journal critical
+        section — holding an ``asyncio.Lock`` across a suspension point
+        serializes every contending task behind an arbitrarily long
+        wait; an ``await`` between a journal append and its transport
+        send reopens exactly the orphan window the paper's selective
+        logging closes.
+
+All four apply to every linted file (an async def is an async def
+wherever it lives); in practice only ``live/``, ``chaos/`` and ``obs/``
+contain coroutines today.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .analysis import (build_cfg, is_lockish, iter_functions,
+                       lock_held_statements, shallow_walk, stmt_awaits,
+                       stmt_own_nodes, terminal_name)
+from .model import Finding, SourceFile
+from .rules import _alias_map, _canonical_call, _finding
+
+# --------------------------------------------------------------------------
+# REP101 — blocking calls inside async def
+# --------------------------------------------------------------------------
+
+#: Canonical dotted names that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output",
+    "os.system", "os.wait", "os.waitpid",
+}
+
+#: Path-object style synchronous file IO methods.
+_BLOCKING_IO_ATTRS = {"read_text", "write_text", "read_bytes",
+                      "write_bytes"}
+
+
+def _async_body_nodes(func: ast.AsyncFunctionDef):
+    """Nodes executed *by this coroutine*: its body minus nested defs,
+    lambdas and classes (a lambda handed to ``run_in_executor`` runs on
+    a worker thread, not the loop)."""
+    for stmt in func.body:
+        yield from shallow_walk(stmt)
+
+
+class AsyncBlockingCallRule:
+    """REP101: loop-stalling blocking calls inside coroutines."""
+
+    rule_id = "REP101"
+
+    def __call__(self, sf: SourceFile) -> list[Finding]:
+        aliases = _alias_map(sf.tree)
+        out: list[Finding] = []
+        for func in iter_functions(sf.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in _async_body_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _canonical_call(node, aliases)
+                if name in _BLOCKING_CALLS:
+                    out.append(_finding(
+                        self.rule_id, sf, node,
+                        f"blocking call {name}() inside async def "
+                        f"{func.name} stalls the event loop — use await "
+                        f"asyncio.sleep / loop.run_in_executor"))
+                elif (isinstance(node.func, ast.Name)
+                      and node.func.id == "open"):
+                    out.append(_finding(
+                        self.rule_id, sf, node,
+                        f"synchronous open() inside async def {func.name} "
+                        f"blocks the event loop — move the IO to "
+                        f"loop.run_in_executor"))
+                elif (isinstance(node.func, ast.Attribute)
+                      and node.func.attr in _BLOCKING_IO_ATTRS):
+                    out.append(_finding(
+                        self.rule_id, sf, node,
+                        f"synchronous file IO .{node.func.attr}() inside "
+                        f"async def {func.name} blocks the event loop — "
+                        f"move it to loop.run_in_executor"))
+        return out
+
+
+# --------------------------------------------------------------------------
+# REP102 — fire-and-forget tasks
+# --------------------------------------------------------------------------
+
+
+def _is_task_spawn(call: ast.Call, aliases: dict[str, str]) -> bool:
+    name = _canonical_call(call, aliases)
+    if name in ("asyncio.create_task", "asyncio.ensure_future"):
+        return True
+    return (isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("create_task", "ensure_future"))
+
+
+class FireAndForgetTaskRule:
+    """REP102: spawned tasks whose handle (and exception) is dropped."""
+
+    rule_id = "REP102"
+
+    def __call__(self, sf: SourceFile) -> list[Finding]:
+        aliases = _alias_map(sf.tree)
+        out: list[Finding] = []
+        for node in ast.walk(sf.tree):
+            call: ast.Call | None = None
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                call = node.value        # bare statement: handle dropped
+            elif (isinstance(node, ast.Assign)
+                  and len(node.targets) == 1
+                  and isinstance(node.targets[0], ast.Name)
+                  and node.targets[0].id == "_"
+                  and isinstance(node.value, ast.Call)):
+                call = node.value        # assigned to _: still dropped
+            if call is not None and _is_task_spawn(call, aliases):
+                out.append(_finding(
+                    self.rule_id, sf, call,
+                    "fire-and-forget task — the handle is discarded, so "
+                    "the task can be garbage-collected mid-flight and its "
+                    "exception is never retrieved; retain it and "
+                    "await/cancel it"))
+        return out
+
+
+# --------------------------------------------------------------------------
+# REP103 — attribute written across an await without a lock
+# --------------------------------------------------------------------------
+
+# Per-attribute dataflow states (a finite, monotone lattice per attr):
+_UNTRACKED = 0   # not read since function entry / last write
+_FRESH = 1       # read, no await crossed since
+_STALE = 2       # read, then an await crossed — another task may have run
+
+
+def _self_attr_reads(stmt: ast.stmt) -> set[str]:
+    reads: set[str] = set()
+    for node in stmt_own_nodes(stmt):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and isinstance(node.ctx, ast.Load)):
+            reads.add(node.attr)
+    return reads
+
+
+def _assign_attr_targets(target: ast.AST, into: list[ast.Attribute]) -> None:
+    if isinstance(target, ast.Attribute) \
+            and isinstance(target.value, ast.Name) \
+            and target.value.id == "self":
+        into.append(target)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _assign_attr_targets(elt, into)
+
+
+def _self_attr_writes(stmt: ast.stmt) -> list[ast.Attribute]:
+    """Direct ``self.X = ...`` binding writes in this statement.
+
+    Deliberately *not* container mutation (``self.s.add(x)``,
+    ``self.d[k] = v``): mutating in place after an await updates the one
+    shared object and loses nothing; rebinding the attribute from a
+    value computed before the await does.
+    """
+    targets: list[ast.Attribute] = []
+    if isinstance(stmt, ast.Assign):
+        for t in stmt.targets:
+            _assign_attr_targets(t, targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        _assign_attr_targets(stmt.target, targets)
+    return targets
+
+
+class AwaitSharedStateRule:
+    """REP103: read-then-await-then-write races on ``self`` attributes."""
+
+    rule_id = "REP103"
+
+    def __call__(self, sf: SourceFile) -> list[Finding]:
+        out: list[Finding] = []
+        for func in iter_functions(sf.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            args = [*func.args.posonlyargs, *func.args.args]
+            if not args or args[0].arg != "self":
+                continue
+            out.extend(self._check_method(sf, func))
+        return out
+
+    def _check_method(self, sf: SourceFile,
+                      func: ast.AsyncFunctionDef) -> list[Finding]:
+        cfg = build_cfg(func)
+        preds = cfg.preds()
+        locked = lock_held_statements(func)
+
+        # Per-statement facts, precomputed once.
+        reads = {s: _self_attr_reads(s) for s in cfg.nodes}
+        writes = {s: _self_attr_writes(s) for s in cfg.nodes}
+        awaits = {s: stmt_awaits(s) for s in cfg.nodes}
+        # AugAssign reads its own target (the Store ctx hides the load):
+        for s in cfg.nodes:
+            if isinstance(s, ast.AugAssign):
+                for t in writes[s]:
+                    reads[s].add(t.attr)
+
+        def transfer(stmt: ast.stmt,
+                     state: dict[str, int]) -> dict[str, int]:
+            new = dict(state)
+            for attr in reads[stmt]:
+                new[attr] = _FRESH       # a re-read makes the value current
+            if awaits[stmt]:
+                for attr, v in new.items():
+                    if v == _FRESH:
+                        new[attr] = _STALE
+            for t in writes[stmt]:
+                # flagging happens in the reporting pass; here the write
+                # just consumes the dependency
+                new[t.attr] = _UNTRACKED
+            return new
+
+        # Fixpoint over in-states (finite lattice, monotone transfer).
+        in_state: dict[ast.stmt, dict[str, int]] = {
+            s: {} for s in cfg.nodes}
+        changed = True
+        while changed:
+            changed = False
+            for stmt in cfg.nodes:
+                joined: dict[str, int] = {}
+                for p in preds.get(stmt, []):
+                    src = ({} if isinstance(p, type(cfg.entry))
+                           or not isinstance(p, ast.stmt)
+                           else transfer(p, in_state[p]))
+                    for attr, v in src.items():
+                        joined[attr] = max(joined.get(attr, 0), v)
+                if joined != in_state[stmt]:
+                    in_state[stmt] = joined
+                    changed = True
+
+        out: list[Finding] = []
+        for stmt in cfg.nodes:
+            if not writes[stmt] or stmt in locked:
+                continue
+            state = dict(in_state[stmt])
+            for attr in reads[stmt]:
+                state[attr] = _FRESH
+            if awaits[stmt]:
+                for attr, v in state.items():
+                    if v == _FRESH:
+                        state[attr] = _STALE
+            for t in writes[stmt]:
+                if state.get(t.attr, 0) == _STALE:
+                    out.append(_finding(
+                        self.rule_id, sf, t,
+                        f"self.{t.attr} was read before an await and is "
+                        f"rebound after it without a re-read or lock — a "
+                        f"task interleaving at the await loses its "
+                        f"update (method {func.name})"))
+                state[t.attr] = _UNTRACKED
+        return out
+
+
+# --------------------------------------------------------------------------
+# REP104 — await while holding a lock / inside a journal critical section
+# --------------------------------------------------------------------------
+
+
+def _stmt_lists(func: ast.AST):
+    """Every straight-line statement list in ``func`` (its body and all
+    nested compound bodies), not descending into nested scopes."""
+    stack: list[list[ast.stmt]] = [func.body]  # type: ignore[attr-defined]
+    while stack:
+        body = stack.pop()
+        yield body
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for name in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, name, None)
+                if sub:
+                    stack.append(sub)
+            for handler in getattr(stmt, "handlers", ()):
+                stack.append(handler.body)
+            for case in getattr(stmt, "cases", ()):
+                stack.append(case.body)
+
+
+def _calls_chain_method(stmt: ast.stmt, chain_tail: str,
+                        method: str, first_arg: str | None = None) -> bool:
+    """Does this statement (own part) call ``<...>.chain_tail.method(...)``?
+
+    ``first_arg`` additionally requires the call's first positional
+    argument to be that string constant.
+    """
+    for node in stmt_own_nodes(stmt):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == method):
+            continue
+        if terminal_name(node.func.value) != chain_tail:
+            continue
+        if first_arg is not None:
+            if not (node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value == first_arg):
+                continue
+        return True
+    return False
+
+
+class AwaitInCriticalSectionRule:
+    """REP104: suspension points inside critical sections."""
+
+    rule_id = "REP104"
+
+    def __call__(self, sf: SourceFile) -> list[Finding]:
+        out: list[Finding] = []
+        # Dedup by source position (an await under two nested locks, or
+        # in two overlapping windows, is still one finding).
+        seen: set[tuple[int, int]] = set()
+
+        # (a) await while holding an asyncio lock
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.AsyncWith):
+                continue
+            lock_names = [terminal_name(item.context_expr.func
+                                        if isinstance(item.context_expr,
+                                                      ast.Call)
+                                        else item.context_expr)
+                          for item in node.items
+                          if is_lockish(item.context_expr)]
+            if not lock_names:
+                continue
+            for stmt in node.body:
+                for sub in shallow_walk(stmt):
+                    if isinstance(sub, ast.Await) \
+                            and (sub.lineno, sub.col_offset) not in seen:
+                        seen.add((sub.lineno, sub.col_offset))
+                        out.append(_finding(
+                            self.rule_id, sf, sub,
+                            f"await while holding {lock_names[0]} — every "
+                            f"task contending for the lock stalls behind "
+                            f"this suspension point; release before "
+                            f"awaiting"))
+
+        # (b) await inside the journal-append → transport-send window
+        for func in iter_functions(sf.tree):
+            for body in _stmt_lists(func):
+                log_idx = [i for i, s in enumerate(body)
+                           if _calls_chain_method(s, "journal", "log",
+                                                  first_arg="send")]
+                send_idx = [i for i, s in enumerate(body)
+                            if _calls_chain_method(s, "endpoint", "send")]
+                for i in log_idx:
+                    later = [j for j in send_idx if j > i]
+                    if not later:
+                        continue
+                    for k in range(i + 1, min(later)):
+                        for sub in shallow_walk(body[k]):
+                            if isinstance(sub, ast.Await) \
+                                    and (sub.lineno,
+                                         sub.col_offset) not in seen:
+                                seen.add((sub.lineno, sub.col_offset))
+                                out.append(_finding(
+                                    self.rule_id, sf, sub,
+                                    "await between the journal append and "
+                                    "its transport send — a crash or "
+                                    "interleaving here reopens the orphan "
+                                    "window the send-log is meant to "
+                                    "close; keep the window await-free"))
+        return out
+
+
+FILE_ASYNC_RULES = (
+    AsyncBlockingCallRule(),
+    FireAndForgetTaskRule(),
+    AwaitSharedStateRule(),
+    AwaitInCriticalSectionRule(),
+)

@@ -15,6 +15,7 @@ every suppression in the tree documents *why* it is safe.
 from __future__ import annotations
 
 import ast
+import dataclasses
 import re
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -73,21 +74,33 @@ def _split_suppressed(raw: Sequence[Finding], files: dict[str, SourceFile],
             line = sf.lines[finding.line - 1]
         m = _ALLOW_RE.search(line)
         if m and m.group("rule") == finding.rule and m.group("reason"):
-            report.suppressed.append(finding)
+            report.suppressed.append(dataclasses.replace(
+                finding, justification=m.group("reason").strip()))
         else:
             report.findings.append(finding)
 
 
-def lint_paths(root: str | Path, *,
+def lint_paths(root: str | Path | Sequence[str | Path], *,
                select: Iterable[str] | None = None) -> LintReport:
-    """Lint every Python file under ``root``; return the report.
+    """Lint every Python file under ``root`` (one tree or several).
 
-    ``select`` optionally restricts to a subset of rule ids (used by the
-    per-rule fixture tests; production runs check everything).
+    A sequence of roots lints their union in one pass, so cross-file
+    rules see every file at once (``repro verify --lint src/repro/live
+    src/repro/chaos``).  Overlapping roots are deduplicated by resolved
+    path.  ``select`` optionally restricts to a subset of rule ids (used
+    by the per-rule fixture tests; production runs check everything).
     """
-    root = Path(root)
+    roots = ([Path(root)] if isinstance(root, (str, Path))
+             else [Path(r) for r in root])
     report = LintReport()
-    files = _load(root, report)
+    files: list[SourceFile] = []
+    seen: set[str] = set()
+    for r in roots:
+        for sf in _load(r, report):
+            key = str(Path(sf.path).resolve())
+            if key not in seen:
+                seen.add(key)
+                files.append(sf)
     report.files_checked = len(files)
     wanted = None if select is None else set(select)
     raw: list[Finding] = []

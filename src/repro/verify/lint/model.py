@@ -8,13 +8,20 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class Finding:
-    """One lint finding, pointing at a source line."""
+    """One lint finding, pointing at a source line.
+
+    ``justification`` is empty for active findings; for suppressed ones
+    the engine fills it with the reason text of the matching
+    ``repro: allow[...]`` comment, so audits can assert not just *that*
+    a waiver exists but *what it claims*.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    justification: str = ""
 
     def render(self) -> str:
         """``path:line:col: RULE message`` — the compiler-style line."""
@@ -22,8 +29,11 @@ class Finding:
 
     def as_dict(self) -> dict:
         """JSON-ready mapping (for ``repro verify --format json``)."""
-        return {"rule": self.rule, "path": self.path, "line": self.line,
-                "col": self.col, "message": self.message}
+        out = {"rule": self.rule, "path": self.path, "line": self.line,
+               "col": self.col, "message": self.message}
+        if self.justification:
+            out["justification"] = self.justification
+        return out
 
 
 @dataclass

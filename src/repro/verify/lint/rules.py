@@ -1,4 +1,10 @@
-"""The lint rule catalogue (REP001–REP007).
+"""The core lint rule catalogue (REP001–REP007).
+
+The REP100 series — asyncio concurrency hygiene (REP101–REP104, in
+:mod:`repro.verify.lint.async_rules`) and cross-layer protocol contracts
+(REP105–REP108, in :mod:`repro.verify.lint.contract_rules`) — registers
+into the same ``FILE_RULES`` / ``CROSS_FILE_RULES`` tables at the bottom
+of this module.
 
 Each rule enforces an invariant the simulation *relies on* but nothing in
 the toolchain checks (see ``docs/STATIC_ANALYSIS.md`` for the full
@@ -524,6 +530,13 @@ class EffectTotalityRule:
 # registry
 # --------------------------------------------------------------------------
 
+# Imported here (not at the top) because the REP100 modules reuse this
+# module's AST helpers — the registry is the one place both directions
+# meet.
+from .async_rules import FILE_ASYNC_RULES  # noqa: E402
+from .contract_rules import (CROSS_CONTRACT_RULES,  # noqa: E402
+                             FILE_CONTRACT_RULES)
+
 FILE_RULES: tuple[Callable[[SourceFile], list[Finding]], ...] = (
     WallClockRule(),
     RandomnessRule(),
@@ -531,10 +544,13 @@ FILE_RULES: tuple[Callable[[SourceFile], list[Finding]], ...] = (
     SetIterationRule(),
     LayeringRule(),
     FloatTimeEqualityRule(),
+    *FILE_ASYNC_RULES,
+    *FILE_CONTRACT_RULES,
 )
 
 CROSS_FILE_RULES: tuple[Callable[[Iterable[SourceFile]], list[Finding]], ...] = (
     EffectTotalityRule(),
+    *CROSS_CONTRACT_RULES,
 )
 
 ALL_RULE_IDS = tuple(sorted(

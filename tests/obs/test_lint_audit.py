@@ -1,0 +1,46 @@
+"""REP-lint audit of the observability package.
+
+``repro.obs`` sits between the deterministic simulator and the live
+runtime, so it is held to the same standard as simulation code: no
+wall-clock, no unseeded randomness.  The single exception is
+``profile.wall_now()`` — the profiling clock used by live/harness-side
+timing spans — which carries a justified per-line suppression
+(registered globally in
+``tests/verify/test_lint_rules.py::TestSuppressionRegistry``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.verify import lint_paths
+
+OBS_SRC = Path(__file__).resolve().parents[2] / "src" / "repro" / "obs"
+
+
+def test_obs_package_lints_clean():
+    report = lint_paths(OBS_SRC)
+    assert report.files_checked >= 5
+    assert not report.parse_errors
+    assert report.clean, report.render()
+
+
+def test_the_only_suppression_is_the_profiling_clock():
+    report = lint_paths(OBS_SRC)
+    sites = [(f.path.rsplit("/", 1)[-1], f.rule, f.justification)
+             for f in report.suppressed]
+    assert len(sites) == 1
+    fname, rule, why = sites[0]
+    assert (fname, rule) == ("profile.py", "REP001")
+    # The justification must say *why* a wall-clock read is acceptable
+    # here: it is the profiling clock, and it never feeds simulated state.
+    assert "profiling clock" in why
+    assert "never feeds simulated state" in why
+
+
+def test_everything_but_profile_needs_no_suppressions():
+    for path in sorted(OBS_SRC.glob("*.py")):
+        if path.name == "profile.py":
+            continue
+        report = lint_paths(path)
+        assert report.clean and not report.suppressed, path.name

@@ -1,0 +1,6 @@
+import time
+
+
+async def poll(path):
+    time.sleep(0.1)
+    return path

@@ -1,0 +1,8 @@
+import asyncio
+
+
+async def poll(path):
+    await asyncio.sleep(0.1)
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(
+        None, lambda: path.read_text(encoding="utf-8"))

@@ -1,0 +1,5 @@
+import asyncio
+
+
+async def start(worker):
+    asyncio.create_task(worker.run())

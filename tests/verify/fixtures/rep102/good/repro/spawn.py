@@ -1,0 +1,10 @@
+import asyncio
+
+
+async def start(worker):
+    task = asyncio.create_task(worker.run())
+    try:
+        await task
+    finally:
+        if not task.done():
+            task.cancel()

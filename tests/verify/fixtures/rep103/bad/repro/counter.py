@@ -1,0 +1,8 @@
+class Counter:
+    def __init__(self):
+        self.total = 0
+
+    async def bump(self, delta, sleep):
+        seen = self.total
+        await sleep()
+        self.total = seen + delta

@@ -1,0 +1,17 @@
+import asyncio
+
+
+class Counter:
+    def __init__(self):
+        self.total = 0
+        self._lock = asyncio.Lock()
+
+    async def bump(self, delta, sleep):
+        await sleep()
+        self.total = self.total + delta
+
+    async def bump_locked(self, delta, sleep):
+        seen = self.total
+        await sleep()
+        async with self._lock:
+            self.total = seen + delta

@@ -1,0 +1,17 @@
+import asyncio
+
+
+class Channel:
+    def __init__(self, journal, endpoint):
+        self._lock = asyncio.Lock()
+        self.journal = journal
+        self.endpoint = endpoint
+
+    async def locked_wait(self, worker):
+        async with self._lock:
+            await worker.run()
+
+    async def logged_send(self, frame, flush):
+        self.journal.log("send", uid=frame["uid"])
+        await flush()
+        self.endpoint.send(frame)

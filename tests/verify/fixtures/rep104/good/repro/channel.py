@@ -1,0 +1,17 @@
+import asyncio
+
+
+class Channel:
+    def __init__(self, journal, endpoint):
+        self._lock = asyncio.Lock()
+        self.journal = journal
+        self.endpoint = endpoint
+
+    async def locked_update(self, value):
+        async with self._lock:
+            self.value = value
+
+    async def logged_send(self, frame, flush):
+        self.journal.log("send", uid=frame["uid"])
+        self.endpoint.send(frame)
+        await flush()

@@ -1,0 +1,6 @@
+def gate(fault):
+    if fault.kind == "drop":
+        return None
+    if fault.kind == "torn-write":
+        return fault
+    return fault

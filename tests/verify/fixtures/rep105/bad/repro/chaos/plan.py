@@ -1,0 +1,17 @@
+WIRE_KINDS = ("drop", "delay")
+STORAGE_KINDS = ("torn-write",)
+ALL_KINDS = WIRE_KINDS + STORAGE_KINDS
+
+
+class FaultPlan:
+    def __init__(self, faults):
+        self.faults = faults
+
+    def _select(self, wanted):
+        return [f for f in self.faults if f.kind in wanted]
+
+    def wire_faults(self):
+        return self._select(WIRE_KINDS)
+
+    def storage_faults(self):
+        return self._select(STORAGE_KINDS)

@@ -1,0 +1,8 @@
+def gate(fault):
+    if fault.kind == "drop":
+        return None
+    if fault.kind == "delay":
+        return fault
+    if fault.kind == "torn-write":
+        return fault
+    return fault

@@ -1,0 +1,6 @@
+def interpose(plan, frame, fault):
+    if fault.kind in ("drop", "delay"):
+        return None
+    for f in plan.storage_faults():
+        frame = f
+    return frame

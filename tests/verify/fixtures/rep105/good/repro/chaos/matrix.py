@@ -1,0 +1,2 @@
+def recovery_check(kind):
+    return kind in ("drop", "delay", "torn-write")

@@ -1,0 +1,7 @@
+WIRE_VERSION = 2
+ACCEPTED_WIRE_VERSIONS = (2,)
+
+
+def check(data):
+    if data.get("v") != WIRE_VERSION:
+        raise ValueError(data)

@@ -1,0 +1,7 @@
+def app_frame(src, dst, uid, size, pb, epoch):
+    return {"t": "app", "src": src, "dst": dst, "uid": uid}
+
+
+def send_app(host, pb, uid):
+    host.journal.log("send", uid=uid)
+    host.endpoint.send(app_frame(0, 1, uid, 0, pb, 0))

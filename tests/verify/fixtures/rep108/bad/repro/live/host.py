@@ -1,0 +1,2 @@
+def note(tracer, t):
+    tracer.point("ctl.snd", t)

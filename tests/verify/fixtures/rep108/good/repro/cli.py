@@ -1,0 +1,2 @@
+def run_sweep(tracer, t):
+    tracer.point("sweep.run", t)

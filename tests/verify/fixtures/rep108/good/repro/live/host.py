@@ -1,0 +1,4 @@
+def note(tracer, t, kind):
+    tracer.point("ctl.send", t)
+    tracer.point(f"chaos.{kind}", t)
+    tracer.profile("des.engine", t)

@@ -1,0 +1,3 @@
+POINT_NAMES = ("ctl.send", "sweep.run")
+POINT_NAME_PREFIXES = ("chaos.",)
+PROFILE_NAMES = ("des.engine",)
