@@ -792,7 +792,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_live_args(q)
     q.add_argument("--out", default="BENCH_live.json",
                    help="output JSON path")
-    q.set_defaults(fn=cmd_live_bench)
+    # Bench default: uncapped workload (rate<=0) so the throughput phase
+    # measures the wire, not the rate limiter.
+    q.set_defaults(fn=cmd_live_bench, rate=0.0)
 
     p = sub.add_parser(
         "chaos",

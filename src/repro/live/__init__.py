@@ -10,8 +10,9 @@ recovery.
 
 Layout:
 
-* :mod:`~repro.live.wire`        — newline-delimited JSON frames carrying
-  the piggyback ``(csn, stat, tentSet)`` via :mod:`repro.storage.serialize`;
+* :mod:`~repro.live.wire`        — length-prefixed binary frames (v1
+  newline-JSON still decoded) carrying the piggyback
+  ``(csn, stat, tentSet)`` via :mod:`repro.storage.serialize`;
 * :mod:`~repro.live.transport`   — two interchangeable backends:
   in-process :class:`asyncio.Queue` pairs and a localhost TCP broker;
 * :mod:`~repro.live.storage`     — atomic file-backed stable storage and
@@ -45,7 +46,7 @@ from .supervisor import (
     run_live_async,
 )
 from .transport import LocalTransport, TcpBroker, connect_tcp
-from .wire import MAX_INCARNATIONS, SUPERVISOR, make_uid
+from .wire import MAX_INCARNATIONS, MAX_UID_COUNTER, SUPERVISOR, make_uid
 from .workload import LIVE_WORKLOADS, LiveTraffic, drive, make_traffic
 
 #: Deprecated alias — the live run result is :class:`LiveRunReport`; the
@@ -66,6 +67,7 @@ __all__ = [
     "LiveTraffic",
     "LocalTransport",
     "MAX_INCARNATIONS",
+    "MAX_UID_COUNTER",
     "ResilienceConfig",
     "ResilienceStats",
     "ResilientEndpoint",

@@ -56,9 +56,12 @@ def _fold_metrics(registry: MetricsRegistry, phase: str,
 
 def run_bench(out_path: str | Path = "BENCH_live.json", *, n: int = 4,
               transport: str = "tcp", duration: float = 4.0,
-              rate: float = 40.0, seed: int = 0,
+              rate: float = 0.0, seed: int = 0,
               run_root: str | None = None) -> dict[str, Any]:
     """Run the benchmark phases and write the JSON payload.
+
+    ``rate=0`` (the default) runs the uncapped burst workload — the
+    throughput number then measures the wire, not the rate limiter.
 
     Three runs: throughput (untraced baseline), traced (same config with
     ``--trace`` on, measuring the tracing overhead on delivered

@@ -145,26 +145,20 @@ class LiveHost:
         self._arm_initiation()
 
     async def run(self) -> None:
-        """Receive loop: dispatch frames until stopped or disconnected."""
+        """Receive loop: dispatch frames until stopped or disconnected.
+
+        Deliberately a bare await-dispatch loop: the ``stop`` path is a
+        frame (dispatched here) or an external cancellation (worker
+        lifetime bound / supervisor kill), so there is no task-pair race
+        to arbitrate — and no per-frame task creation, which is what
+        capped the old loop's throughput.
+        """
         try:
             while not self.stopped.is_set():
-                recv = asyncio.ensure_future(self.endpoint.recv())
-                stop = asyncio.ensure_future(self.stopped.wait())
-                try:
-                    done, _ = await asyncio.wait(
-                        {recv, stop}, return_when=asyncio.FIRST_COMPLETED)
-                finally:
-                    # Cancel AND await the loser: a cancelled-but-never-
-                    # awaited task outlives the loop and warns at
-                    # shutdown when this worker is crash-injected.
-                    recv.cancel()
-                    stop.cancel()
-                    await asyncio.gather(recv, stop, return_exceptions=True)
-                if recv in done and not recv.cancelled():
-                    frame = recv.result()
-                    if frame is None:
-                        break
-                    self.dispatch(frame)
+                frame = await self.endpoint.recv()
+                if frame is None:
+                    break
+                self.dispatch(frame)
         finally:
             self._teardown()
 
@@ -208,7 +202,9 @@ class LiveHost:
         uid = make_uid(self.pid, self.incarnation, self._uid_counter)
         pb = self.machine.piggyback()
         # Journal *before* the socket write: every uid a peer can receive
-        # must have a send record even if we are SIGKILLed mid-send.
+        # must have a send record even if we are SIGKILLed mid-send.  With
+        # buffered journals the transport's pre_flush hook (Journal.flush)
+        # preserves this ordering through to the disk.
         self.journal.log("send", uid=uid, dst=dst, size=size)
         self._window_sent.append(uid)
         if self.machine.tentative:

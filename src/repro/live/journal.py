@@ -22,8 +22,16 @@ Journaled worker events:
 
 The conformance layer (:mod:`repro.live.conformance`) replays these files
 through :mod:`repro.causality` to check Theorem 2 on the real execution.
-Writes are line-buffered and flushed per event; a SIGKILL can truncate at
-most the final line, which the reader skips.
+
+Flush semantics: high-rate events (``send``/``recv``) are buffered and
+written in batches; round-boundary and lifecycle events (everything
+else) force a flush, as does :meth:`Journal.flush` — which the TCP
+transport invokes as its ``pre_flush`` hook *before* every socket write,
+so a ``send`` record is always durable before the frame it describes can
+reach a peer (the journal-before-send discipline, REP107).  A SIGKILL
+can therefore truncate the file only inside its final flushed chunk:
+at most one torn line, always the last — which the reader skips.  A
+malformed line anywhere *else* is real corruption and raises.
 """
 
 from __future__ import annotations
@@ -35,6 +43,14 @@ from pathlib import Path
 from typing import Any, Iterator
 
 _JOURNAL_RE = re.compile(r"^journal-P(\d+)-(\d+)\.jsonl$")
+
+#: Events that force a flush: round boundaries, checkpoints, lifecycle.
+FLUSH_EVENTS = frozenset(
+    {"start", "tentative", "finalize", "rollback", "anomaly", "stop",
+     "chaos"})
+
+#: Safety valve: flush after this many buffered events regardless.
+MAX_BUFFERED_EVENTS = 1024
 
 
 class Journal:
@@ -49,35 +65,59 @@ class Journal:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a", encoding="utf-8")
         self._idx = 0
+        self._buf: list[str] = []
 
     def log(self, ev: str, **data: Any) -> None:
-        """Append one event (monotone per-file index + wall timestamp)."""
+        """Append one event (monotone per-file index + wall timestamp).
+
+        Buffered: becomes durable at the next :meth:`flush` — which
+        round-boundary events, the transport's pre-write hook, and
+        :meth:`close` all trigger.
+        """
         record = {"ev": ev, "idx": self._idx, "pid": self.pid,
                   "inc": self.incarnation, "wall": time.time(), **data}
         self._idx += 1
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
+        self._buf.append(json.dumps(record, sort_keys=True))
+        if ev in FLUSH_EVENTS or len(self._buf) >= MAX_BUFFERED_EVENTS:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write and fsync-flush everything buffered (idempotent)."""
+        if self._buf and not self._fh.closed:
+            self._fh.write("".join(line + "\n" for line in self._buf))
+            self._buf.clear()
+            self._fh.flush()
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
         if not self._fh.closed:
+            self.flush()
             self._fh.close()
 
 
 def read_journal(path: str | Path) -> list[dict[str, Any]]:
-    """Parse one journal file, skipping a SIGKILL-truncated last line."""
+    """Parse one journal file, skipping a SIGKILL-truncated last line.
+
+    Journal writes are whole-line appends, so a kill mid-write can tear
+    at most the *final* line of the file.  A malformed line followed by
+    more data is not a torn tail but corruption — surfaced loudly
+    instead of silently truncating the evidence stream.
+    """
     out: list[dict[str, Any]] = []
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                out.append(json.loads(line))
-            except json.JSONDecodeError:
-                # Only the final line can be torn (writes are flushed per
-                # event); anything else would be corruption worth surfacing.
-                break
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    last = len(lines) - 1
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == last:
+                break  # torn tail of a killed writer: expected, skipped
+            raise ValueError(
+                f"corrupt journal line {i + 1} in {path}: a malformed "
+                f"line before the final one cannot be a torn tail")
     return out
 
 

@@ -185,10 +185,22 @@ class ResilientEndpoint(Endpoint):
     # -- passthrough -------------------------------------------------------
 
     async def drain(self) -> None:
-        """Forward drain to the wrapped transport, if it has one."""
+        """Forward drain to the wrapped transport, if it has one.
+
+        This is the backpressure path: the TCP endpoint's batcher drain
+        awaits ``writer.drain()``, so an uncapped workload awaiting this
+        method stalls when the peer's TCP window is full instead of
+        growing the write buffer without bound.
+        """
         drain = getattr(self.inner, "drain", None)
         if drain is not None:
             await drain()
+
+    def set_pre_flush(self, hook: Any) -> None:
+        """Forward the journal-flush hook down to the wire batcher."""
+        setter = getattr(self.inner, "set_pre_flush", None)
+        if setter is not None:
+            setter(hook)
 
     def close(self) -> None:
         self._closed = True

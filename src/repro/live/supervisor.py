@@ -138,6 +138,8 @@ class LiveRunReport:
     wall_seconds: float
     crash: CrashOutcome | None = None
     dropped_frames: int = 0
+    #: Itemized transport losses: no_route / park_overflow / superseded.
+    drop_causes: dict[str, int] = field(default_factory=dict)
     worker_exits: dict[int, int] = field(default_factory=dict)
 
     @property
@@ -191,6 +193,7 @@ class LiveRunReport:
             "wall_seconds": round(self.wall_seconds, 3),
             "msgs_per_sec": round(self.msgs_per_sec, 1),
             "dropped_frames": self.dropped_frames,
+            "dropped_by_cause": dict(sorted(self.drop_causes.items())),
             "ok": self.ok,
             "conformance": self.conformance.as_dict(),
         }
@@ -287,10 +290,11 @@ async def run_live_async(cfg: LiveRunConfig) -> LiveRunReport:
     started = time.monotonic()
     try:
         if cfg.transport == "local":
-            crash, dropped, exits = await _run_local(cfg, run_dir, sup,
-                                                     tracer)
+            crash, dropped, causes, exits = await _run_local(cfg, run_dir,
+                                                             sup, tracer)
         else:
-            crash, dropped, exits = await _run_tcp(cfg, run_dir, sup, tracer)
+            crash, dropped, causes, exits = await _run_tcp(cfg, run_dir,
+                                                           sup, tracer)
     finally:
         if probe is not None:
             probe.stop()
@@ -304,7 +308,8 @@ async def run_live_async(cfg: LiveRunConfig) -> LiveRunReport:
     conformance = replay(run_dir, cfg.n)
     report = LiveRunReport(config=cfg, conformance=conformance,
                            wall_seconds=wall, crash=crash,
-                           dropped_frames=dropped, worker_exits=exits)
+                           dropped_frames=dropped, drop_causes=causes,
+                           worker_exits=exits)
     # Executor thread: the report write happens while worker loops may
     # still be draining; a sync write here would stall them (REP101).
     report_json = json.dumps(report.as_dict(), indent=2, sort_keys=True)
@@ -441,7 +446,8 @@ class _LocalWorker:
 
 async def _run_local(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
                      tracer: Tracer | None = None
-                     ) -> tuple[CrashOutcome | None, int, dict[int, int]]:
+                     ) -> tuple[CrashOutcome | None, int, dict[str, int],
+                                dict[int, int]]:
     """Local backend: every worker an asyncio task on this loop."""
     transport = LocalTransport(cfg.n)
     epoch = 0
@@ -485,7 +491,7 @@ async def _run_local(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
     for pid in sorted(workers):
         await workers[pid].join(cfg.stop_grace)
     exits = {pid: 0 for pid in sorted(workers)}
-    return crash, transport.dropped, exits
+    return crash, transport.dropped, dict(transport.dropped_by_cause), exits
 
 
 # --------------------------------------------------------------------------
@@ -558,7 +564,8 @@ async def _await_workers(broker: TcpBroker, cfg: LiveRunConfig,
 
 async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
                    tracer: Tracer | None = None
-                   ) -> tuple[CrashOutcome | None, int, dict[int, int]]:
+                   ) -> tuple[CrashOutcome | None, int, dict[str, int],
+                              dict[int, int]]:
     """TCP backend: real worker processes over localhost sockets."""
     broker = TcpBroker(epoch=0)
     port = await broker.start()
@@ -612,7 +619,7 @@ async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
         exits = {}
         for pid in sorted(procs):
             exits[pid] = await _wait_proc(procs[pid], cfg.stop_grace)
-        return crash, broker.dropped, exits
+        return crash, broker.dropped, dict(broker.dropped_by_cause), exits
     finally:
         for pid in sorted(procs):
             if procs[pid].poll() is None:

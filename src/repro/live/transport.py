@@ -2,8 +2,8 @@
 
 Two backends behind one tiny interface.  An :class:`Endpoint` is what a
 :class:`~repro.live.host.LiveHost` holds: ``send(frame)`` is synchronous
-(enqueue / socket-buffer write, never blocks the protocol), ``recv()`` is
-an awaitable that yields the next inbound frame or ``None`` once the
+(enqueue / batcher push, never blocks the protocol), ``recv()`` is an
+awaitable that yields the next inbound frame or ``None`` once the
 transport is closed.
 
 * :class:`LocalTransport` — every worker is an asyncio task in one
@@ -17,8 +17,22 @@ transport is closed.
   point for ``recover`` / ``stop`` broadcasts and its crash detector
   (a SIGKILLed worker surfaces as a connection reset).
 
+Every TCP write goes through a :class:`FrameBatcher`: sends coalesce into
+one buffered socket write per event-loop pass, and the flush task awaits
+``writer.drain()`` so a slow peer exerts real backpressure instead of
+growing an unbounded kernel buffer.  The batcher's ``pre_flush`` hook is
+how the journal-before-send discipline survives buffered journals: the
+worker points it at ``Journal.flush``, making every ``send`` record
+durable before the frame it describes can reach the wire.
+
+Frames addressed to a pid with no live connection are no longer silently
+dropped: frames for a *known* pid (one that connected before — the
+crash/reconnect window) are parked and either replayed on reconnect or
+superseded by the next ``recover`` broadcast; frames for an unknown pid
+are counted.  ``dropped_by_cause`` itemizes every loss.
+
 Both backends preserve per-sender FIFO order, which the epoch-based
-stale-message filter relies on (a ``recover`` broadcast is written to
+stale-message filter relies on (a ``recover`` broadcast is enqueued to
 every peer before any post-recovery frame can be routed to it).
 """
 
@@ -31,10 +45,19 @@ from .wire import (
     SUPERVISOR,
     check_handshake,
     decode_frame,
+    decode_payload,
     encode_frame,
+    encode_frame_v1,
+    frame_prefix,
     hello_frame,
+    payload_dst,
+    read_wire,
+    read_wire_frame,
     welcome_frame,
 )
+
+#: Parked frames kept per disconnected-but-known pid before overflow.
+PARK_LIMIT = 512
 
 
 class Endpoint:
@@ -69,6 +92,8 @@ class LocalTransport:
             pid: asyncio.Queue() for pid in range(n)}
         #: Frames addressed to a disconnected pid (crashed worker).
         self.dropped = 0
+        #: Same losses, itemized (mirrors TcpBroker.dropped_by_cause).
+        self.dropped_by_cause: dict[str, int] = {}
 
     def endpoint(self, pid: int) -> "LocalEndpoint":
         """The endpoint for worker ``pid`` (reconnects after a crash)."""
@@ -76,11 +101,15 @@ class LocalTransport:
             self._queues[pid] = asyncio.Queue()
         return LocalEndpoint(self, pid)
 
+    def _drop(self, cause: str) -> None:
+        self.dropped += 1
+        self.dropped_by_cause[cause] = self.dropped_by_cause.get(cause, 0) + 1
+
     def route(self, frame: dict[str, Any]) -> None:
         """Deliver a frame to its ``dst`` queue (drop if disconnected)."""
         queue = self._queues.get(frame["dst"])
         if queue is None:
-            self.dropped += 1
+            self._drop("no_route")
             return
         queue.put_nowait(frame)
 
@@ -126,25 +155,137 @@ class LocalEndpoint(Endpoint):
 
 
 # --------------------------------------------------------------------------
+# write batching
+# --------------------------------------------------------------------------
+
+
+class FrameBatcher:
+    """Coalesce frame writes into one buffered socket write per flush.
+
+    ``push`` is synchronous (what a sync ``Endpoint.send`` needs); an
+    owned flush task wakes up, hands the whole buffer to the writer in a
+    single ``write()``, and awaits ``drain()`` — so back-to-back sends in
+    one event-loop pass become one syscall, and a slow peer's TCP window
+    stalls the flush task instead of growing the buffer without bound.
+
+    ``pre_flush`` (if set) runs right before each socket write; the live
+    worker wires it to ``Journal.flush`` so buffered journal records are
+    durable before the frames they describe hit the wire.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter, *,
+                 pre_flush: Callable[[], None] | None = None) -> None:
+        self._writer = writer
+        self.pre_flush = pre_flush
+        self._buf = bytearray()
+        self._wakeup = asyncio.Event()
+        #: Flush-task handle — retained (REP102) and cancelled on close.
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    def push(self, data: bytes) -> None:
+        """Append one encoded frame to the write buffer (sync)."""
+        if self._closed:
+            return
+        self._buf += data
+        self._wakeup.set()
+        if self._task is None:
+            self._task = asyncio.get_event_loop().create_task(
+                self._flush_loop())
+
+    def _take(self) -> bytes:
+        """Swap the buffer out before any await (REP103: take-then-null)."""
+        if self._buf and self.pre_flush is not None:
+            self.pre_flush()
+        data, self._buf = self._buf, bytearray()
+        return bytes(data)
+
+    async def _flush_loop(self) -> None:
+        try:
+            while not self._closed:
+                await self._wakeup.wait()
+                self._wakeup.clear()
+                while self._buf:
+                    self._writer.write(self._take())
+                    await self._writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    async def drain(self) -> None:
+        """Flush everything buffered and wait for the socket to accept it."""
+        if self._closed:
+            return
+        data = self._take()
+        if data:
+            self._writer.write(data)
+        try:
+            await self._writer.drain()
+        except ConnectionError:
+            pass
+
+    def close(self) -> None:
+        """Final synchronous flush, cancel the flush task, close the
+        writer (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            data = self._take()
+            if data:
+                self._writer.write(data)
+        except (ConnectionError, RuntimeError):
+            pass
+        if self._task is not None:
+            self._task.cancel()
+        self._writer.close()
+
+
+# --------------------------------------------------------------------------
 # TCP backend
 # --------------------------------------------------------------------------
+
+
+class _BrokerConn:
+    """Per-connection broker state: batcher + the framing the peer speaks."""
+
+    __slots__ = ("pid", "writer", "batcher", "binary")
+
+    def __init__(self, pid: int, writer: asyncio.StreamWriter,
+                 binary: bool) -> None:
+        self.pid = pid
+        self.writer = writer
+        self.batcher = FrameBatcher(writer)
+        #: False for a legacy peer whose hello arrived as a v1 JSON line;
+        #: everything routed to it is re-encoded as newline JSON.
+        self.binary = binary
 
 
 class TcpBroker:
     """Supervisor-side hub: accepts worker connections, routes frames.
 
     ``on_disconnect`` (if set) is called with the pid whenever a worker's
-    connection drops — the supervisor's crash detector.
+    connection drops — the supervisor's crash detector.  Frames for a pid
+    in the crash/reconnect window are parked (bounded) and replayed on
+    reconnect or superseded by the next ``recover`` broadcast; all losses
+    are itemized in ``dropped_by_cause``.
     """
 
     def __init__(self, epoch: int = 0) -> None:
         self.epoch = epoch
         self._server: asyncio.AbstractServer | None = None
-        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._conns: dict[int, _BrokerConn] = {}
+        #: Pids that have connected at least once (reconnect-window set).
+        self._known_pids: set[int] = set()
+        #: Frames awaiting a known pid's reconnection.
+        self._parked: dict[int, list[dict[str, Any]]] = {}
         self._connected = asyncio.Event()
         self.port: int | None = None
-        #: Frames addressed to a pid with no live connection.
+        #: Frames addressed to a pid with no live connection (total).
         self.dropped = 0
+        #: The same losses, itemized: no_route (never-connected pid),
+        #: park_overflow (reconnect window overran PARK_LIMIT),
+        #: superseded (parked frames made obsolete by a recover order).
+        self.dropped_by_cause: dict[str, int] = {}
         self.on_disconnect: Callable[[int], None] | None = None
         #: Frames workers addressed to the supervisor (unused for now, kept
         #: so the wire format has a worker→supervisor path).
@@ -160,13 +301,13 @@ class TcpBroker:
     @property
     def connected_pids(self) -> list[int]:
         """Pids with a live connection, ascending."""
-        return sorted(self._writers)
+        return sorted(self._conns)
 
     async def wait_connected(self, n: int, timeout: float = 10.0) -> None:
         """Block until ``n`` workers are connected (raises on timeout)."""
 
         async def _wait() -> None:
-            while len(self._writers) < n:
+            while len(self._conns) < n:
                 self._connected.clear()
                 await self._connected.wait()
 
@@ -176,28 +317,88 @@ class TcpBroker:
                       writer: asyncio.StreamWriter) -> None:
         """Per-connection task: handshake, then route until EOF."""
         pid = None
+        conn = None
         try:
-            line = await reader.readline()
-            if not line:
+            raw = await read_wire(reader)
+            if raw is None:
                 return
-            hello = check_handshake(decode_frame(line), "hello")
+            framing, data = raw
+            hello = check_handshake(decode_frame(data), "hello")
             pid = hello["pid"]
-            self._writers[pid] = writer
-            writer.write(encode_frame(welcome_frame(self.epoch)))
+            conn = _BrokerConn(pid, writer, binary=framing == 2)
+            self._conns[pid] = conn
+            self._known_pids.add(pid)
+            # Answer in a version the peer's accept-set contains: a
+            # legacy peer gets its own hello version echoed back.
+            welcome = (welcome_frame(self.epoch) if conn.binary
+                       else welcome_frame(self.epoch, version=hello["v"]))
+            self._send_to(conn, welcome)
+            for frame in self._parked.pop(pid, []):
+                self._send_to(conn, frame)
             self._connected.set()
             while True:
-                line = await reader.readline()
-                if not line:
+                raw = await read_wire(reader)
+                if raw is None:
                     break
-                self.route(decode_frame(line))
+                framing, data = raw
+                if framing == 2:
+                    dst = payload_dst(data)
+                    if dst == SUPERVISOR:
+                        self.inbox.put_nowait(decode_payload(data))
+                    else:
+                        self._route_payload(dst, data)
+                else:
+                    self.route(decode_frame(data))
         except (ConnectionError, ValueError, asyncio.IncompleteReadError):
             pass
         finally:
-            if pid is not None and self._writers.get(pid) is writer:
-                del self._writers[pid]
+            if pid is not None and self._conns.get(pid) is conn:
+                del self._conns[pid]
                 if self.on_disconnect is not None:
                     self.on_disconnect(pid)
-            writer.close()
+            if conn is not None:
+                conn.batcher.close()
+            else:
+                writer.close()
+
+    # -- routing -----------------------------------------------------------
+
+    def _drop(self, cause: str, count: int = 1) -> None:
+        self.dropped += count
+        self.dropped_by_cause[cause] = (
+            self.dropped_by_cause.get(cause, 0) + count)
+
+    def _park(self, dst: int, frame: dict[str, Any]) -> None:
+        """Hold a frame for a known-but-disconnected pid (bounded)."""
+        queue = self._parked.setdefault(dst, [])
+        if len(queue) >= PARK_LIMIT:
+            self._drop("park_overflow")
+            return
+        queue.append(frame)
+
+    def _no_route(self, dst: int, frame: dict[str, Any]) -> None:
+        if dst in self._known_pids:
+            self._park(dst, frame)
+        else:
+            self._drop("no_route")
+
+    def _send_to(self, conn: _BrokerConn, frame: dict[str, Any]) -> None:
+        """Encode for this connection's framing and push to its batcher."""
+        if conn.binary:
+            conn.batcher.push(encode_frame(frame))
+        else:
+            conn.batcher.push(encode_frame_v1(frame))
+
+    def _route_payload(self, dst: int, payload: bytes) -> None:
+        """Fast path: forward raw v2 payload bytes without a decode."""
+        conn = self._conns.get(dst)
+        if conn is None:
+            self._no_route(dst, decode_payload(payload))
+            return
+        if conn.binary:
+            conn.batcher.push(frame_prefix(payload) + payload)
+        else:
+            conn.batcher.push(encode_frame_v1(decode_payload(payload)))
 
     def route(self, frame: dict[str, Any]) -> None:
         """Forward a frame to its destination worker (or the inbox)."""
@@ -205,23 +406,31 @@ class TcpBroker:
         if dst == SUPERVISOR:
             self.inbox.put_nowait(frame)
             return
-        writer = self._writers.get(dst)
-        if writer is None:
-            self.dropped += 1
+        conn = self._conns.get(dst)
+        if conn is None:
+            self._no_route(dst, frame)
             return
-        writer.write(encode_frame(frame))
+        self._send_to(conn, frame)
 
     def inject(self, dst: int, frame: dict[str, Any]) -> None:
         """Supervisor-originated frame to one worker."""
-        writer = self._writers.get(dst)
-        if writer is not None:
-            writer.write(encode_frame(frame))
+        conn = self._conns.get(dst)
+        if conn is not None:
+            self._send_to(conn, frame)
 
     def broadcast(self, frame: dict[str, Any]) -> None:
-        """Supervisor-originated frame to every connected worker."""
-        data = encode_frame(frame)
-        for pid in sorted(self._writers):
-            self._writers[pid].write(data)
+        """Supervisor-originated frame to every connected worker.
+
+        A ``recover`` broadcast supersedes every parked frame: the
+        execution they belonged to is being discarded, so replaying them
+        to the reconnecting worker would only feed its stale-epoch filter.
+        """
+        if frame.get("t") == "recover":
+            for dst in sorted(self._parked):
+                self._drop("superseded", len(self._parked[dst]))
+            self._parked.clear()
+        for pid in sorted(self._conns):
+            self._send_to(self._conns[pid], frame)
 
     async def close(self) -> None:
         """Close the listener and every worker connection."""
@@ -231,9 +440,9 @@ class TcpBroker:
         if server is not None:
             server.close()
             await server.wait_closed()
-        for pid in sorted(self._writers):
-            self._writers[pid].close()
-        self._writers.clear()
+        for pid in sorted(self._conns):
+            self._conns[pid].batcher.close()
+        self._conns.clear()
 
 
 class TcpEndpoint(Endpoint):
@@ -243,38 +452,39 @@ class TcpEndpoint(Endpoint):
                  writer: asyncio.StreamWriter, epoch: int) -> None:
         self.pid = pid
         self._reader = reader
-        self._writer = writer
+        self._batcher = FrameBatcher(writer)
         #: Recovery epoch the broker reported at handshake time.
         self.epoch = epoch
         self._closed = False
 
+    def set_pre_flush(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` before every socket write (journal-flush hook)."""
+        self._batcher.pre_flush = hook
+
     def send(self, frame: dict[str, Any]) -> None:
-        """Write the frame into the socket buffer (never blocks)."""
+        """Buffer the frame for the next coalesced write (never blocks)."""
         if not self._closed:
-            self._writer.write(encode_frame(frame))
+            self._batcher.push(encode_frame(frame))
 
     async def recv(self) -> dict[str, Any] | None:
         """Next frame from the broker; ``None`` on EOF/reset."""
         if self._closed:
             return None
         try:
-            line = await self._reader.readline()
+            return await read_wire_frame(self._reader)
         except ConnectionError:
             return None
-        if not line:
-            return None
-        return decode_frame(line)
 
     async def drain(self) -> None:
-        """Flow-control flush of the socket buffer."""
+        """Flush the write buffer and wait for socket-level flow control."""
         if not self._closed:
-            await self._writer.drain()
+            await self._batcher.drain()
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
         if not self._closed:
             self._closed = True
-            self._writer.close()
+            self._batcher.close()
 
 
 async def connect_tcp(port: int, pid: int, incarnation: int,
@@ -293,10 +503,10 @@ async def connect_tcp(port: int, pid: int, incarnation: int,
     async def _handshake() -> TcpEndpoint:
         reader, writer = await asyncio.open_connection(host, port)
         writer.write(encode_frame(hello_frame(pid, incarnation)))
-        line = await reader.readline()
-        if not line:
+        frame = await read_wire_frame(reader)
+        if frame is None:
             raise ConnectionError("broker closed during handshake")
-        welcome = check_handshake(decode_frame(line), "welcome")
+        welcome = check_handshake(frame, "welcome")
         return TcpEndpoint(pid, reader, writer, epoch=welcome["epoch"])
 
     last: Exception | None = None

@@ -1,11 +1,36 @@
-"""Live wire format: newline-delimited JSON frames between real processes.
+"""Live wire format: length-prefixed binary frames (v2), JSON fallback (v1).
 
 Both live transports (in-process queue pairs and TCP sockets, see
-:mod:`repro.live.transport`) carry the same frames.  A frame is one JSON
-object per line; the protocol payloads inside it — the paper's
-``(csn, stat, tentSet)`` piggyback and ``CM(type, csn)`` control message —
-use the version-stamped encoders of :mod:`repro.storage.serialize`, so the
-simulator, the checkpoint files, and the live wire share one format.
+:mod:`repro.live.transport`) carry the same frame *dicts* in memory; this
+module is the only place they become bytes.  Since wire v2 a frame on the
+socket is::
+
+    +----------------+---------------------------------------------+
+    | length  !I (4) | payload (length bytes, < MAX_FRAME_BYTES)   |
+    +----------------+---------------------------------------------+
+
+    payload = header !BBiiI (14 bytes) + kind-specific body
+              version, kind-code, src, dst, epoch
+
+The protocol payloads inside the body — the paper's ``(csn, stat,
+tentSet)`` piggyback and ``CM(type, csn)`` control message — use the
+version-stamped struct encoders of :mod:`repro.storage.serialize`
+(:func:`~repro.storage.serialize.pack_piggyback` /
+:func:`~repro.storage.serialize.pack_control`), so the simulator, the
+checkpoint files, and the live wire still share one version contract.
+
+Because :data:`MAX_FRAME_BYTES` is below 2**24, the first byte of every
+binary frame is ``0x00`` — and a v1 newline-JSON frame always starts with
+``0x7B`` (``{``).  That one-byte discriminator is what keeps v1 peers
+decodable behind the version byte: :func:`decode_frame` and
+:func:`read_wire_frame` accept both framings, and the broker answers each
+connection in the framing its ``hello`` arrived in.
+
+The length prefix also removes the old implicit 64 KiB ceiling that
+newline framing inherited from ``StreamReader.readline()`` — large
+piggybacks (many tentative intervals at large n) no longer kill the
+connection with ``LimitOverrunError``; oversized frames fail with a clean
+``ValueError`` at the encoder instead.
 
 Frame kinds
 -----------
@@ -38,7 +63,9 @@ discard frames from older epochs after a rollback.
 
 from __future__ import annotations
 
+import asyncio
 import json
+import struct
 from typing import Any
 
 from ..core.types import ControlMessage, Piggyback
@@ -47,8 +74,12 @@ from ..storage.serialize import (
     WIRE_VERSION,
     control_message_from_dict,
     control_message_to_dict,
+    pack_control,
+    pack_piggyback,
     piggyback_from_dict,
     piggyback_to_dict,
+    unpack_control,
+    unpack_piggyback,
 )
 
 #: Destination pid denoting the supervisor/broker itself.
@@ -57,6 +88,34 @@ SUPERVISOR = -1
 #: Maximum incarnations per pid encodable in a message uid.
 MAX_INCARNATIONS = 1 << 10
 
+#: Maximum counter value encodable in a message uid (the low 32 bits).
+MAX_UID_COUNTER = 1 << 32
+
+#: The first wire version that uses binary length-prefixed framing.
+#: Versions below it are newline-JSON lines.
+FIRST_BINARY_VERSION = 2
+
+#: Hard payload ceiling.  Kept below 2**24 so the first byte of every
+#: length prefix is 0x00 — the discriminator against v1 JSON lines,
+#: which always start with 0x7B ("{").
+MAX_FRAME_BYTES = (1 << 24) - 1
+
+_LEN = struct.Struct("!I")
+#: Payload header: version B, kind-code B, src i, dst i, epoch I.
+_HEAD = struct.Struct("!BBiiI")
+#: app body head: uid Q, size I, rs Q (0 = no retransmission seqno).
+_APP_HEAD = struct.Struct("!QIQ")
+_RS = struct.Struct("!Q")
+_U32 = struct.Struct("!I")
+
+#: Offset of the dst field inside a v2 payload (broker fast path).
+_DST_OFFSET = 6
+_DST = struct.Struct("!i")
+
+_KIND_CODES = {"hello": 1, "welcome": 2, "app": 3, "ctl": 4, "ack": 5,
+               "recover": 6, "stop": 7}
+_KIND_NAMES = {code: name for name, code in _KIND_CODES.items()}
+
 
 def make_uid(pid: int, incarnation: int, counter: int) -> int:
     """Globally-unique message uid across processes and restarts.
@@ -64,25 +123,212 @@ def make_uid(pid: int, incarnation: int, counter: int) -> int:
     Layout: ``(pid * MAX_INCARNATIONS + incarnation) << 32 | counter`` —
     uids from a crashed incarnation can never collide with uids minted
     after the restart, which keeps the conformance replay's endpoint map
-    unambiguous.
+    unambiguous.  All three fields are range-checked: a counter at or
+    above 2**32 would bleed into the incarnation/pid bits and collide
+    with another incarnation's uids, and a negative pid would alias a
+    different (pid, incarnation) pair entirely.
     """
+    if pid < 0:
+        raise ValueError(f"pid {pid} must be non-negative")
     if not (0 <= incarnation < MAX_INCARNATIONS):
         raise ValueError(f"incarnation {incarnation} out of range")
+    if not (0 <= counter < MAX_UID_COUNTER):
+        raise ValueError(f"counter {counter} out of range")
     return ((pid * MAX_INCARNATIONS + incarnation) << 32) | counter
 
 
-def encode_frame(frame: dict[str, Any]) -> bytes:
-    """One frame as a newline-terminated JSON line."""
+# --------------------------------------------------------------------------
+# encoding
+# --------------------------------------------------------------------------
+
+
+def encode_frame_v1(frame: dict[str, Any]) -> bytes:
+    """One frame as a newline-terminated JSON line (legacy v1 framing)."""
     return (json.dumps(frame, separators=(",", ":"), sort_keys=True)
             + "\n").encode("utf-8")
 
 
-def decode_frame(line: bytes) -> dict[str, Any]:
-    """Parse one wire line back into a frame dict."""
-    frame = json.loads(line.decode("utf-8"))
-    if not isinstance(frame, dict) or "t" not in frame:
-        raise ValueError(f"malformed frame: {line!r}")
-    return frame
+def encode_payload(frame: dict[str, Any]) -> bytes:
+    """The v2 binary payload of one frame (no length prefix)."""
+    kind = frame.get("t")
+    code = _KIND_CODES.get(kind)
+    if code is None:
+        raise ValueError(f"unknown frame kind {kind!r}")
+    version = frame.get("v", WIRE_VERSION)
+    if version not in ACCEPTED_WIRE_VERSIONS \
+            or version < FIRST_BINARY_VERSION:
+        raise ValueError(
+            f"cannot binary-encode wire version {version!r} "
+            f"(use encode_frame_v1 for JSON framings)")
+    # hello has no "src" key — its pid rides in the header src field.
+    src = frame["pid"] if kind == "hello" else frame.get("src", SUPERVISOR)
+    head = _HEAD.pack(version, code, src,
+                      frame.get("dst", SUPERVISOR), frame.get("epoch", 0))
+    if kind == "app":
+        return (head
+                + _APP_HEAD.pack(frame["uid"], frame["size"],
+                                 frame.get("rs", 0))
+                + pack_piggyback(frame["pb"]))
+    if kind == "ctl":
+        return head + _RS.pack(frame.get("rs", 0)) + pack_control(frame["cm"])
+    if kind == "ack":
+        return head + _RS.pack(frame["rs"])
+    if kind == "hello":
+        return head + _U32.pack(frame["inc"])
+    if kind == "recover":
+        return head + _U32.pack(frame["seq"])
+    # welcome / stop: header only.
+    return head
+
+
+def encode_frame(frame: dict[str, Any]) -> bytes:
+    """One frame in the current (v2) framing: length prefix + payload.
+
+    Raises :class:`ValueError` for frames whose payload would exceed
+    :data:`MAX_FRAME_BYTES` — the clean replacement for the old framing's
+    surprise ``LimitOverrunError`` at 64 KiB.
+    """
+    payload = encode_payload(frame)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame payload of {len(payload)} bytes exceeds "
+            f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})")
+    return _LEN.pack(len(payload)) + payload
+
+
+def frame_prefix(payload: bytes) -> bytes:
+    """The length prefix for an already-encoded payload (broker forward
+    path: re-frame raw payload bytes without decoding them)."""
+    return _LEN.pack(len(payload))
+
+
+def payload_dst(payload: bytes) -> int:
+    """Read the dst field straight out of a v2 payload (no full decode)."""
+    return _DST.unpack_from(payload, _DST_OFFSET)[0]
+
+
+# --------------------------------------------------------------------------
+# decoding
+# --------------------------------------------------------------------------
+
+
+def decode_payload(payload: bytes) -> dict[str, Any]:
+    """Parse one v2 binary payload back into a frame dict.
+
+    Per-kind inverse of :func:`encode_payload`: each kind reconstructs
+    exactly the keys its ``*_frame`` constructor produces, so
+    ``decode(encode(frame)) == frame`` holds dict-for-dict.  Truncated
+    or malformed payloads raise :class:`ValueError`.
+    """
+    try:
+        return _decode_payload(payload)
+    except struct.error as exc:
+        raise ValueError(f"truncated frame payload: {exc}") from exc
+
+
+def _decode_payload(payload: bytes) -> dict[str, Any]:
+    version, code, src, dst, epoch = _HEAD.unpack_from(payload, 0)
+    if version not in ACCEPTED_WIRE_VERSIONS \
+            or version < FIRST_BINARY_VERSION:
+        raise ValueError(
+            f"unsupported binary wire version {version!r} "
+            f"(accepted: {ACCEPTED_WIRE_VERSIONS})")
+    kind = _KIND_NAMES.get(code)
+    if kind is None:
+        raise ValueError(f"unknown frame kind code {code}")
+    body = _HEAD.size
+    if kind == "app":
+        uid, size, rs = _APP_HEAD.unpack_from(payload, body)
+        pb, _ = unpack_piggyback(payload, body + _APP_HEAD.size)
+        frame = {"t": "app", "src": src, "dst": dst, "uid": uid,
+                 "size": size, "pb": pb, "epoch": epoch}
+        if rs:
+            frame["rs"] = rs
+        return frame
+    if kind == "ctl":
+        (rs,) = _RS.unpack_from(payload, body)
+        cm, _ = unpack_control(payload, body + _RS.size)
+        frame = {"t": "ctl", "src": src, "dst": dst, "cm": cm,
+                 "epoch": epoch}
+        if rs:
+            frame["rs"] = rs
+        return frame
+    if kind == "ack":
+        (rs,) = _RS.unpack_from(payload, body)
+        return {"t": "ack", "src": src, "dst": dst, "rs": rs}
+    if kind == "hello":
+        (inc,) = _U32.unpack_from(payload, body)
+        return {"t": "hello", "v": version, "pid": src, "inc": inc}
+    if kind == "welcome":
+        return {"t": "welcome", "v": version, "epoch": epoch}
+    if kind == "recover":
+        (seq,) = _U32.unpack_from(payload, body)
+        return {"t": "recover", "epoch": epoch, "seq": seq}
+    return {"t": "stop"}
+
+
+def decode_frame(data: bytes) -> dict[str, Any]:
+    """Parse one complete wire frame — either framing.
+
+    Accepts a v1 JSON line (first byte ``{``), a length-prefixed v2
+    frame, or a bare v2 payload (first byte = version).
+    """
+    if not data:
+        raise ValueError("empty frame")
+    if data[0] == 0x7B:  # "{" — v1 newline-JSON line
+        frame = json.loads(data.decode("utf-8"))
+        if not isinstance(frame, dict) or "t" not in frame:
+            raise ValueError(f"malformed frame: {data!r}")
+        return frame
+    if data[0] == 0x00 and len(data) >= _LEN.size:
+        (length,) = _LEN.unpack_from(data, 0)
+        if length == len(data) - _LEN.size:
+            return decode_payload(data[_LEN.size:])
+    return decode_payload(data)
+
+
+async def read_wire(reader: asyncio.StreamReader
+                    ) -> tuple[int, bytes] | None:
+    """Read one frame's raw bytes off a stream; ``None`` on clean EOF.
+
+    Returns ``(framing, data)``: framing 1 is a complete v1 JSON line,
+    framing 2 a v2 payload (length prefix already consumed).  The one
+    byte of lookahead is what lets a single connection be either version.
+    """
+    try:
+        first = await reader.readexactly(1)
+    except asyncio.IncompleteReadError:
+        return None
+    if first == b"{":
+        line = await reader.readline()
+        return 1, first + line
+    try:
+        rest = await reader.readexactly(_LEN.size - 1)
+        (length,) = _LEN.unpack(first + rest)
+        if length > MAX_FRAME_BYTES:
+            raise ValueError(
+                f"frame length {length} exceeds MAX_FRAME_BYTES "
+                f"({MAX_FRAME_BYTES})")
+        return 2, await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        return None  # torn mid-frame by a dying peer: treat as EOF
+
+
+async def read_wire_frame(reader: asyncio.StreamReader
+                          ) -> dict[str, Any] | None:
+    """Read and decode the next frame; ``None`` on EOF (either framing)."""
+    raw = await read_wire(reader)
+    if raw is None:
+        return None
+    framing, data = raw
+    if framing == 1:
+        return decode_frame(data)
+    return decode_payload(data)
+
+
+# --------------------------------------------------------------------------
+# frame constructors
+# --------------------------------------------------------------------------
 
 
 def hello_frame(pid: int, incarnation: int) -> dict[str, Any]:
@@ -91,9 +337,14 @@ def hello_frame(pid: int, incarnation: int) -> dict[str, Any]:
             "inc": incarnation}
 
 
-def welcome_frame(epoch: int) -> dict[str, Any]:
-    """Handshake reply carrying the current recovery epoch."""
-    return {"t": "welcome", "v": WIRE_VERSION, "epoch": epoch}
+def welcome_frame(epoch: int, version: int = WIRE_VERSION) -> dict[str, Any]:
+    """Handshake reply carrying the current recovery epoch.
+
+    ``version`` lets the broker answer a legacy peer with the version
+    that peer's accept-set still contains (a v1 peer rejects a welcome
+    stamped v2 even though the broker can decode both).
+    """
+    return {"t": "welcome", "v": version, "epoch": epoch}
 
 
 def check_handshake(frame: dict[str, Any], expect: str) -> dict[str, Any]:

@@ -97,6 +97,9 @@ async def async_main(args: argparse.Namespace) -> int:
         return 1
     storage = FileStableStorage(args.dir, args.pid)
     journal = Journal(args.dir, args.pid, args.inc)
+    # Journal-before-send through the batched wire: flush buffered journal
+    # records (the "send" events, REP107) before every socket write.
+    raw.set_pre_flush(journal.flush)
     tracer = None
     if args.trace:
         trace_path = Path(args.dir) / f"trace-P{args.pid}-{args.inc}.jsonl"

@@ -49,15 +49,21 @@ class LiveTraffic:
         self.rng = rng
 
     def sample(self) -> tuple[float, int, int]:
-        """Next send: (inter-send delay seconds, destination, bytes)."""
+        """Next send: (inter-send delay seconds, destination, bytes).
+
+        A non-positive ``rate`` means *uncapped*: zero inter-send delay —
+        the driver sends as fast as transport backpressure allows.
+        """
         if self.name == "uniform":
-            delay = self.rng.expovariate(self.rate)
+            delay = (self.rng.expovariate(self.rate) if self.rate > 0
+                     else 0.0)
             dst = self.rng.randrange(self.n - 1)
             if dst >= self.pid:
                 dst += 1
             return delay, dst, self.msg_size
         # ring: deterministic period to the successor.
-        return 1.0 / self.rate, (self.pid + 1) % self.n, self.msg_size
+        delay = 1.0 / self.rate if self.rate > 0 else 0.0
+        return delay, (self.pid + 1) % self.n, self.msg_size
 
 
 def make_traffic(name: str, n: int, pid: int, *, rate: float = 20.0,
@@ -68,8 +74,22 @@ def make_traffic(name: str, n: int, pid: int, *, rate: float = 20.0,
     return LiveTraffic(name, n, pid, rate, msg_size, rng)
 
 
+#: Sends per backpressure checkpoint in uncapped mode.
+UNCAPPED_BURST = 64
+
+
 async def drive(host: LiveHost, traffic: LiveTraffic) -> None:
-    """Send traffic through ``host`` until it stops (cancellation-safe)."""
+    """Send traffic through ``host`` until it stops (cancellation-safe).
+
+    ``rate <= 0`` selects uncapped (burst) mode: send a burst, then
+    ``drain()`` the endpoint — which awaits the transport's write-buffer
+    flush and TCP flow control — so the producer runs exactly as fast as
+    the wire accepts frames, and the receive loop gets scheduled between
+    bursts.
+    """
+    if traffic.rate <= 0:
+        await _drive_uncapped(host, traffic)
+        return
     while not host.stopped.is_set():
         delay, dst, size = traffic.sample()
         try:
@@ -79,3 +99,17 @@ async def drive(host: LiveHost, traffic: LiveTraffic) -> None:
             pass
         if not host.stopped.is_set():
             host.app_send(dst, size)
+
+
+async def _drive_uncapped(host: LiveHost, traffic: LiveTraffic) -> None:
+    """Burst driver: saturate the transport under drain backpressure."""
+    drain = getattr(host.endpoint, "drain", None)
+    while not host.stopped.is_set():
+        for _ in range(UNCAPPED_BURST):
+            _, dst, size = traffic.sample()
+            host.app_send(dst, size)
+        if drain is not None:
+            await drain()
+        # Always yield: timers (checkpoint initiation, convergence) and
+        # the receive loop must run even when drain() never suspends.
+        await asyncio.sleep(0)

@@ -19,6 +19,7 @@ so either format can evolve without silently misreading old data.
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any
 
 from ..core.types import (
@@ -36,15 +37,18 @@ FORMAT_VERSION = 1
 
 #: Wire format version for cross-process payloads (piggybacks, control
 #: messages, live-runtime frames).  Bumped independently of the checkpoint
-#: file format — the two evolve on different schedules.
-WIRE_VERSION = 1
+#: file format — the two evolve on different schedules.  v1 was the
+#: newline-JSON wire; v2 is the length-prefixed binary framing of
+#: :mod:`repro.live.wire` with the struct-packed payload encodings below.
+WIRE_VERSION = 2
 
 #: Every wire version decoders still accept.  Encoders always stamp
 #: :data:`WIRE_VERSION`; the accept-set is what lets a rolling upgrade
 #: keep decoding the previous version's frames and journals.  REP106
 #: statically checks that the stamped version (and v1) stay in this
-#: tuple and that decoders test membership rather than equality.
-ACCEPTED_WIRE_VERSIONS = (1,)
+#: tuple, that the set is contiguous, and that decoders test membership
+#: rather than equality.
+ACCEPTED_WIRE_VERSIONS = (1, 2)
 
 
 def _check_wire_version(data: dict[str, Any], what: str) -> None:
@@ -78,6 +82,76 @@ def control_message_from_dict(data: dict[str, Any]) -> ControlMessage:
     """Inverse of :func:`control_message_to_dict` (validates the stamp)."""
     _check_wire_version(data, "control message")
     return ControlMessage(ctype=ControlType(data["ctype"]), csn=data["csn"])
+
+
+# --------------------------------------------------------------------------
+# binary (v2) payload packing — used by the length-prefixed live wire
+# --------------------------------------------------------------------------
+
+#: Status strings ↔ one-byte codes (append-only: codes are wire format).
+_STATUS_CODES = {Status.NORMAL.value: 0, Status.TENTATIVE.value: 1}
+_STATUS_NAMES = {code: name for name, code in _STATUS_CODES.items()}
+
+#: ControlType strings ↔ one-byte codes (append-only: wire format).
+_CTYPE_CODES = {ControlType.CK_BGN.value: 0, ControlType.CK_REQ.value: 1,
+                ControlType.CK_END.value: 2}
+_CTYPE_NAMES = {code: name for name, code in _CTYPE_CODES.items()}
+
+#: Piggyback head: version B, csn I, stat-code B, tent-entry count H.
+_PB_HEAD = struct.Struct("!BIBH")
+#: One tent-set entry (a pid).
+_PB_ENTRY = struct.Struct("!I")
+#: Control message: version B, ctype-code B, csn I.
+_CM_PACK = struct.Struct("!BBI")
+
+
+def pack_piggyback(data: dict[str, Any]) -> bytes:
+    """Struct-pack the dict form of a piggyback (version stamp carried
+    through, so ``unpack_piggyback(pack_piggyback(d))`` round-trips the
+    dict exactly — including a still-accepted older stamp)."""
+    _check_wire_version(data, "piggyback")
+    tent = sorted(data["tent_set"])
+    if len(tent) > 0xFFFF:
+        raise ValueError(
+            f"piggyback tent_set of {len(tent)} entries exceeds the "
+            f"wire limit (65535)")
+    head = _PB_HEAD.pack(data["v"], data["csn"],
+                         _STATUS_CODES[data["stat"]], len(tent))
+    return head + b"".join(_PB_ENTRY.pack(pid) for pid in tent)
+
+
+def unpack_piggyback(buf: bytes, offset: int = 0
+                     ) -> tuple[dict[str, Any], int]:
+    """Inverse of :func:`pack_piggyback`; returns ``(dict, next_offset)``."""
+    version, csn, stat_code, count = _PB_HEAD.unpack_from(buf, offset)
+    offset += _PB_HEAD.size
+    if stat_code not in _STATUS_NAMES:
+        raise ValueError(f"unknown piggyback status code {stat_code}")
+    tent = [_PB_ENTRY.unpack_from(buf, offset + i * _PB_ENTRY.size)[0]
+            for i in range(count)]
+    offset += count * _PB_ENTRY.size
+    data = {"v": version, "csn": csn, "stat": _STATUS_NAMES[stat_code],
+            "tent_set": tent}
+    _check_wire_version(data, "piggyback")
+    return data, offset
+
+
+def pack_control(data: dict[str, Any]) -> bytes:
+    """Struct-pack the dict form of a ``CM(type, csn)`` control message."""
+    _check_wire_version(data, "control message")
+    return _CM_PACK.pack(data["v"], _CTYPE_CODES[data["ctype"]],
+                         data["csn"])
+
+
+def unpack_control(buf: bytes, offset: int = 0
+                   ) -> tuple[dict[str, Any], int]:
+    """Inverse of :func:`pack_control`; returns ``(dict, next_offset)``."""
+    version, ctype_code, csn = _CM_PACK.unpack_from(buf, offset)
+    if ctype_code not in _CTYPE_NAMES:
+        raise ValueError(f"unknown control type code {ctype_code}")
+    data = {"v": version, "ctype": _CTYPE_NAMES[ctype_code], "csn": csn}
+    _check_wire_version(data, "control message")
+    return data, offset + _CM_PACK.size
 
 
 def log_entry_to_dict(entry: LogEntry) -> dict[str, Any]:

@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.core.types import FinalizedCheckpoint, TentativeCheckpoint
-from repro.live.journal import Journal, read_journal, worker_events
+from repro.live.journal import (MAX_BUFFERED_EVENTS, Journal, read_journal,
+                                worker_events)
 from repro.live.storage import FileStableStorage, durable_global_seq
 from repro.storage import checkpoint_to_dict
 
@@ -104,9 +107,49 @@ class TestJournal:
         kinds = [(e["inc"], e["ev"]) for e in per_pid[1]]
         assert kinds == [(0, "start"), (0, "send"), (1, "start")]
 
-    def test_events_are_flushed_immediately(self, tmp_path):
+    def test_lifecycle_events_are_flushed_immediately(self, tmp_path):
         j = Journal(tmp_path, 0, 0)
         j.log("start", epoch=0, resume=None)
         # Readable before close — what makes SIGKILL journaling work.
         assert json.loads(j.path.read_text().strip())["ev"] == "start"
         j.close()
+
+    def test_send_events_buffer_until_flush(self, tmp_path):
+        j = Journal(tmp_path, 0, 0)
+        j.log("start", epoch=0, resume=None)
+        j.log("send", uid=1, dst=1, size=0)
+        # High-rate events buffer; the transport's pre_flush hook (or a
+        # round-boundary event, or close) makes them durable.
+        assert len(j.path.read_text().splitlines()) == 1
+        j.flush()
+        assert len(j.path.read_text().splitlines()) == 2
+        j.flush()  # idempotent: nothing buffered, nothing written
+        assert len(j.path.read_text().splitlines()) == 2
+        j.close()
+
+    def test_round_boundary_event_flushes_buffered_sends(self, tmp_path):
+        j = Journal(tmp_path, 0, 0)
+        j.log("send", uid=1, dst=1, size=0)
+        j.log("tentative", csn=1, digest=0)
+        events = [json.loads(line)
+                  for line in j.path.read_text().splitlines()]
+        assert [e["ev"] for e in events] == ["send", "tentative"]
+        j.close()
+
+    def test_buffer_cap_forces_flush(self, tmp_path):
+        j = Journal(tmp_path, 0, 0)
+        for uid in range(MAX_BUFFERED_EVENTS):
+            j.log("send", uid=uid, dst=1, size=0)
+        assert len(j.path.read_text().splitlines()) == MAX_BUFFERED_EVENTS
+        j.close()
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        j = Journal(tmp_path, 0, 0)
+        j.log("start", epoch=0, resume=None)
+        j.log("send", uid=1, dst=1, size=0)
+        j.close()
+        lines = j.path.read_text(encoding="utf-8").splitlines()
+        lines[0] = lines[0][:-5]  # tear a NON-final line: corruption
+        j.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt journal line 1"):
+            read_journal(j.path)

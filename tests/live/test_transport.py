@@ -3,15 +3,24 @@
 from __future__ import annotations
 
 import asyncio
+import json
 
 import pytest
 
 from repro.live.transport import LocalTransport, TcpBroker, connect_tcp
-from repro.live.wire import encode_frame, hello_frame, stop_frame
+from repro.live.wire import (WIRE_VERSION, encode_frame_v1, hello_frame,
+                             recover_frame, stop_frame)
 
 
 def run(coro):
     return asyncio.run(coro)
+
+
+def app(src, dst, uid, size=16):
+    """A complete app frame (the binary codec encodes every field)."""
+    pb = {"v": WIRE_VERSION, "csn": 0, "stat": "normal", "tent_set": []}
+    return {"t": "app", "src": src, "dst": dst, "uid": uid, "size": size,
+            "pb": pb, "epoch": 0}
 
 
 class TestLocalTransport:
@@ -72,10 +81,10 @@ class TestTcpTransport:
             assert broker.connected_pids == [0, 1]
             assert a.epoch == 0
 
-            a.send({"t": "app", "src": 0, "dst": 1, "uid": 9})
+            a.send(app(0, 1, 9))
             await a.drain()
             frame = await asyncio.wait_for(b.recv(), 5.0)
-            assert frame["uid"] == 9
+            assert frame == app(0, 1, 9)
 
             broker.broadcast(stop_frame())
             assert (await asyncio.wait_for(a.recv(), 5.0))["t"] == "stop"
@@ -114,8 +123,9 @@ class TestTcpTransport:
         async def body():
             broker = TcpBroker()
             await broker.start()
-            broker.route({"t": "app", "src": 0, "dst": 7, "uid": 1})
+            broker.route(app(0, 7, 1))
             assert broker.dropped == 1
+            assert broker.dropped_by_cause == {"no_route": 1}
             await broker.close()
 
         run(body())
@@ -126,13 +136,129 @@ class TestTcpTransport:
             port = await broker.start()
             reader, writer = await asyncio.open_connection("127.0.0.1",
                                                            port)
+            # v999 cannot be binary-encoded (it is not in the accept-set),
+            # so impersonate a future/unknown peer with a JSON-line hello.
             bad = hello_frame(0, 0)
             bad["v"] = 999
-            writer.write(encode_frame(bad))
+            writer.write(encode_frame_v1(bad))
             line = await asyncio.wait_for(reader.readline(), 5.0)
             assert line == b""  # broker rejected us without a welcome
             assert broker.connected_pids == []
             writer.close()
+            await broker.close()
+
+        run(body())
+
+    def test_frame_larger_than_64k_crosses_real_tcp(self):
+        # The old newline framing died at StreamReader's 64 KiB limit
+        # (LimitOverrunError); the length prefix removes the ceiling.
+        async def body():
+            broker = TcpBroker()
+            port = await broker.start()
+            a = await connect_tcp(port, 0, 0)
+            b = await connect_tcp(port, 1, 0)
+            await broker.wait_connected(2)
+            big = app(0, 1, 9)
+            big["pb"]["tent_set"] = list(range(20000))  # ~80 KiB payload
+            a.send(big)
+            await a.drain()
+            frame = await asyncio.wait_for(b.recv(), 5.0)
+            assert frame == big
+            await broker.close()
+
+        run(body())
+
+    def test_v1_json_peer_interoperates_with_binary_broker(self):
+        async def body():
+            broker = TcpBroker()
+            port = await broker.start()
+            # A legacy peer: newline-JSON hello stamped v1.
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           port)
+            legacy_hello = hello_frame(1, 0)
+            legacy_hello["v"] = 1
+            writer.write(encode_frame_v1(legacy_hello))
+            line = await asyncio.wait_for(reader.readline(), 5.0)
+            welcome = json.loads(line)
+            # The broker answers in the peer's framing AND version.
+            assert welcome["t"] == "welcome" and welcome["v"] == 1
+            # A binary peer's frame reaches the v1 peer as a JSON line.
+            a = await connect_tcp(port, 0, 0)
+            await broker.wait_connected(2)
+            a.send(app(0, 1, 4))
+            await a.drain()
+            line = await asyncio.wait_for(reader.readline(), 5.0)
+            assert json.loads(line) == app(0, 1, 4)
+            # And the v1 peer's JSON line routes back to the binary peer.
+            writer.write(encode_frame_v1(app(1, 0, 5)))
+            await writer.drain()
+            frame = await asyncio.wait_for(a.recv(), 5.0)
+            assert frame == app(1, 0, 5)
+            writer.close()
+            await broker.close()
+
+        run(body())
+
+    def test_reconnect_window_frames_are_parked_and_replayed(self):
+        async def body():
+            broker = TcpBroker()
+            port = await broker.start()
+            gone = asyncio.Queue()
+            broker.on_disconnect = gone.put_nowait
+            a = await connect_tcp(port, 0, 0)
+            b = await connect_tcp(port, 1, 0)
+            await broker.wait_connected(2)
+            b.close()
+            await asyncio.wait_for(gone.get(), 5.0)
+            # pid 1 is known (it connected before): park, don't drop.
+            broker.route(app(0, 1, 6))
+            assert broker.dropped == 0
+            b2 = await connect_tcp(port, 1, 1)
+            frame = await asyncio.wait_for(b2.recv(), 5.0)
+            assert frame == app(0, 1, 6)
+            a.close()
+            b2.close()
+            await broker.close()
+
+        run(body())
+
+    def test_recover_broadcast_supersedes_parked_frames(self):
+        async def body():
+            broker = TcpBroker()
+            port = await broker.start()
+            gone = asyncio.Queue()
+            broker.on_disconnect = gone.put_nowait
+            b = await connect_tcp(port, 1, 0)
+            await broker.wait_connected(1)
+            b.close()
+            await asyncio.wait_for(gone.get(), 5.0)
+            broker.route(app(0, 1, 6))
+            broker.route(app(0, 1, 7))
+            # The execution those frames belonged to is being discarded.
+            broker.broadcast(recover_frame(1, 0))
+            assert broker.dropped == 2
+            assert broker.dropped_by_cause == {"superseded": 2}
+            await broker.close()
+
+        run(body())
+
+    def test_park_overflow_counts_drops(self, monkeypatch):
+        from repro.live import transport as transport_mod
+        monkeypatch.setattr(transport_mod, "PARK_LIMIT", 2)
+
+        async def body():
+            broker = TcpBroker()
+            port = await broker.start()
+            gone = asyncio.Queue()
+            broker.on_disconnect = gone.put_nowait
+            b = await connect_tcp(port, 1, 0)
+            await broker.wait_connected(1)
+            b.close()
+            await asyncio.wait_for(gone.get(), 5.0)
+            for uid in range(4):
+                broker.route(app(0, 1, uid))
+            assert broker.dropped == 2
+            assert broker.dropped_by_cause == {"park_overflow": 2}
             await broker.close()
 
         run(body())

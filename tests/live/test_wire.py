@@ -1,21 +1,36 @@
-"""Wire-format tests: frames, uids, handshakes."""
+"""Wire-format tests: binary framing, uids, handshakes, v1 fallback."""
 
 from __future__ import annotations
 
+import json
+import struct
+
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.types import ControlMessage, ControlType, Piggyback, Status
+from repro.live import wire
 from repro.live.wire import (
+    MAX_FRAME_BYTES,
     MAX_INCARNATIONS,
+    MAX_UID_COUNTER,
+    SUPERVISOR,
+    WIRE_VERSION,
+    ack_frame,
     app_frame,
     check_handshake,
     ctl_frame,
     decode_frame,
+    decode_payload,
     encode_frame,
+    encode_frame_v1,
+    encode_payload,
     frame_control,
     frame_piggyback,
     hello_frame,
     make_uid,
+    payload_dst,
     recover_frame,
     stop_frame,
     welcome_frame,
@@ -41,11 +56,34 @@ class TestMakeUid:
         with pytest.raises(ValueError):
             make_uid(0, -1, 1)
 
+    def test_counter_boundaries(self):
+        assert make_uid(0, 0, 0) == 0
+        top = make_uid(0, 0, MAX_UID_COUNTER - 1)
+        assert top == MAX_UID_COUNTER - 1
+        # One past the top bleeds into the incarnation bits: rejected.
+        with pytest.raises(ValueError, match="counter"):
+            make_uid(0, 0, MAX_UID_COUNTER)
+        with pytest.raises(ValueError, match="counter"):
+            make_uid(0, 0, -1)
+
+    def test_counter_overflow_would_alias_next_incarnation(self):
+        # The collision the range check prevents: counter == 2**32 under
+        # incarnation 0 is bit-identical to counter 0 under incarnation 1.
+        raw = ((0 * MAX_INCARNATIONS + 0) << 32) | MAX_UID_COUNTER
+        assert raw == make_uid(0, 1, 0)
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ValueError, match="pid"):
+            make_uid(-1, 0, 1)
+
+
+def sample_pb(csn=2, stat=Status.TENTATIVE, tent=(0, 2)):
+    return Piggyback(csn=csn, stat=stat, tent_set=frozenset(tent))
+
 
 class TestFrames:
     def test_encode_decode_round_trip(self):
-        pb = Piggyback(csn=2, stat=Status.TENTATIVE,
-                       tent_set=frozenset({0, 2}))
+        pb = sample_pb()
         frame = app_frame(0, 1, make_uid(0, 0, 1), 128, pb, epoch=1)
         back = decode_frame(encode_frame(frame))
         assert back == frame
@@ -57,9 +95,26 @@ class TestFrames:
         assert frame_control(back) == cm
         assert back["src"] == 2 and back["dst"] == 0
 
-    def test_frame_is_one_line(self):
+    def test_frame_is_length_prefixed_binary(self):
         data = encode_frame(recover_frame(1, 3))
-        assert data.endswith(b"\n") and data.count(b"\n") == 1
+        # First byte 0x00: the length prefix's high byte, and the
+        # discriminator against v1 JSON lines (which start with "{").
+        assert data[0] == 0x00
+        (length,) = struct.unpack_from("!I", data)
+        assert length == len(data) - 4
+        assert decode_frame(data) == recover_frame(1, 3)
+
+    def test_payload_dst_matches_full_decode(self):
+        frame = app_frame(3, 7, make_uid(3, 0, 9), 64, sample_pb(), epoch=2)
+        payload = encode_payload(frame)
+        assert payload_dst(payload) == 7
+        assert decode_payload(payload)["dst"] == 7
+
+    def test_rs_key_only_present_when_stamped(self):
+        frame = app_frame(0, 1, make_uid(0, 0, 1), 16, sample_pb(), epoch=0)
+        assert "rs" not in decode_frame(encode_frame(frame))
+        frame["rs"] = make_uid(0, 0, 2)
+        assert decode_frame(encode_frame(frame))["rs"] == frame["rs"]
 
     def test_decode_rejects_non_frame_json(self):
         with pytest.raises(ValueError):
@@ -67,10 +122,106 @@ class TestFrames:
         with pytest.raises(ValueError):
             decode_frame(b'{"no_kind": true}\n')
 
+    def test_decode_rejects_truncated_payload(self):
+        payload = encode_payload(
+            app_frame(0, 1, make_uid(0, 0, 1), 16, sample_pb(), epoch=0))
+        with pytest.raises(ValueError, match="truncated"):
+            decode_payload(payload[:-3])
+
+    def test_decode_rejects_unknown_binary_version(self):
+        payload = bytearray(encode_payload(recover_frame(0, 1)))
+        payload[0] = 99  # version byte
+        with pytest.raises(ValueError, match="version"):
+            decode_payload(bytes(payload))
+
+    def test_encode_rejects_versions_outside_accept_set(self):
+        bad = recover_frame(0, 1)
+        bad["v"] = 999
+        with pytest.raises(ValueError, match="binary-encode"):
+            encode_frame(bad)
+
+    def test_v1_frame_cannot_be_binary_encoded(self):
+        v1 = hello_frame(0, 0)
+        v1["v"] = 1
+        with pytest.raises(ValueError, match="encode_frame_v1"):
+            encode_payload(v1)
+        # The v1 framing still carries it, and decode accepts it.
+        assert decode_frame(encode_frame_v1(v1)) == v1
+
+    def test_oversized_frame_rejected_cleanly(self, monkeypatch):
+        # The guard is unreachable through the real constructors (the
+        # piggyback caps at 65535 entries, ~256 KiB); shrink the ceiling
+        # to prove the failure mode is a ValueError, not a socket death.
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 8)
+        with pytest.raises(ValueError, match="MAX_FRAME_BYTES"):
+            encode_frame(recover_frame(0, 1))
+
+    def test_oversized_piggyback_rejected_cleanly(self):
+        pb = Piggyback(csn=0, stat=Status.NORMAL,
+                       tent_set=frozenset(range(0x10000)))
+        frame = app_frame(0, 1, make_uid(0, 0, 1), 16, pb, epoch=0)
+        with pytest.raises(ValueError, match="tent_set"):
+            encode_frame(frame)
+
     def test_stop_and_recover_shapes(self):
         assert stop_frame()["t"] == "stop"
         rec = recover_frame(epoch=2, seq=4)
         assert (rec["t"], rec["epoch"], rec["seq"]) == ("recover", 2, 4)
+
+
+# -- hypothesis round-trip properties ---------------------------------------
+
+pids = st.integers(min_value=0, max_value=63)
+epochs = st.integers(min_value=0, max_value=2**32 - 1)
+csns = st.integers(min_value=0, max_value=2**32 - 1)
+uids = st.builds(make_uid, pids,
+                 st.integers(min_value=0, max_value=MAX_INCARNATIONS - 1),
+                 st.integers(min_value=0, max_value=MAX_UID_COUNTER - 1))
+piggybacks = st.builds(
+    Piggyback, csn=csns, stat=st.sampled_from(list(Status)),
+    tent_set=st.frozensets(st.integers(min_value=0, max_value=2**32 - 1),
+                           max_size=32))
+controls = st.builds(ControlMessage, ctype=st.sampled_from(list(ControlType)),
+                     csn=csns)
+
+app_frames = st.builds(app_frame, pids, pids, uids,
+                       st.integers(min_value=0, max_value=2**32 - 1),
+                       piggybacks, epochs)
+ctl_frames = st.builds(ctl_frame, pids, pids, controls, epochs)
+ack_frames = st.builds(ack_frame, pids, st.one_of(pids, st.just(SUPERVISOR)),
+                       uids)
+hello_frames = st.builds(
+    hello_frame, pids,
+    st.integers(min_value=0, max_value=MAX_INCARNATIONS - 1))
+welcome_frames = st.builds(welcome_frame, epochs)
+recover_frames = st.builds(recover_frame, epochs,
+                           st.integers(min_value=0, max_value=2**32 - 1))
+any_frame = st.one_of(app_frames, ctl_frames, ack_frames, hello_frames,
+                      welcome_frames, recover_frames, st.just(stop_frame()))
+
+
+class TestRoundTripProperties:
+    @given(any_frame)
+    def test_binary_round_trip_is_exact(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    @given(app_frames, uids)
+    def test_rs_stamped_round_trip(self, frame, rs):
+        frame = dict(frame, rs=max(rs, 1))  # rs 0 encodes as "absent"
+        assert decode_frame(encode_frame(frame)) == frame
+
+    @given(any_frame)
+    def test_v1_json_fallback_still_decodes(self, frame):
+        # A v1 peer's newline-JSON line decodes through the same entry
+        # point as binary frames (piggyback dicts lose their frozenset
+        # nature under JSON, so compare through the JSON lens).
+        back = decode_frame(encode_frame_v1(frame))
+        assert json.loads(json.dumps(back, sort_keys=True)) \
+            == json.loads(json.dumps(frame, sort_keys=True))
+
+    @given(app_frames)
+    def test_payload_never_exceeds_frame_ceiling(self, frame):
+        assert len(encode_payload(frame)) <= MAX_FRAME_BYTES
 
 
 class TestHandshake:
@@ -87,3 +238,12 @@ class TestHandshake:
         bad["v"] = 999
         with pytest.raises(ValueError, match="wire version"):
             check_handshake(bad, "hello")
+
+    def test_v1_hello_still_accepted(self):
+        legacy = hello_frame(4, 0)
+        legacy["v"] = 1
+        assert check_handshake(legacy, "hello")["pid"] == 4
+
+    def test_welcome_version_parameter_for_legacy_peers(self):
+        assert welcome_frame(0)["v"] == WIRE_VERSION
+        assert welcome_frame(0, version=1)["v"] == 1
