@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
-from ..harness.executor import JobError, map_jobs
+from ..harness.executor import JobCancelled, JobError, map_jobs
 from ..obs import Tracer
 from .des import run_des_cell
 from .plan import (
@@ -143,6 +143,8 @@ def _des_cell(item: tuple[str, int]) -> dict[str, Any]:
 
 
 def _des_cell_result(kind: str, outcome: Any) -> CellResult:
+    if isinstance(outcome, JobCancelled):
+        return CellResult(runtime="des", fault=kind, error="cancelled")
     if isinstance(outcome, JobError):
         return CellResult(runtime="des", fault=kind, error=outcome.error)
     return CellResult(
@@ -288,20 +290,31 @@ def run_matrix(kinds: Sequence[str] = DEFAULT_KINDS,
                seed: int = 0, transport: str = "local",
                duration: float = 2.5, retries: bool = True,
                jobs: int = 1, run_root: str | Path | None = None,
-               tracer: Tracer | None = None) -> MatrixReport:
+               tracer: Tracer | None = None,
+               cancel_event: Any = None) -> MatrixReport:
     """Run the fault × runtime conformance matrix.
 
     ``retries=False`` disables the live resilience layer — the
     discrimination mode: seeded drops then lose messages for good and
     the drop cell must fail.  ``run_root`` keeps every live cell's run
     directory (journals, checkpoints, traces) for post-mortems.
+
+    ``cancel_event`` (a :class:`threading.Event`) cancels cooperatively:
+    DES cells stop dispatching through the executor's cancel hook, live
+    cells stop between cells; every skipped cell reports
+    ``error="cancelled"`` so a cancelled matrix is visibly partial, not
+    silently green.
     """
+
+    def cancelled() -> bool:
+        return cancel_event is not None and cancel_event.is_set()
+
     cells: list[CellResult] = []
     known = [k for k in kinds if k in ALL_KINDS]
     unknown = [k for k in kinds if k not in ALL_KINDS]
     if "des" in runtimes:
         outcomes = map_jobs(_des_cell, [(k, seed) for k in known],
-                            jobs=jobs)
+                            jobs=jobs, cancel_event=cancel_event)
         cells.extend(_des_cell_result(k, outcome)
                      for k, outcome in zip(known, outcomes))
         cells.extend(CellResult(
@@ -309,6 +322,10 @@ def run_matrix(kinds: Sequence[str] = DEFAULT_KINDS,
             error=f"unknown fault kind {k!r}") for k in unknown)
     if "live" in runtimes:
         for k in known:
+            if cancelled():
+                cells.append(CellResult(runtime="live", fault=k,
+                                        error="cancelled"))
+                continue
             cell_dir = (Path(run_root) / f"cell-{transport}-{k}"
                         if run_root is not None else None)
             cells.append(run_live_cell(

@@ -632,6 +632,141 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_server(raw: str) -> tuple[str, int] | None:
+    """Split a ``host:port`` address; None (+stderr) if malformed."""
+    host, _, port = raw.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"bad --server address {raw!r} (expected host:port)",
+              file=sys.stderr)
+        return None
+    return host, int(port)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the long-lived multi-client job server.
+
+    Runs until SIGTERM/SIGINT, then drains gracefully: running jobs are
+    checkpoint-cancelled through their cooperative hooks, queued jobs
+    stay persisted under the state directory for the next start, and
+    the process exits 0.
+    """
+    from .serve import JobStore, Scheduler, serve_forever
+    store = JobStore(args.state_dir)
+    scheduler = Scheduler(store, jobs=args.jobs,
+                          cache_dir=args.cache_dir)
+    print(f"repro serve: listening on {args.host}:{args.port} "
+          f"(jobs={args.jobs}, state={args.state_dir})", file=sys.stderr)
+    return serve_forever(scheduler, host=args.host, port=args.port)
+
+
+def _load_spec(raw: str | None) -> dict:
+    """A ``--spec`` value: inline JSON object or ``@file`` indirection."""
+    if not raw:
+        return {}
+    text = raw
+    if raw.startswith("@"):
+        with open(raw[1:], encoding="utf-8") as fh:
+            text = fh.read()
+    spec = json.loads(text)
+    if not isinstance(spec, dict):
+        raise ValueError(f"spec must be a JSON object, got "
+                         f"{type(spec).__name__}")
+    return spec
+
+
+def _stream_job(client: "Any", job_id: str, *, quiet: bool,
+                trace_file: str | None) -> int:
+    """Tail one job's event stream to completion; returns its exit code.
+
+    With ``trace_file``, the obs events embedded in ``trace`` wrappers
+    are unwrapped into a JSONL file that ``repro trace validate``
+    accepts unchanged.
+    """
+    from .serve import exit_code_for
+    final: str | None = None
+    inner: list[dict] = []
+    for event in client.watch(job_id):
+        if not quiet:
+            print(json.dumps(event, sort_keys=True))
+        if event.get("ev") == "trace":
+            inner.append(event["event"])
+        elif event.get("ev") == "job.state":
+            state = event.get("state")
+            if state in ("done", "failed", "cancelled"):
+                final = state
+    if trace_file:
+        with open(trace_file, "w", encoding="utf-8") as fh:
+            for obs_event in inner:
+                fh.write(json.dumps(obs_event, sort_keys=True) + "\n")
+    if final is None:
+        print(f"repro: job {job_id} stream ended without a terminal "
+              f"state", file=sys.stderr)
+        return 1
+    return exit_code_for(final)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: enqueue one job on a running server.
+
+    Prints the job id; with ``--wait`` it tails the event stream and the
+    exit code mirrors the job outcome (0 done / 1 failed or cancelled);
+    a spec the server's schema rejects is a usage error (exit 2).
+    """
+    from .serve import (
+        SERVE_SCHEMA,
+        ProtocolError,
+        ServeClient,
+        ServeClientError,
+        validate_job,
+    )
+    addr = _parse_server(args.server)
+    if addr is None:
+        return 2
+    try:
+        spec = _load_spec(args.spec)
+        payload = {"schema": SERVE_SCHEMA, "kind": args.kind,
+                   "spec": spec, "priority": args.priority}
+        validate_job(payload)          # fail fast, before any connection
+    except (OSError, ValueError, ProtocolError) as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 2
+    client = ServeClient(*addr)
+    try:
+        record = client.submit(args.kind, spec, priority=args.priority)
+    except ServeClientError as exc:
+        print(f"repro submit: server rejected the job: {exc}",
+              file=sys.stderr)
+        return 2 if exc.status == 400 else 1
+    except OSError as exc:
+        print(f"repro submit: cannot reach {args.server}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(record["id"])
+    if not args.wait:
+        return 0
+    return _stream_job(client, record["id"], quiet=args.quiet,
+                       trace_file=args.trace_file)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """``repro watch``: tail one job's event stream to completion."""
+    from .serve import ServeClient, ServeClientError
+    addr = _parse_server(args.server)
+    if addr is None:
+        return 2
+    client = ServeClient(*addr)
+    try:
+        return _stream_job(client, args.job, quiet=args.quiet,
+                           trace_file=args.trace_file)
+    except ServeClientError as exc:
+        print(f"repro watch: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro watch: cannot reach {args.server}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -820,6 +955,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("text", "json"), default="text")
     _add_trace_args(p)
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived job server: sweeps/chaos/live/bench as "
+             "queued jobs over HTTP + WebSocket (see docs/SERVICE.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7341)
+    p.add_argument("--jobs", type=int, default=2,
+                   help="max concurrently running jobs")
+    p.add_argument("--state-dir", default=".repro-serve",
+                   help="durable job state directory")
+    p.add_argument("--cache-dir", default=None,
+                   help="sweep/bench result cache "
+                        "(default: <state-dir>/cache)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one job to a running server; prints the job id")
+    p.add_argument("kind", choices=("sweep", "chaos-matrix", "live-run",
+                                    "bench"))
+    p.add_argument("--server", default="127.0.0.1:7341",
+                   help="server address (host:port)")
+    p.add_argument("--spec", default=None,
+                   help="job spec: inline JSON object or @file")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first (FIFO within a priority)")
+    p.add_argument("--wait", action="store_true",
+                   help="tail the event stream; exit code mirrors the "
+                        "job outcome")
+    p.add_argument("--quiet", action="store_true",
+                   help="with --wait: do not echo events")
+    p.add_argument("--trace-file", default=None,
+                   help="with --wait: unwrap streamed obs events into "
+                        "this JSONL file")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser(
+        "watch",
+        help="tail one job's event stream until it is terminal")
+    p.add_argument("job", help="job id (e.g. j0001)")
+    p.add_argument("--server", default="127.0.0.1:7341",
+                   help="server address (host:port)")
+    p.add_argument("--quiet", action="store_true",
+                   help="do not echo events (exit code only)")
+    p.add_argument("--trace-file", default=None,
+                   help="unwrap streamed obs events into this JSONL file")
+    p.set_defaults(fn=cmd_watch)
 
     return parser
 

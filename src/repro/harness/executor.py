@@ -25,7 +25,9 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing as mp
+import queue as queue_mod
 import sys
+import threading
 import time
 import traceback
 from dataclasses import asdict, dataclass, field
@@ -123,6 +125,18 @@ class JobError:
     item: Any
     error: str
     traceback: str
+
+
+@dataclass
+class JobCancelled:
+    """A :func:`map_jobs` item never dispatched: the batch was cancelled.
+
+    Cooperative cancellation (``cancel_event``) stops *dispatching*;
+    items already in flight finish normally and keep their real
+    outcomes, so a cancelled batch still reports partial results.
+    """
+
+    item: Any
 
 
 # -- cache ---------------------------------------------------------------------
@@ -227,8 +241,8 @@ def _invoke(payload: tuple[Callable[[Any], Any], int, Any]
 
 def map_jobs(fn: Callable[[Any], Any], items: Sequence[Any],
              jobs: int = 1,
-             on_result: Callable[[int, Any], None] | None = None
-             ) -> list[Any]:
+             on_result: Callable[[int, Any], None] | None = None,
+             cancel_event: "threading.Event | None" = None) -> list[Any]:
     """Order-preserving map with per-item failure capture.
 
     ``jobs <= 1`` (or a single item) runs inline — byte-identical to the
@@ -237,23 +251,65 @@ def map_jobs(fn: Callable[[Any], Any], items: Sequence[Any],
     item whose ``fn`` raises yields a :class:`JobError` in its slot
     instead of aborting the batch.  ``on_result(index, outcome)`` fires
     as each item completes (completion order, not input order).
+
+    ``cancel_event`` (a :class:`threading.Event`, settable from any
+    thread) requests *cooperative* cancellation: no further item is
+    dispatched once it is set, in-flight workers drain normally, and
+    every undispatched item yields a :class:`JobCancelled` in its slot —
+    so the caller always gets one outcome per item and can tell partial
+    results from losses.
     """
     items = list(items)
     out: list[Any] = [None] * len(items)
     payloads = [(fn, i, item) for i, item in enumerate(items)]
+
+    def cancelled() -> bool:
+        return cancel_event is not None and cancel_event.is_set()
+
+    def finish(index: int, outcome: Any) -> None:
+        out[index] = outcome
+        if on_result is not None:
+            on_result(index, outcome)
+
     if jobs <= 1 or len(items) <= 1:
-        results: Iterable[tuple[int, Any]] = map(_invoke, payloads)
-        for index, outcome in results:
-            out[index] = outcome
-            if on_result is not None:
-                on_result(index, outcome)
+        for payload in payloads:
+            if cancelled():
+                finish(payload[1], JobCancelled(item=payload[2]))
+                continue
+            finish(*_invoke(payload))
         return out
+    # Wave dispatch: at most ``jobs`` payloads are submitted at a time,
+    # the next one going out only as a result comes back — the window
+    # that makes stop-dispatching-on-cancel possible (imap would ship
+    # the whole batch to the pool up front).
     ctx = mp.get_context("spawn")
+    results: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
     with ctx.Pool(processes=min(jobs, len(items))) as pool:
-        for index, outcome in pool.imap_unordered(_invoke, payloads):
-            out[index] = outcome
-            if on_result is not None:
-                on_result(index, outcome)
+
+        def submit(payload: tuple[Callable[[Any], Any], int, Any]) -> None:
+            pool.apply_async(_invoke, (payload,), callback=results.put,
+                             error_callback=lambda exc, p=payload:
+                             results.put((p[1], JobError(
+                                 item=p[2], error=repr(exc),
+                                 traceback=""))))
+
+        next_up = 0
+        in_flight = 0
+        while next_up < len(items) and in_flight < jobs \
+                and not cancelled():
+            submit(payloads[next_up])
+            next_up += 1
+            in_flight += 1
+        while in_flight:
+            index, outcome = results.get()
+            in_flight -= 1
+            finish(index, outcome)
+            if next_up < len(items) and not cancelled():
+                submit(payloads[next_up])
+                next_up += 1
+                in_flight += 1
+    for payload in payloads[next_up:]:
+        finish(payload[1], JobCancelled(item=payload[2]))
     return out
 
 
@@ -285,16 +341,23 @@ def _emit_progress(progress: ProgressArg, done: int, total: int,
 
 def run_many(configs: Sequence[ExperimentConfig], jobs: int = 1,
              cache: ResultCache | None = None,
-             progress: ProgressArg = None
+             progress: ProgressArg = None,
+             cancel_event: "threading.Event | None" = None
              ) -> list[RunSummary | RunFailure]:
     """Run a batch of independent configs, optionally in parallel.
 
-    Returns one outcome per config, in input order: a
+    Returns one outcome per completed config, in input order: a
     :class:`RunSummary` on success (``.cached`` marks cache hits) or a
     :class:`RunFailure` capturing the config and traceback.  The serial
     path (``jobs=1``) and the pool path produce identical summaries —
     runs are deterministic in their configs — so ``jobs`` is purely a
     wall-clock knob.
+
+    ``cancel_event`` stops dispatch cooperatively (see
+    :func:`map_jobs`): already-running configs drain and are cached as
+    usual, undispatched ones are simply absent from the result — the
+    cache is never left with a partial or torn entry, so a re-run picks
+    up exactly where the cancelled batch stopped.
     """
     configs = list(configs)
     total = len(configs)
@@ -313,6 +376,8 @@ def run_many(configs: Sequence[ExperimentConfig], jobs: int = 1,
     def _finish(pos: int, outcome: Any) -> None:
         nonlocal done
         index, cfg = pending[pos]
+        if isinstance(outcome, JobCancelled):
+            return                     # undispatched: no slot, no cache
         if isinstance(outcome, JobError):
             outcome = RunFailure(config=cfg, error=outcome.error,
                                  traceback=outcome.traceback)
@@ -323,7 +388,7 @@ def run_many(configs: Sequence[ExperimentConfig], jobs: int = 1,
         _emit_progress(progress, done, total, outcome)
 
     map_jobs(_run_one, [cfg for _, cfg in pending], jobs=jobs,
-             on_result=_finish)
+             on_result=_finish, cancel_event=cancel_event)
     return [o for o in out if o is not None]
 
 

@@ -86,6 +86,12 @@ class LiveRunConfig:
     retry_max: float = 1.0              # backoff ceiling (seconds)
     # -- fault injection (repro.chaos) --------------------------------------
     chaos: Any = None                   # FaultPlan | None
+    # -- cooperative early stop (repro.serve cancellation hook) -------------
+    #: A ``threading.Event`` settable from any thread: once set, the
+    #: supervisor cuts the remaining application-work window short and
+    #: runs the normal clean-stop path (stop broadcast, worker drain,
+    #: conformance replay) — a checkpoint-cancel, not an abort.
+    stop_event: Any = None
 
     def validate(self) -> None:
         """Reject configurations that cannot run."""
@@ -319,6 +325,23 @@ async def run_live_async(cfg: LiveRunConfig) -> LiveRunReport:
     return report
 
 
+#: Poll period for the external stop event (wall seconds).
+_STOP_POLL = 0.05
+
+
+async def _work_window(seconds: float, stop_event: Any) -> None:
+    """Let the application run for ``seconds``, or less if ``stop_event``
+    (a cross-thread ``threading.Event``) is set — the serve scheduler's
+    cooperative checkpoint-cancel hook.  Plain sleep when no event is
+    configured, so normal runs cost nothing extra."""
+    if stop_event is None:
+        await asyncio.sleep(seconds)
+        return
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline and not stop_event.is_set():
+        await asyncio.sleep(min(_STOP_POLL, seconds))
+
+
 # --------------------------------------------------------------------------
 # endpoint stack (shared by local workers here and TCP workers in worker.py)
 # --------------------------------------------------------------------------
@@ -484,9 +507,10 @@ async def _run_local(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
                             pid=victim, seq=seq, epoch=epoch)
         sup.log("crash.recovered", pid=victim, seq=seq, epoch=epoch,
                 recovery_seconds=recovery_seconds)
-        await asyncio.sleep(max(0.0, cfg.duration - cfg.crash_at))
+        await _work_window(max(0.0, cfg.duration - cfg.crash_at),
+                           cfg.stop_event)
     else:
-        await asyncio.sleep(cfg.duration)
+        await _work_window(cfg.duration, cfg.stop_event)
     transport.broadcast(stop_frame())
     for pid in sorted(workers):
         await workers[pid].join(cfg.stop_grace)
@@ -612,9 +636,10 @@ async def _run_tcp(cfg: LiveRunConfig, run_dir: Path, sup: _SupervisorLog,
             sup.log("crash.recovered", pid=victim, seq=seq,
                     epoch=broker.epoch,
                     recovery_seconds=recovery_seconds)
-            await asyncio.sleep(max(0.0, cfg.duration - cfg.crash_at))
+            await _work_window(max(0.0, cfg.duration - cfg.crash_at),
+                               cfg.stop_event)
         else:
-            await asyncio.sleep(cfg.duration)
+            await _work_window(cfg.duration, cfg.stop_event)
         broker.broadcast(stop_frame())
         exits = {}
         for pid in sorted(procs):

@@ -34,11 +34,18 @@ from .schema import (
     validate_event,
     validate_metrics_snapshot,
 )
-from .sinks import DashboardSink, JsonlSink, MemorySink
+from .sinks import (
+    BroadcastSink,
+    DashboardSink,
+    JsonlSink,
+    MemorySink,
+    Subscription,
+)
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BroadcastSink",
     "Counter",
     "DashboardSink",
     "DesBridge",
@@ -58,6 +65,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SchemaError",
     "Span",
+    "Subscription",
     "TraceEvent",
     "TraceReport",
     "Tracer",

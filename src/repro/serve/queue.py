@@ -1,0 +1,60 @@
+"""The priority FIFO behind the scheduler.
+
+Higher ``priority`` runs first; within one priority, submission order
+wins (FIFO) — implemented as a heap on ``(-priority, seq)``.  The queue
+holds job *ids* only; the scheduler owns the records.  ``remove`` exists
+for cancel-while-queued: a cancelled id is dropped lazily (marked dead,
+skipped at pop), so cancelling never reshuffles the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class JobQueue:
+    """Priority FIFO of job ids (single-threaded: event-loop use only)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, str]] = []
+        self._dead: set[str] = set()
+        self._queued: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._queued
+
+    def push(self, job_id: str, *, priority: int = 0, seq: int = 0) -> None:
+        """Enqueue one job id (``seq`` is the FIFO tiebreaker)."""
+        if job_id in self._queued:
+            raise ValueError(f"job {job_id} is already queued")
+        self._dead.discard(job_id)
+        self._queued.add(job_id)
+        heapq.heappush(self._heap, (-priority, seq, job_id))
+
+    def pop(self) -> str | None:
+        """The next runnable job id, or None when empty."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            if job_id in self._dead:
+                self._dead.discard(job_id)
+                continue
+            self._queued.discard(job_id)
+            return job_id
+        return None
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a queued id (cancel-while-queued); False if not queued."""
+        if job_id not in self._queued:
+            return False
+        self._queued.discard(job_id)
+        self._dead.add(job_id)
+        return True
+
+    def drain_ids(self) -> list[str]:
+        """Every still-queued id, best first (non-destructive)."""
+        live = [(p, s, j) for p, s, j in self._heap
+                if j not in self._dead and j in self._queued]
+        return [j for _, _, j in sorted(live)]

@@ -110,10 +110,12 @@ def _prefix_match(module: str, prefixes: Sequence[str]) -> bool:
 
 #: Packages that run on real wall-clock time with OS-entropy randomness *by
 #: design*: the live runtime exists precisely to execute the protocol
-#: outside the simulated clock, so the determinism rules REP001/REP002 do
-#: not apply there.  Both spellings occur depending on the lint root
-#: (``src/repro`` → ``repro.live.*``; the package dir itself → ``live.*``).
-LIVE_PACKAGES = ("repro.live", "live")
+#: outside the simulated clock, and the serve control plane is a
+#: long-lived wall-clock service scheduling real work, so the determinism
+#: rules REP001/REP002 do not apply there.  Both spellings occur depending
+#: on the lint root (``src/repro`` → ``repro.live.*``; the package dir
+#: itself → ``live.*``).
+LIVE_PACKAGES = ("repro.live", "live", "repro.serve", "serve")
 
 
 # --------------------------------------------------------------------------

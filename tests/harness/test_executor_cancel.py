@@ -1,0 +1,138 @@
+"""Cooperative cancellation of executor batches.
+
+``cancel_event`` stops *dispatch*: in-flight work drains normally and
+keeps its real outcome, undispatched items become ``JobCancelled``
+placeholders, and — the regression this file pins for the job server —
+the ``ResultCache`` is never left partial or torn, so a re-run resumes
+exactly where the cancelled batch stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.harness.executor import (
+    JobCancelled,
+    ResultCache,
+    RunSummary,
+    config_key,
+    map_jobs,
+    run_many,
+)
+from repro.harness.experiment import ExperimentConfig
+
+
+def _cfgs(count: int) -> list[ExperimentConfig]:
+    return [ExperimentConfig(n=3, seed=seed, horizon=30.0,
+                             checkpoint_interval=10.0)
+            for seed in range(count)]
+
+
+# -- map_jobs --------------------------------------------------------------
+
+
+def test_preset_cancel_dispatches_nothing():
+    cancel = threading.Event()
+    cancel.set()
+    calls: list[int] = []
+    out = map_jobs(calls.append, [1, 2, 3], cancel_event=cancel)
+    assert calls == []
+    assert all(isinstance(o, JobCancelled) for o in out)
+    # Each placeholder names its item, in input order.
+    assert [o.item for o in out] == [1, 2, 3]
+
+
+def test_mid_batch_cancel_keeps_completed_outcomes():
+    cancel = threading.Event()
+
+    def fn(x: int) -> int:
+        if x == 1:
+            cancel.set()        # fires after item 1 is already running
+        return x * 10
+
+    out = map_jobs(fn, [0, 1, 2, 3], cancel_event=cancel)
+    assert out[:2] == [0, 10]   # real results survive the cancel
+    assert all(isinstance(o, JobCancelled) for o in out[2:])
+    assert [o.item for o in out[2:]] == [2, 3]
+
+
+def test_without_cancel_event_behaviour_is_unchanged():
+    assert map_jobs(lambda x: -x, [1, 2]) == [-1, -2]
+
+
+# -- run_many + ResultCache ------------------------------------------------
+
+
+def test_cancelled_batch_reports_partial_results_only(tmp_path):
+    configs = _cfgs(4)
+    cache = ResultCache(tmp_path / "cache")
+    cancel = threading.Event()
+    seen: list[RunSummary] = []
+
+    def progress(done: int, total: int, outcome) -> None:
+        seen.append(outcome)
+        if done == 2:
+            cancel.set()
+
+    out = run_many(configs, cache=cache, progress=progress,
+                   cancel_event=cancel)
+    # Partial: the two completed runs, nothing else, no failures.
+    assert len(out) == 2 == len(seen)
+    assert all(isinstance(o, RunSummary) for o in out)
+    assert [o.config.seed for o in out] == [0, 1]
+
+
+def test_cancel_leaves_the_cache_uncorrupted_and_resumable(tmp_path):
+    configs = _cfgs(4)
+    cache_dir = tmp_path / "cache"
+    cancel = threading.Event()
+
+    def stop_after_first(done, total, outcome):
+        if done == 1:
+            cancel.set()
+
+    first = run_many(configs, cache=ResultCache(cache_dir),
+                     progress=stop_after_first, cancel_event=cancel)
+    assert len(first) == 1
+
+    # Exactly one entry on disk, it parses, and there is no torn tmp
+    # residue from the interrupted batch.
+    entries = sorted(cache_dir.glob("*.json"))
+    assert len(entries) == 1
+    assert not list(cache_dir.glob("*.tmp"))
+    payload = json.loads(entries[0].read_text("utf-8"))
+    assert entries[0].stem == config_key(configs[0])
+    assert payload["config"]["seed"] == 0
+
+    # The re-run resumes from the cache: the finished config is a hit,
+    # the rest run fresh, and the metrics equal an uncancelled batch.
+    second = run_many(configs, cache=ResultCache(cache_dir))
+    assert [o.cached for o in second] == [True, False, False, False]
+    clean = run_many(configs)
+
+    def flat(outcome):
+        metrics = outcome.metrics
+        return (metrics.as_dict() if hasattr(metrics, "as_dict")
+                else dict(metrics))
+
+    assert [flat(o) for o in second] == [flat(o) for o in clean]
+
+
+def test_parallel_wave_dispatch_honours_cancel(tmp_path):
+    # The pool path ships payloads in waves, so a cancel set while early
+    # items are in flight must keep later items undispatched.
+    configs = _cfgs(6)
+    cancel = threading.Event()
+
+    def stop_after_first(done, total, outcome):
+        if done == 1:
+            cancel.set()
+
+    out = run_many(configs, jobs=2, cache=ResultCache(tmp_path / "c"),
+                   progress=stop_after_first, cancel_event=cancel)
+    assert 1 <= len(out) <= 3           # in-flight wave drains, rest cut
+    assert all(isinstance(o, RunSummary) for o in out)
+    # Every reported outcome is a real, completed run for its config.
+    for outcome in out:
+        assert outcome.metrics.makespan > 0

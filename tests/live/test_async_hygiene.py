@@ -31,7 +31,8 @@ SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 CONCURRENCY_RULES = ["REP101", "REP102", "REP103", "REP104"]
 
 
-@pytest.mark.parametrize("package", ["live", "chaos", "obs", "harness"])
+@pytest.mark.parametrize("package", ["live", "chaos", "obs", "harness",
+                                     "serve"])
 def test_runtime_packages_pass_the_concurrency_rules(package):
     # Clean *without suppressions*: every REP101–REP104 hit found during
     # the rollout was fixed (run_in_executor, take-then-null), not

@@ -1,0 +1,42 @@
+"""REP-lint audit of the job-server package.
+
+``repro.serve`` is a live control plane: it is *exempt* from the
+determinism rules (REP001/REP002 — wall-clock and OS randomness are its
+job), but it is held to the full async-concurrency and protocol-contract
+bar with **zero suppressions**: no blocking calls on the event loop
+(REP101), no dropped task handles (REP102), no cross-await lost updates
+(REP103), no sync-held async locks (REP104), and versioned frame
+decoding (REP105/REP106).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.verify import lint_paths
+
+SERVE_SRC = Path(__file__).resolve().parents[2] / "src" / "repro" / "serve"
+
+
+def test_serve_package_lints_clean_with_zero_suppressions():
+    report = lint_paths(SERVE_SRC)
+    assert report.files_checked >= 7
+    assert not report.parse_errors
+    assert report.clean, report.render()
+    assert not report.suppressed
+
+
+def test_every_serve_module_is_individually_clean():
+    # Per-file, so a future finding names its module instead of hiding
+    # in an aggregate report.
+    for path in sorted(SERVE_SRC.glob("*.py")):
+        report = lint_paths(path)
+        assert report.clean and not report.suppressed, path.name
+
+
+def test_serve_passes_the_concurrency_rules_specifically():
+    # The async rules are the load-bearing ones for a long-lived
+    # asyncio server; pin them separately from the full-rule audit.
+    report = lint_paths(SERVE_SRC,
+                        select=["REP101", "REP102", "REP103", "REP104"])
+    assert report.clean, report.render()
