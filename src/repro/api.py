@@ -24,8 +24,9 @@ tables, replication summaries, CI assertions) now types against one
 The protocol is ``runtime_checkable`` so conformance is testable with
 plain ``isinstance`` (structure only — signatures are the docstring
 contract).  :class:`MetricsView` lives here as the canonical flat-dict
-metrics adapter; ``repro.harness.executor.MetricsView`` remains as a
-deprecated re-export.
+metrics adapter; the PR-4 era ``repro.harness.executor.MetricsView``
+re-export and ``repro.live.RunResult`` alias are retired — import
+``MetricsView`` from here and use ``LiveRunReport`` directly.
 """
 
 from __future__ import annotations

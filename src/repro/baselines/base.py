@@ -123,7 +123,7 @@ class BaselineHost(SimProcess):
     def protocol_start(self) -> None:
         """Subclass hook: arm protocol timers etc."""
 
-    def app_send(self, dst: int, payload: Any = None, *,
+    def app_send(self, dst: int, payload: Any = None,
                  size: int = 0) -> Message | None:
         """Send an application message (queued while sends are blocked).
 

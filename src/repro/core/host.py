@@ -49,15 +49,20 @@ from .types import (
     ControlMessage,
     FinalizedCheckpoint,
     LogEntry,
-    Piggyback,
     Status,
     TentativeCheckpoint,
-    fold_digest,
+    piggyback_bytes,
 )
 
 
 class ProtocolAnomalyError(RuntimeError):
     """Raised in strict mode when a proven-impossible message arrives."""
+
+
+# Hoisted enum members: the per-message paths test these constantly and a
+# module global loads cheaper than Status.<member>.
+_NORMAL = Status.NORMAL
+_TENTATIVE = Status.TENTATIVE
 
 
 class OptimisticRuntime:
@@ -218,8 +223,40 @@ class OptimisticProcess(SimProcess):
         self.current_tentative: TentativeCheckpoint | None = None
         # Selective message log + verification windows -------------------------
         self._log_entries: list[LogEntry] = []
+        #: Running byte total of ``_log_entries`` — maintained incrementally
+        #: (summing the window per append is O(window²) over a round).
+        self._log_bytes = 0
         self._window_sent: list[int] = []
         self._window_recv: list[int] = []
+        # Bound appends for the per-message window bookkeeping.  Valid for
+        # the host's lifetime because the window lists are cleared in place
+        # (never replaced) by _do_finalize / rollback_to.
+        self._ws_append = self._window_sent.append
+        self._wr_append = self._window_recv.append
+        #: Cached LocalStore item for the "log" label — the log re-put per
+        #: logged message mutates it in place (LocalStore.put semantics,
+        #: inlined); reset wherever the item leaves the store.
+        self._log_item = None
+        # Hot-path constants (per-run invariants, hoisted out of app_send /
+        # on_message): the piggyback wire cost, the logging-mode switch and
+        # the bound network send (one attribute chain less per message).
+        self._pb_bytes = piggyback_bytes(runtime.n)
+        self._log_all = runtime.config.log_all_messages
+        self._net = runtime.network
+        self._net_send = runtime.network.send
+        # Interned (piggyback, meta-dict) pair: between protocol transitions
+        # every outgoing app message carries the same {"pb": pb}, so the
+        # dict is built once per transition — unless fault injection is in
+        # play (network._track_deliveries), where gates stamp per-message
+        # drop causes into meta and sharing would cross-contaminate.
+        self._pb_meta: tuple[Any, Any] = (None, None)
+        # App delivery callback, resolved once: None when the behaviour
+        # inherits the base no-op (marked ``app_noop``) so per-delivery
+        # dispatch costs nothing for send-only workloads.
+        on_msg = getattr(app, "on_message", None)
+        if on_msg is not None and getattr(on_msg, "app_noop", False):
+            on_msg = None
+        self._app_on_message = on_msg
         self._flush_submitted: set[int] = set()
         #: Checkpoint generations still held on stable storage (GC state).
         self._held_gens: set[int] = set()
@@ -288,46 +325,123 @@ class OptimisticProcess(SimProcess):
 
     # -- application-facing API ---------------------------------------------------
 
-    def app_send(self, dst: int, payload: Any = None, *,
+    def app_send(self, dst: int, payload: Any = None,
                  size: int = 0) -> Message:
         """Send an application message with the protocol piggyback (§3.4.2)."""
-        pb = self.machine.piggyback()
-        msg = self.network.send(
-            self.pid, dst, payload, size=size, kind="app",
-            meta={"pb": pb}, overhead_bytes=pb.encoded_bytes(self.runtime.n))
-        self._window_sent.append(msg.uid)
-        if self.machine.tentative or self.config.log_all_messages:
+        machine = self.machine
+        pb = machine._pb
+        if pb is None:
+            pb = machine.piggyback()
+        if self._net._track_deliveries:
+            meta = {"pb": pb}  # faults in play: meta must be per-message
+        else:
+            cached = self._pb_meta
+            if cached[0] is pb:
+                meta = cached[1]
+            else:
+                meta = {"pb": pb}
+                self._pb_meta = (pb, meta)
+        msg = self._net_send(self.pid, dst, payload, size, "app",
+                             meta, self._pb_bytes)
+        self._ws_append(msg.uid)
+        if machine.stat is _TENTATIVE or self._log_all:
+            now = self.sim.now
+            nbytes = size + self._pb_bytes
             self._log_entries.append(LogEntry(
-                uid=msg.uid, nbytes=msg.total_bytes, direction="sent",
-                time=self.sim.now))
-            self._refresh_log_buffer()
+                uid=msg.uid, nbytes=nbytes, direction="sent", time=now))
+            self._log_bytes = lb = self._log_bytes + nbytes
+            # Re-buffer the grown log: LocalStore.put's replacement
+            # accounting inlined against the cached "log" item (keep in
+            # sync with LocalStore.put and the twin block in on_message).
+            item = self._log_item
+            if item is None:
+                self._log_item = self.local.put("log", lb, now)
+            else:
+                local = self.local
+                local._bytes += lb - item.nbytes
+                item.nbytes = lb
+                item.stored_at = now
+                local.total_buffered += lb
+                if local._bytes > local.max_bytes:
+                    local.max_bytes = local._bytes
         return msg
 
     # -- message dispatch -----------------------------------------------------------
 
     def on_message(self, msg: Message) -> None:
-        if msg.kind == "ctl":
+        kind = msg.kind
+        if kind == "app":
+            # Paper §3.4.3: "it processes the message first and then takes
+            # the following actions" — the application sees the message
+            # before any checkpointing action (no forced checkpoint delays
+            # the response).
+            app_on_message = self._app_on_message
+            if app_on_message is not None:
+                app_on_message(self, msg)
+            uid = msg.uid
+            # fold_digest inlined (keep in sync with types.fold_digest) —
+            # one call per delivered app message is measurable.
+            self.state_digest = ((self.state_digest * 1_000_003 + uid
+                                  + 0x9E3779B9) % (1 << 61))
+            self._wr_append(uid)
+            machine = self.machine
+            mstat = machine.stat
+            if mstat is _TENTATIVE or self._log_all:
+                now = self.sim.now
+                nbytes = msg.size + msg.overhead_bytes
+                self._log_entries.append(LogEntry(
+                    uid=uid, nbytes=nbytes, direction="recv", time=now))
+                self._log_bytes = lb = self._log_bytes + nbytes
+                # Twin of the app_send log re-buffer block; keep all three
+                # (here, app_send, LocalStore.put) in sync.
+                item = self._log_item
+                if item is None:
+                    self._log_item = self.local.put("log", lb, now)
+                else:
+                    local = self.local
+                    local._bytes += lb - item.nbytes
+                    item.nbytes = lb
+                    item.stored_at = now
+                    local.total_buffered += lb
+                    if local._bytes > local.max_bytes:
+                        local.max_bytes = local._bytes
+            pb = msg.meta["pb"]
+            pcsn = pb.csn
+            mcsn = machine.csn
+            # §3.4.3's no-effect and merge-only cases inlined — the
+            # overwhelming majority of receives both outside and inside
+            # checkpoint rounds; every state-changing case (take, finalize,
+            # anomaly) still goes through the state machine.  Keep in sync
+            # with OptimisticStateMachine.on_app_receive.
+            if mstat is _NORMAL:
+                if pcsn <= mcsn:
+                    return  # Cases 1 / 4(a): stale or current ⇒ nothing.
+            elif pb.stat is _TENTATIVE and pcsn == mcsn:
+                # Case 2(b): merge knowledge (interned pb invalidated only
+                # on growth); finalize — via the state machine, the merge
+                # is idempotent — only once tentSet is complete.
+                ts = machine.tent_set
+                before = len(ts)
+                ts |= pb.tent_set
+                if len(ts) != before:
+                    machine._pb = None
+                if len(ts) != machine.n:
+                    return
+            elif pcsn < mcsn:
+                return  # Cases 2(a) / 3(a): stale piggyback ⇒ nothing.
+            effects = machine.on_app_receive(pb, uid)
+            if effects:
+                self._execute(effects)
+            return
+        if kind == "ctl":
             cm: ControlMessage = msg.payload
-            self.trace("ctl.recv", ctype=cm.ctype.value, csn=cm.csn,
-                       src=msg.src)
+            tr = self.sim.trace
+            if tr.enabled:
+                tr.record(self.sim.now, "ctl.recv", self.pid,
+                          ctype=cm.ctype.value, csn=cm.csn, src=msg.src)
             self._execute(self.machine.on_control(cm, msg.src))
             return
-        if msg.kind != "app":
-            raise ValueError(f"unexpected message kind {msg.kind!r}")
-        # Paper §3.4.3: "it processes the message first and then takes the
-        # following actions" — the application sees the message before any
-        # checkpointing action (no forced checkpoint delays the response).
-        if self.app is not None:
-            self.app.on_message(self, msg)
-        self.state_digest = fold_digest(self.state_digest, msg.uid)
-        self._window_recv.append(msg.uid)
-        if self.machine.tentative or self.config.log_all_messages:
-            self._log_entries.append(LogEntry(
-                uid=msg.uid, nbytes=msg.total_bytes, direction="recv",
-                time=self.sim.now))
-            self._refresh_log_buffer()
-        pb: Piggyback = msg.meta["pb"]
-        self._execute(self.machine.on_app_receive(pb, msg.uid))
+        raise ValueError(f"unexpected message kind {kind!r}")
 
     # -- effect execution --------------------------------------------------------------
 
@@ -357,8 +471,12 @@ class OptimisticProcess(SimProcess):
                 raise TypeError(f"unknown effect {eff!r}")
 
     def _send_control(self, dst: int, cm: ControlMessage) -> None:
-        self.ctl_sent[cm.ctype.value] = self.ctl_sent.get(cm.ctype.value, 0) + 1
-        self.trace("ctl.send", ctype=cm.ctype.value, csn=cm.csn, dst=dst)
+        ctype = cm.ctype.value
+        self.ctl_sent[ctype] = self.ctl_sent.get(ctype, 0) + 1
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.record(self.sim.now, "ctl.send", self.pid, ctype=ctype,
+                      csn=cm.csn, dst=dst)
         self.network.send(self.pid, dst, cm, kind="ctl",
                           overhead_bytes=ControlMessage.ENCODED_BYTES)
 
@@ -378,8 +496,9 @@ class OptimisticProcess(SimProcess):
                                    full=self.config.is_full_checkpoint(csn))
         self.tentatives[csn] = ckpt
         self.current_tentative = ckpt
-        if not self.config.log_all_messages:
+        if not self._log_all:
             self._log_entries = []
+            self._log_bytes = 0
         self.local.put("ct", state_bytes, self.sim.now)
         self.trace("ckpt.tentative", csn=csn, bytes=state_bytes)
         # A checkpoint taken for any reason satisfies the scheduled
@@ -434,11 +553,14 @@ class OptimisticProcess(SimProcess):
             self.finalize_reasons.get(eff.reason, 0) + 1)
         # Reset the verification windows; the excluded message belongs to the
         # *next* checkpoint's window (it is part of the state at CT_{i,k+1}).
-        self._window_sent = []
-        self._window_recv = [exclude] if exclude is not None else []
+        self._window_sent.clear()
+        self._window_recv.clear()
+        if exclude is not None:
+            self._window_recv.append(exclude)
         # Selective logging resets at the next CT; pessimistic (ablation)
         # logging keeps the excluded entry alive for the next log.
-        self._log_entries = excluded_entries if self.config.log_all_messages else []
+        self._log_entries = excluded_entries if self._log_all else []
+        self._log_bytes = sum(e.nbytes for e in self._log_entries)
         # Flush: the message log always goes to stable storage now; the
         # tentative state is bundled in unless a FlushPolicy already sent it.
         space = self.runtime.storage.space
@@ -474,6 +596,7 @@ class OptimisticProcess(SimProcess):
             space.release(self.pid, f"log:{g}", self.sim.now)
             self.trace("ckpt.gc", csn=g)
         self.local.discard("log")
+        self._log_item = None
         self.trace("ckpt.finalize", csn=eff.csn, reason=eff.reason,
                    log_msgs=len(entries), log_bytes=fc.log_bytes,
                    flush_bytes=nbytes)
@@ -481,11 +604,6 @@ class OptimisticProcess(SimProcess):
                                    label=f"fin:{self.pid}:{eff.csn}",
                                    callback=callback)
         self.current_tentative = None
-
-    def _refresh_log_buffer(self) -> None:
-        """Track the optimistic log's local-memory footprint."""
-        total = sum(e.nbytes for e in self._log_entries)
-        self.local.put("log", total, self.sim.now)
 
     # -- rollback recovery ------------------------------------------------------------------
 
@@ -510,9 +628,7 @@ class OptimisticProcess(SimProcess):
         self.incarnation += 1
         # Protocol state back to "just finalized csn".
         m = self.machine
-        m.csn = csn
-        m.stat = Status.NORMAL
-        m.tent_set = set()
+        m.restore(csn, Status.NORMAL, set())
         m._suppressed_csn = None
         m._ck_req_sent = {c for c in m._ck_req_sent if c <= csn}
         m._ck_end_sent = {c for c in m._ck_end_sent if c <= csn}
@@ -531,9 +647,11 @@ class OptimisticProcess(SimProcess):
                 space.release(self.pid, f"ct:{k}", self.sim.now)
         self.current_tentative = None
         self._log_entries = []
-        self._window_sent = []
-        self._window_recv = []
+        self._log_bytes = 0
+        self._window_sent.clear()
+        self._window_recv.clear()
         self.local.clear()
+        self._log_item = None
         self._conv_timer.cancel()
         self._init_timer.cancel()
         # Restore the application state recovery reconstructs: CT's digest

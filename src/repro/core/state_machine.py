@@ -47,6 +47,12 @@ from .types import ControlMessage, ControlType, Piggyback, Status
 
 COORDINATOR = 0  # the paper's pre-specified process P_0
 
+#: Shared "no effects" result for the hot no-op receive cases (Cases 1,
+#: 2(a), 3(a), 4(a) are the overwhelming majority of receives).  Callers
+#: only iterate effect lists — never mutate them — so one shared empty
+#: list avoids an allocation per delivered message.
+_NO_EFFECTS: list[Effect] = []
+
 
 @dataclass
 class MachineConfig:
@@ -95,6 +101,11 @@ class OptimisticStateMachine:
         self._ck_bgn_sent: set[int] = set()   # csns for which CK_BGN went out
         self._suppressed_csn: int | None = None  # last csn whose CK_BGN was
         #                                           suppressed (escalation)
+        # Interned piggyback: (csn, stat, tentSet) only changes on protocol
+        # transitions, so the frozen triple is built once per transition and
+        # reused by every send in between.  Invalidated (set to None) at
+        # every mutation of csn/stat/tent_set.
+        self._pb: Piggyback | None = None
 
     # -- inspection ----------------------------------------------------------
 
@@ -103,9 +114,39 @@ class OptimisticStateMachine:
         return self.stat is Status.TENTATIVE
 
     def piggyback(self) -> Piggyback:
-        """Current ``(csn, stat, tentSet)`` for outgoing app messages."""
-        return Piggyback(csn=self.csn, stat=self.stat,
-                         tent_set=frozenset(self.tent_set))
+        """Current ``(csn, stat, tentSet)`` for outgoing app messages.
+
+        Interned: repeated calls between protocol transitions return the
+        *same* (immutable) instance instead of re-freezing ``tent_set``
+        per send.
+        """
+        pb = self._pb
+        if pb is None:
+            self._pb = pb = Piggyback(csn=self.csn, stat=self.stat,
+                                      tent_set=frozenset(self.tent_set))
+        return pb
+
+    def _merge_tent_set(self, other: frozenset[int]) -> None:
+        """Absorb a peer's tentSet knowledge; invalidates the interned
+        piggyback only when the merge actually added members (repeated
+        piggybacks from the same neighbourhood usually add nothing)."""
+        ts = self.tent_set
+        before = len(ts)
+        ts |= other
+        if len(ts) != before:
+            self._pb = None
+
+    def restore(self, csn: int, stat: Status, tent_set: set[int]) -> None:
+        """Overwrite the §3.3 triple in one step (rollback / state import).
+
+        External callers (recovery, the model checker's state explorer,
+        the live runtime) must use this instead of assigning the fields
+        directly so the interned piggyback is invalidated.
+        """
+        self.csn = csn
+        self.stat = stat
+        self.tent_set = tent_set
+        self._pb = None
 
     # -- §3.4.1: initiation ----------------------------------------------------
 
@@ -119,7 +160,7 @@ class OptimisticStateMachine:
         more than one checkpoint per interval).
         """
         if self.tentative:
-            return []
+            return _NO_EFFECTS
         return self._take_tentative()
 
     def _take_tentative(self) -> list[Effect]:
@@ -127,6 +168,7 @@ class OptimisticStateMachine:
         self.csn += 1
         self.stat = Status.TENTATIVE
         self.tent_set = {self.pid}
+        self._pb = None
         effects: list[Effect] = [TakeTentative(csn=self.csn)]
         if self.config.control_messages:
             effects.append(ArmTimer(csn=self.csn))
@@ -138,13 +180,14 @@ class OptimisticStateMachine:
                 and self.tentative and self.tent_set == self.all_pset):
             return self._finalize(exclude_uid=None,
                                   reason="piggyback.fastpath")
-        return []
+        return _NO_EFFECTS
 
     def _finalize(self, exclude_uid: int | None, reason: str) -> list[Effect]:
         """§3.4.4: flush CT + log, return to normal, clear tentSet."""
         csn = self.csn
         self.stat = Status.NORMAL
         self.tent_set = set()
+        self._pb = None
         self._suppressed_csn = None
         effects: list[Effect] = [
             Finalize(csn=csn, exclude_uid=exclude_uid, reason=reason),
@@ -170,63 +213,71 @@ class OptimisticStateMachine:
         and (b) appended the message to the current log window — both per
         the paper's "process the message first" rule.
         """
-        effects: list[Effect] = []
         if self.stat is Status.NORMAL:
             if pb.stat is Status.TENTATIVE:
                 if pb.csn == self.csn + 1:
                     # Case 4(b): first news of a new initiation — take a
                     # tentative checkpoint and absorb the sender's knowledge.
-                    effects += self._take_tentative()
-                    self.tent_set |= pb.tent_set
+                    effects = self._take_tentative()
+                    self._merge_tent_set(pb.tent_set)
                     effects += self._maybe_fast_finalize()
-                elif pb.csn > self.csn + 1:
+                    return effects
+                if pb.csn > self.csn + 1:
                     # Case 4(c)/2(d): proven impossible in a failure-free run.
-                    effects.append(Anomaly(
+                    return [Anomaly(
                         f"P{self.pid} normal at csn={self.csn} received "
-                        f"tentative pb with csn={pb.csn}"))
+                        f"tentative pb with csn={pb.csn}")]
                 # Case 4(a) (pb.csn <= csn): nothing.
-            else:
-                if pb.csn > self.csn:
-                    # Peer finalized a checkpoint we never took — impossible.
-                    effects.append(Anomaly(
-                        f"P{self.pid} normal at csn={self.csn} received "
-                        f"normal pb with csn={pb.csn}"))
-                # Case 1 (both normal, pb.csn <= csn): nothing.
-        else:  # stat_i == tentative; host already logged the message.
-            if pb.stat is Status.NORMAL:
-                if pb.csn == self.csn:
-                    # Case 3(b): sender finalized C_{j,csn} ⇒ everyone took
-                    # the tentative ckpt ⇒ finalize, excluding M itself.
-                    effects += self._finalize(exclude_uid=uid,
-                                              reason="piggyback.peer_normal")
-                elif pb.csn > self.csn:
-                    # Case 3(c): impossible.
-                    effects.append(Anomaly(
-                        f"P{self.pid} tentative at csn={self.csn} received "
-                        f"normal pb with csn={pb.csn}"))
-                # Case 3(a) (pb.csn < csn): nothing.
-            else:  # both tentative — Case 2.
-                if pb.csn == self.csn:
-                    # Case 2(b): merge knowledge; finalize if complete.
-                    self.tent_set |= pb.tent_set
-                    if self.tent_set == self.all_pset:
-                        effects += self._finalize(
-                            exclude_uid=None, reason="piggyback.allset")
-                elif pb.csn == self.csn + 1:
-                    # Case 2(c): sender finalized csn and moved on ⇒ finalize
-                    # ours (excluding M), then join the new initiation.
-                    effects += self._finalize(exclude_uid=uid,
-                                              reason="piggyback.next_csn")
-                    effects += self._take_tentative()
-                    self.tent_set |= pb.tent_set
-                    effects += self._maybe_fast_finalize()
-                elif pb.csn > self.csn + 1:
-                    # Case 2(d): impossible.
-                    effects.append(Anomaly(
-                        f"P{self.pid} tentative at csn={self.csn} received "
-                        f"tentative pb with csn={pb.csn}"))
-                # pb.csn < csn — Case 2(a): nothing.
-        return effects
+                return _NO_EFFECTS
+            if pb.csn > self.csn:
+                # Peer finalized a checkpoint we never took — impossible.
+                return [Anomaly(
+                    f"P{self.pid} normal at csn={self.csn} received "
+                    f"normal pb with csn={pb.csn}")]
+            # Case 1 (both normal, pb.csn <= csn): nothing.
+            return _NO_EFFECTS
+        # stat_i == tentative; host already logged the message.
+        if pb.stat is Status.NORMAL:
+            if pb.csn == self.csn:
+                # Case 3(b): sender finalized C_{j,csn} ⇒ everyone took
+                # the tentative ckpt ⇒ finalize, excluding M itself.
+                return self._finalize(exclude_uid=uid,
+                                      reason="piggyback.peer_normal")
+            if pb.csn > self.csn:
+                # Case 3(c): impossible.
+                return [Anomaly(
+                    f"P{self.pid} tentative at csn={self.csn} received "
+                    f"normal pb with csn={pb.csn}")]
+            # Case 3(a) (pb.csn < csn): nothing.
+            return _NO_EFFECTS
+        # Both tentative — Case 2.
+        if pb.csn == self.csn:
+            # Case 2(b): merge knowledge; finalize if complete.  The
+            # completeness check must not be gated on the merge having
+            # changed anything: with finalize_on_complete_knowledge off,
+            # a 4(b)/2(c) merge can leave tentSet complete *without*
+            # finalizing, and the next same-csn receive must finalize.
+            self._merge_tent_set(pb.tent_set)
+            if len(self.tent_set) == self.n:
+                return self._finalize(exclude_uid=None,
+                                      reason="piggyback.allset")
+            return _NO_EFFECTS
+        if pb.csn == self.csn + 1:
+            # Case 2(c): sender finalized csn and moved on ⇒ finalize
+            # ours (excluding M), then join the new initiation.
+            effects = self._finalize(exclude_uid=uid,
+                                     reason="piggyback.next_csn")
+            effects += self._take_tentative()
+            self._merge_tent_set(pb.tent_set)
+            effects += self._maybe_fast_finalize()
+            return effects
+        if pb.csn > self.csn + 1:
+            # Case 2(d): impossible.
+            return [Anomaly(
+                f"P{self.pid} tentative at csn={self.csn} received "
+                f"tentative pb with csn={pb.csn}")]
+        # pb.csn < csn — Case 2(a): nothing.
+        return _NO_EFFECTS
 
     # -- §3.5.1: the convergence timer ----------------------------------------
 

@@ -13,6 +13,7 @@ Mirrors the paper's notation (§3.1, §3.3):
 from __future__ import annotations
 
 import enum
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -32,12 +33,27 @@ class ControlType(enum.Enum):
     CK_END = "CK_END"
 
 
-@dataclass(frozen=True)
+def piggyback_bytes(n: int) -> int:
+    """Wire cost of a piggyback for an N-process system.
+
+    4 bytes of csn + 1 byte of status + an N-bit membership bitmap —
+    the natural dense encoding; what the overhead experiments charge.
+    Module-level so hot senders can price the piggyback without holding
+    an instance.
+    """
+    return 4 + 1 + math.ceil(n / 8)
+
+
+@dataclass(frozen=True, slots=True)
 class Piggyback:
     """``(M.csn, M.stat, M.tentSet)`` attached to an application message.
 
     ``tent_set`` is a frozenset of process ids — the sender's knowledge of
     who has taken a tentative checkpoint with sequence number ``csn``.
+
+    Instances are interned per state machine (see
+    :meth:`repro.core.state_machine.OptimisticStateMachine.piggyback`), so
+    one is built per *state change*, not per send.
     """
 
     csn: int
@@ -45,19 +61,15 @@ class Piggyback:
     tent_set: frozenset[int]
 
     def encoded_bytes(self, n: int) -> int:
-        """Wire cost of the piggyback for an N-process system.
-
-        4 bytes of csn + 1 byte of status + an N-bit membership bitmap —
-        the natural dense encoding; what the overhead experiments charge.
-        """
-        return 4 + 1 + math.ceil(n / 8)
+        """Wire cost of the piggyback; see :func:`piggyback_bytes`."""
+        return piggyback_bytes(n)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         members = ",".join(f"P{p}" for p in sorted(self.tent_set))
         return f"Piggyback(csn={self.csn}, {self.stat.value}, {{{members}}})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControlMessage:
     """``CM(type, csn)`` — §3.5.1's two-field control message."""
 
@@ -65,13 +77,14 @@ class ControlMessage:
     csn: int
 
     #: Wire size: 1 byte of type + 4 bytes of csn + small framing.
+    #: (Unannotated, so it stays a class attribute under ``slots=True``.)
     ENCODED_BYTES = 8
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CM({self.ctype.value}, {self.csn})"
 
 
-@dataclass
+@dataclass(slots=True)
 class LogEntry:
     """One message in ``logSet_{i,k}``: direction + identity + size."""
 
@@ -140,9 +153,14 @@ class FinalizedCheckpoint:
     #: "control.ck_req", "control.ck_end", or "control.next_csn".
     reason: str = ""
 
-    @property
+    @functools.cached_property
     def log_bytes(self) -> int:
-        """Total bytes of the selective message log."""
+        """Total bytes of the selective message log.
+
+        Cached: ``log_entries`` is fixed at construction, and finalization
+        reads this several times per checkpoint (byte accounting, stable
+        space retain, trace record).
+        """
         return sum(e.nbytes for e in self.log_entries)
 
     @property

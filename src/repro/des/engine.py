@@ -1,7 +1,7 @@
 """The discrete-event simulation engine.
 
-A :class:`Simulator` owns a binary heap of :class:`~repro.des.events.Event`
-objects and executes them in ``(time, priority, seq)`` order.  The design
+A :class:`Simulator` owns a binary heap of ``(time, priority, seq, event)``
+entries and executes them in ``(time, priority, seq)`` order.  The design
 goals, in priority order:
 
 1. **Determinism.**  The ``seq`` tie-breaker makes event order total; all
@@ -11,11 +11,19 @@ goals, in priority order:
 2. **Watchdogs.**  Distributed protocols under test can livelock; ``run``
    accepts ``until`` and ``max_events`` guards so a broken protocol fails a
    test instead of hanging it.
-3. **Simplicity.**  Callbacks, not coroutines.  Protocol handlers in this
-   library are short reactions to message deliveries and timer expirations,
-   which maps directly onto callbacks and keeps the hot loop small (the
-   profiling-first guideline: the loop below is the single hot path of every
-   experiment, so it does a heap pop, two attribute checks, and a call).
+3. **Speed.**  Callbacks, not coroutines, and a heap of plain tuples so
+   ordering — including same-instant delivery bursts, which only differ in
+   ``seq`` — is resolved entirely by C-level tuple comparison instead of
+   ``Event.__lt__``.  The run loop is the single hot path of every
+   experiment: per event it does a pop, one flag check, three attribute
+   stores, and the callback.
+
+Cancellation is lazy (cancelled entries are skipped when popped), but the
+simulator also counts live cancellations and compacts the heap once
+cancelled entries are both numerous (≥ :data:`_COMPACT_MIN`) and the
+majority of the heap — so timer-heavy protocols that arm-then-cancel on
+every message keep the heap bounded by the *active* event count instead of
+degrading O(total-ever-scheduled).
 """
 
 from __future__ import annotations
@@ -27,6 +35,10 @@ from .errors import SchedulingError, SimulationLimitExceeded
 from .events import Event, EventPriority, Timer
 from .rng import RngRegistry
 from .trace import TraceRecorder
+
+#: Never compact below this many cancelled entries — rebuilds are O(heap)
+#: and tiny heaps are not worth touching.
+_COMPACT_MIN = 256
 
 
 class Simulator:
@@ -53,9 +65,15 @@ class Simulator:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else TraceRecorder()
-        self._heap: list[Event] = []
+        #: Heap of ``(time, priority, seq, payload)`` tuples; ``payload``
+        #: is an :class:`Event` (cancellable) or a bare zero-arg callable
+        #: (from :meth:`schedule_fast` — nothing to cancel, no allocation).
+        self._heap: list[tuple[float, int, int, "Event | Callable[[], None]"]] = []
         self._seq = 0
         self._executed = 0
+        self._cancelled = 0
+        #: High-water mark of the heap size (cancelled entries included).
+        self.peak_pending = 0
         self._running = False
         self._stop_requested = False
 
@@ -72,7 +90,17 @@ class Simulator:
         """
         if delay < 0:
             raise SchedulingError(f"cannot schedule into the past (delay={delay!r})")
-        return self.schedule_at(self.now + delay, fn, priority=priority)
+        # Body of schedule_at, inlined: this is called once per message send
+        # and once per timer (re)arm, so the extra frame is measurable.
+        time = self.now + delay
+        self._seq = seq = self._seq + 1
+        ev = Event(time=time, priority=priority, seq=seq, fn=fn)
+        ev._owner = self
+        heap = self._heap
+        heapq.heappush(heap, (time, priority, seq, ev))
+        if len(heap) > self.peak_pending:
+            self.peak_pending = len(heap)
+        return ev
 
     def schedule_at(self, time: float, fn: Callable[[], None], *,
                     priority: int = EventPriority.NORMAL) -> Event:
@@ -80,10 +108,34 @@ class Simulator:
         if time < self.now:
             raise SchedulingError(
                 f"cannot schedule at t={time!r} before now={self.now!r}")
-        self._seq += 1
-        ev = Event(time=time, priority=priority, seq=self._seq, fn=fn)
-        heapq.heappush(self._heap, ev)
+        self._seq = seq = self._seq + 1
+        ev = Event(time=time, priority=priority, seq=seq, fn=fn)
+        ev._owner = self
+        heap = self._heap
+        heapq.heappush(heap, (time, priority, seq, ev))
+        if len(heap) > self.peak_pending:
+            self.peak_pending = len(heap)
         return ev
+
+    def schedule_fast(self, delay: float, fn: Callable[[], None],
+                      priority: int = EventPriority.NORMAL) -> None:
+        """Schedule ``fn`` without returning a cancellation handle.
+
+        The heap entry stores the bare callable instead of wrapping it in
+        an :class:`Event`, so self-rescheduling hot loops (workload send
+        loops firing once per message) pay no allocation per (re)arm
+        beyond the heap tuple.  Callers that may need ``cancel()`` must
+        use :meth:`schedule`; callbacks that can become stale should
+        guard themselves (the workload closures check halted/incarnation).
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past (delay={delay!r})")
+        time = self.now + delay
+        self._seq = seq = self._seq + 1
+        heap = self._heap
+        heapq.heappush(heap, (time, priority, seq, fn))
+        if len(heap) > self.peak_pending:
+            self.peak_pending = len(heap)
 
     def timer(self, fn: Callable[[], None], *,
               priority: int = EventPriority.TIMER) -> Timer:
@@ -108,35 +160,71 @@ class Simulator:
             :class:`SimulationLimitExceeded` instead of returning silently.
             Tests use ``strict=True`` so livelock is loud.
         """
+        heap = self._heap
+        pop = heapq.heappop
         executed_here = 0
         self._running = True
         self._stop_requested = False
         try:
-            while self._heap:
+            if until is None:
+                # Fast path: no time guard, so events can be popped
+                # unconditionally.  ``limit == -1`` (no event cap) never
+                # equals the non-negative counter, avoiding a None check
+                # per iteration.
+                limit = -1 if max_events is None else max_events
+                while heap:
+                    if self._stop_requested:
+                        return
+                    if executed_here == limit:
+                        if strict:
+                            raise SimulationLimitExceeded(
+                                f"event limit {max_events} reached")
+                        return
+                    entry = pop(heap)
+                    fn = entry[3]
+                    if fn.__class__ is Event:
+                        if fn.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        fn = fn.fn
+                    self.now = entry[0]
+                    self._executed += 1
+                    executed_here += 1
+                    fn()
+                return
+            # Same ``limit == -1`` trick as the fast path: one int compare
+            # per iteration instead of a None check plus a compare.
+            limit = -1 if max_events is None else max_events
+            while heap:
                 if self._stop_requested:
                     return
-                ev = self._heap[0]
-                if ev.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and ev.time > until:
+                if executed_here == limit:
+                    if strict:
+                        raise SimulationLimitExceeded(
+                            f"event limit {max_events} reached")
+                    return
+                entry = pop(heap)
+                fn = entry[3]
+                if fn.__class__ is Event:
+                    if fn.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    fn = fn.fn
+                time = entry[0]
+                if time > until:
+                    # Beyond the horizon: put it back for a later run()
+                    # call, advance the clock to the limit, stop.
+                    heapq.heappush(heap, entry)
                     self.now = until
                     if strict:
                         raise SimulationLimitExceeded(
                             f"time limit {until} reached with events pending")
                     return
-                if max_events is not None and executed_here >= max_events:
-                    if strict:
-                        raise SimulationLimitExceeded(
-                            f"event limit {max_events} reached")
-                    return
-                heapq.heappop(self._heap)
-                assert ev.time >= self.now, "heap produced an out-of-order event"
-                self.now = ev.time
+                self.now = time
                 self._executed += 1
                 executed_here += 1
-                ev.fn()
-            if until is not None and self.now < until:
+                fn()
+            if self.now < until:
                 self.now = until
         finally:
             self._running = False
@@ -147,13 +235,18 @@ class Simulator:
         Returns ``True`` if an event ran, ``False`` if the heap is empty.
         Useful for fine-grained tests that interleave assertions with events.
         """
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
-            self.now = ev.time
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            fn = entry[3]
+            if fn.__class__ is Event:
+                if fn.cancelled:
+                    self._cancelled -= 1
+                    continue
+                fn = fn.fn
+            self.now = entry[0]
             self._executed += 1
-            ev.fn()
+            fn()
             return True
         return False
 
@@ -174,20 +267,42 @@ class Simulator:
         return self._executed
 
     def peek_time(self) -> float | None:
-        """Timestamp of the next *active* event, or ``None`` if drained."""
-        for ev in sorted(self._heap):
-            if not ev.cancelled:
-                return ev.time
+        """Timestamp of the next *active* event, or ``None`` if drained.
+
+        Cancelled entries encountered at the top are popped off as a side
+        effect (they would be skipped by ``run`` anyway).
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            ev = entry[3]
+            if ev.__class__ is Event and ev.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+            else:
+                return entry[0]
         return None
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts when cancelled entries
+        dominate the heap (≥ ``_COMPACT_MIN`` of them and ≥ half the heap)."""
+        self._cancelled = c = self._cancelled + 1
+        if c >= _COMPACT_MIN and 2 * c >= len(self._heap):
+            self.drain_cancelled()
 
     def drain_cancelled(self) -> None:
         """Compact the heap by dropping cancelled events.
 
-        Long-running simulations with heavy timer churn can accumulate
-        cancelled entries; tests of memory behaviour call this explicitly.
+        Called automatically when cancellations dominate (see
+        :meth:`_note_cancelled`); tests of memory behaviour call it
+        explicitly.  In-place so aliases of the heap list stay valid
+        (the run loop holds one while executing).
         """
-        self._heap = [ev for ev in self._heap if not ev.cancelled]
-        heapq.heapify(self._heap)
+        heap = self._heap
+        heap[:] = [entry for entry in heap
+                   if entry[3].__class__ is not Event or not entry[3].cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Simulator(now={self.now:.6g}, pending={self.pending}, "

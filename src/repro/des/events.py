@@ -12,7 +12,10 @@ The kernel orders events by the triple ``(time, priority, seq)``:
 
 Events carry a zero-argument callback.  Cancellation is *lazy*: cancelling
 marks the event and the engine skips it when popped, which is O(1) and avoids
-re-heapifying.
+re-heapifying.  A cancelled event also notifies its owning simulator (via
+``_owner``) so the engine can compact the heap when cancelled entries pile
+up — timer-heavy protocols re-arm and cancel constantly, and without
+compaction the heap degrades O(total-ever-scheduled).
 """
 
 from __future__ import annotations
@@ -45,13 +48,14 @@ class Event:
     Instances are created by :meth:`repro.des.engine.Simulator.schedule`;
     user code normally holds them only to call :meth:`cancel`.
 
-    Implementation note (profile-guided): ``__lt__`` runs O(log n) times
-    per heap operation and dominated kernel comparisons when it rebuilt
-    its key tuple per call, so the key is precomputed at construction and
-    the class is slotted.
+    Implementation note (profile-guided): the engine's heap stores
+    ``(time, priority, seq, event)`` tuples, so ordering is resolved by
+    C-level tuple comparison and ``__lt__`` never runs on the hot path.
+    The class is slotted and the constructor does nothing but store its
+    fields — one Event is allocated per cancellable scheduling.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "_key")
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "_owner")
 
     def __init__(self, time: float, priority: int, seq: int,
                  fn: Callable[[], None], cancelled: bool = False) -> None:
@@ -62,14 +66,23 @@ class Event:
         #: Lazy-cancellation flag; the engine skips cancelled events when
         #: popped.
         self.cancelled = cancelled
-        self._key = (time, priority, seq)
+        #: The owning simulator (set by ``schedule_at``); cancellation
+        #: notifies it so it can compact the heap.  ``None`` for events
+        #: constructed directly (tests).
+        self._owner = None
 
     def cancel(self) -> None:
         """Mark the event so the engine will skip it.
 
         Idempotent; cancelling an already-executed event has no effect.
+        Notifies the owning simulator (if any) so heavy cancellation
+        churn triggers heap compaction.
         """
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            owner = self._owner
+            if owner is not None:
+                owner._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -80,10 +93,11 @@ class Event:
 
     def sort_key(self) -> tuple[float, int, int]:
         """Total-order key used by the engine's heap."""
-        return self._key
+        return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self._key < other._key
+        return ((self.time, self.priority, self.seq)
+                < (other.time, other.priority, other.seq))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -99,6 +113,8 @@ class Timer:
     the current state.
     """
 
+    __slots__ = ("_sim", "_fn", "_priority", "_event")
+
     def __init__(self, sim: "SimulatorLike", fn: Callable[[], None],
                  priority: int = EventPriority.TIMER) -> None:
         self._sim = sim
@@ -112,13 +128,16 @@ class Timer:
         If the timer is already armed it is first cancelled, so only one
         expiration is ever pending.
         """
-        self.cancel()
+        ev = self._event
+        if ev is not None:
+            ev.cancel()
         self._event = self._sim.schedule(delay, self._fire, priority=self._priority)
 
     def cancel(self) -> None:
         """Disarm the timer if armed; idempotent."""
-        if self._event is not None:
-            self._event.cancel()
+        ev = self._event
+        if ev is not None:
+            ev.cancel()
             self._event = None
 
     @property

@@ -1,0 +1,167 @@
+"""``repro bench des-scale`` — DES kernel throughput at scale.
+
+ROADMAP item 1: the paper's overhead claims should be demonstrable at
+"production" system sizes (hundreds to thousands of processes), not just
+the n<=24 configs the executor bench sweeps.  This bench measures the
+*simulation kernel itself*: one optimistic-protocol run per system size
+n, recording executed events per wall-clock second and the peak event-heap
+size.
+
+Workload choice (deliberate): the **ring** application over a
+**constant-latency** network.  Ring traffic is deterministic (no per
+message RNG draws) and constant latency produces heavy same-instant
+delivery bursts, so the measurement isolates the event-queue + protocol
+hot path rather than numpy draw overhead — exactly the code the slotted
+kernel refactor targets.  Tracing and verification are off (the zero-cost
+obs contract is part of what is being measured).
+
+The payload follows the shared ``repro.bench/1`` envelope
+(:data:`repro.obs.BENCH_SCHEMA`), like ``BENCH_executor.json`` and
+``BENCH_live.json``; ``validate_bench_payload`` accepts it unchanged.
+Each point is sized to a roughly constant number of application messages
+(``_MESSAGE_BUDGET``) so per-point wall time stays flat as n grows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from .experiment import ExperimentConfig, build_experiment
+
+#: Default system sizes; the acceptance sweep.  4096 is reachable via
+#: ``repro bench des-scale --values 64,256,1024,4096``.
+DEFAULT_NS = (64, 256, 1024)
+
+#: Target application messages per point — keeps every point's wall time
+#: in the same ballpark regardless of n (horizon scales as 1/n).
+_MESSAGE_BUDGET = 40_000
+
+
+def des_scale_config(n: int, seed: int = 0) -> ExperimentConfig:
+    """The fixed per-point configuration (deterministic in ``(n, seed)``)."""
+    # Each of the n processes sends one message per simulated second, so
+    # horizon ~ budget/n yields ~budget messages; floor keeps small the
+    # checkpoint machinery exercised even at n=4096.
+    horizon = float(max(16, _MESSAGE_BUDGET // n))
+    return ExperimentConfig(
+        protocol="optimistic",
+        n=n,
+        seed=seed,
+        horizon=horizon,
+        latency="constant",
+        latency_kwargs={"delay": 0.35},
+        workload="ring",
+        workload_kwargs={"period": 1.0, "msg_size": 256},
+        checkpoint_interval=max(10.0, horizon / 8),
+        timeout=max(4.0, horizon / 20),
+        state_bytes=1_000_000,
+        verify=False,
+        trace_enabled=False,
+    )
+
+
+def bench_point(n: int, seed: int = 0, repeats: int = 2) -> dict[str, Any]:
+    """Run one system size; best-of-``repeats`` wall time (runs are
+    deterministic, so the minimum is the least scheduler-disturbed
+    measurement of identical work)."""
+    from ..obs.profile import wall_now
+    cfg = des_scale_config(n, seed)
+    best_wall = float("inf")
+    events = 0
+    peak_heap = 0
+    completed = False
+    messages = 0
+    for _ in range(max(1, repeats)):
+        sim, net, _storage, runtime = build_experiment(cfg)
+        runtime.start()
+        t0 = wall_now()
+        sim.run(max_events=cfg.max_events)
+        wall = wall_now() - t0
+        best_wall = min(best_wall, wall)
+        events = sim.executed
+        peak_heap = max(getattr(sim, "peak_pending", sim.pending), 1)
+        completed = sim.peek_time() is None
+        messages = net.total_sent()
+    return {
+        "n": n,
+        "horizon": cfg.horizon,
+        "events": events,
+        "messages": messages,
+        "wall_seconds": round(best_wall, 4),
+        "events_per_sec": round(events / best_wall, 1) if best_wall else None,
+        "peak_heap": peak_heap,
+        "completed": completed,
+    }
+
+
+def _tracing_overhead(n: int, seed: int) -> dict[str, Any]:
+    """Traced-vs-untraced rerun at the smallest point: the obs zero-cost
+    contract, measured by the same bench that depends on it."""
+    from ..obs import MemorySink, Tracer
+    from ..obs.profile import wall_now
+    from .experiment import run_experiment
+    cfg = des_scale_config(n, seed).derive(
+        horizon=min(60.0, des_scale_config(n, seed).horizon),
+        trace_enabled=True)
+
+    t0 = wall_now()
+    run_experiment(cfg)
+    baseline_s = wall_now() - t0
+    t0 = wall_now()
+    run_experiment(cfg, tracer=Tracer([MemorySink()], host="harness"))
+    traced_s = wall_now() - t0
+    return {
+        "baseline_seconds": round(baseline_s, 4),
+        "traced_seconds": round(traced_s, 4),
+        "overhead_frac": (round((traced_s - baseline_s) / baseline_s, 4)
+                          if baseline_s > 0 else None),
+    }
+
+
+def bench_des_scale(ns: Sequence[int] = DEFAULT_NS, seed: int = 0,
+                    out_path: str | Path | None = "BENCH_des_scale.json",
+                    repeats: int = 2,
+                    progress: Callable[[dict[str, Any]], None] | None = None,
+                    ) -> dict[str, Any]:
+    """Sweep the system sizes serially (measurement integrity: points are
+    wall-clock measurements and must not contend); emit BENCH JSON."""
+    from ..obs import BENCH_SCHEMA, MetricsRegistry
+    points = []
+    for n in ns:
+        point = bench_point(n, seed=seed, repeats=repeats)
+        points.append(point)
+        if progress is not None:
+            progress(point)
+    registry = MetricsRegistry()
+    for point in points:
+        prefix = f"des_scale.n{point['n']}"
+        registry.gauge(f"{prefix}.events_per_sec").set(
+            point["events_per_sec"] or 0.0)
+        registry.gauge(f"{prefix}.peak_heap").set(point["peak_heap"])
+        registry.gauge(f"{prefix}.events").set(point["events"])
+    ok = all(p["completed"] and (p["events_per_sec"] or 0) > 0
+             for p in points)
+    payload: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "bench": "des-scale",
+        "ok": ok,
+        "config": {
+            "ns": list(ns),
+            "seed": seed,
+            "repeats": repeats,
+            "message_budget": _MESSAGE_BUDGET,
+            "workload": "ring",
+            "latency": "constant",
+        },
+        "metrics": registry.snapshot(),
+        "tracing": _tracing_overhead(min(ns), seed) if ns else {
+            "baseline_seconds": None, "traced_seconds": None,
+            "overhead_frac": None},
+        "points": points,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(payload, indent=2) + "\n",
+                                  "utf-8")
+    return payload

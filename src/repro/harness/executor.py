@@ -34,10 +34,11 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
-from ..api import MetricsView  # noqa: F401 - deprecated re-export; the
-#                                canonical flat-dict adapter lives in
-#                                repro.api (one RunOutcome surface for
-#                                every host — see docs/API.md).
+# Private alias: the canonical flat-dict adapter lives in repro.api (one
+# RunOutcome surface for every host — see docs/API.md).  The PR-4 era
+# ``repro.harness.executor.MetricsView`` re-export is retired; import it
+# from ``repro.api``.
+from ..api import MetricsView as _MetricsView
 from .experiment import ExperimentConfig, RunResult, run_experiment
 
 #: Bump to invalidate every cached summary (format or semantics change).
@@ -69,9 +70,9 @@ class RunSummary:
     cached: bool = False
 
     @property
-    def metrics(self) -> MetricsView:
+    def metrics(self) -> "_MetricsView":
         """Duck-typed ``RunMetrics`` surface (``.as_dict()``, flat attrs)."""
-        return MetricsView(self.metrics_dict)
+        return _MetricsView(self.metrics_dict)
 
     @property
     def consistent(self) -> bool:

@@ -49,10 +49,9 @@ from .transport import LocalTransport, TcpBroker, connect_tcp
 from .wire import MAX_INCARNATIONS, MAX_UID_COUNTER, SUPERVISOR, make_uid
 from .workload import LIVE_WORKLOADS, LiveTraffic, drive, make_traffic
 
-#: Deprecated alias — the live run result is :class:`LiveRunReport`; the
-#: cross-host surface it (and the harness results) satisfy is
-#: :class:`repro.api.RunOutcome`.  Kept so old imports keep working.
-RunResult = LiveRunReport
+# The PR-4 era ``RunResult = LiveRunReport`` alias is retired: the live
+# run result is :class:`LiveRunReport`, and the cross-host surface it
+# (and the harness results) satisfy is :class:`repro.api.RunOutcome`.
 
 __all__ = [
     "ConformanceReport",
@@ -71,7 +70,6 @@ __all__ = [
     "ResilienceConfig",
     "ResilienceStats",
     "ResilientEndpoint",
-    "RunResult",
     "SUPERVISOR",
     "TcpBroker",
     "connect_tcp",

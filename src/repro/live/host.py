@@ -138,7 +138,8 @@ class LiveHost:
         if seq not in self.finalized:
             raise ValueError(
                 f"P{self.pid} cannot resume: no finalized C{seq} on disk")
-        self.machine.csn = seq
+        m = self.machine
+        m.restore(seq, m.stat, m.tent_set)
         self.state_digest = self.finalized[seq].replay_digest()
         self.journal.log("rollback", seq=seq, epoch=self.epoch,
                          digest=self.state_digest)
@@ -295,9 +296,7 @@ class LiveHost:
             raise ValueError(
                 f"P{self.pid} has no finalized checkpoint {seq}")
         m = self.machine
-        m.csn = seq
-        m.stat = Status.NORMAL
-        m.tent_set = set()
+        m.restore(seq, Status.NORMAL, set())
         m._suppressed_csn = None
         m._ck_req_sent = {c for c in m._ck_req_sent if c <= seq}
         m._ck_end_sent = {c for c in m._ck_end_sent if c <= seq}

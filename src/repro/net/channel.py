@@ -65,11 +65,14 @@ class Channel:
     """One directed channel with a latency model and delivery discipline."""
 
     def __init__(self, src: int, dst: int, rng: np.random.Generator,
-                 fifo: bool = False) -> None:
+                 fifo: bool = False, direct: bool = True) -> None:
         self.src = src
         self.dst = dst
         self.rng = rng
         self.fifo = fifo
+        #: Whether the endpoints are topology-adjacent (computed once at
+        #: channel creation; non-adjacent pairs route per-hop latency).
+        self.direct = direct
         self.stats = ChannelStats()
         self._last_arrival = 0.0
 

@@ -17,15 +17,21 @@ crashed processes without the network knowing anything about failures.
 
 from __future__ import annotations
 
+from functools import partial
+from heapq import heappush
 from typing import Any, Callable, Iterable
 
 from ..des.engine import Simulator
 from ..des.events import Event, EventPriority
 from ..des.process import SimProcess
 from .channel import Channel
-from .latency import LatencyModel, UniformLatency
-from .message import Message
+from .latency import ConstantLatency, LatencyModel, UniformLatency
+from .message import Message, _next_uid
 from .topology import Topology, complete
+
+#: Plain int of the delivery priority band — heap tuples compare faster
+#: with ints than IntEnum members, and the value is fixed.
+_DELIVERY = int(EventPriority.DELIVERY)
 
 
 class Network:
@@ -88,11 +94,28 @@ class Network:
         self._medium_free_at = 0.0
         self.processes: dict[int, SimProcess] = {}
         self._channels: dict[tuple[int, int], Channel] = {}
+        #: Hot-path mirror of ``_channels`` keyed by ``src * n + dst`` —
+        #: an int dict lookup per send instead of building + hashing a
+        #: tuple key.
+        self._chan_fast: dict[int, Channel] = {}
+        self._tn = topology.n
+        #: With a ConstantLatency model every direct-channel draw is the
+        #: same constant (the model ignores the RNG), so the per-send
+        #: sample() call can be skipped entirely.
+        self._const_delay = (self.latency.delay
+                             if type(self.latency) is ConstantLatency
+                             else None)
         #: uid -> pending delivery event, for in-flight flushing on rollback.
         self._pending_deliveries: dict[int, "Event"] = {}
-        #: Called before delivery; return False to silently drop (used by the
-        #: failure injector for crashed destinations).
-        self.delivery_gate: Callable[[Message], bool] | None = None
+        #: Whether sends must create *cancellable* delivery events.  Off by
+        #: default: a failure-free run never cancels an in-flight message,
+        #: so deliveries ride the heap as bare callables (no Event object,
+        #: no pending-dict bookkeeping — measurable per message).  Flipped
+        #: on for good the moment a delivery gate is installed, which every
+        #: fault mechanism (failure/partition/chaos injectors — and thus
+        #: every ``drop_in_flight`` caller) does before the run starts.
+        self._track_deliveries = False
+        self._delivery_gate: Callable[[Message], bool] | None = None
         # Aggregate counters (per message kind).
         self.sent_by_kind: dict[str, int] = {}
         self.bytes_by_kind: dict[str, int] = {}
@@ -126,6 +149,20 @@ class Network:
         """Number of application processes (see ``app_n``)."""
         return self.app_n
 
+    @property
+    def delivery_gate(self) -> Callable[[Message], bool] | None:
+        """Called before delivery; return False to silently drop (used by
+        the failure/partition/chaos injectors)."""
+        return self._delivery_gate
+
+    @delivery_gate.setter
+    def delivery_gate(self, gate: Callable[[Message], bool] | None) -> None:
+        self._delivery_gate = gate
+        if gate is not None:
+            # A gate means faults are in play: from here on every delivery
+            # must be cancellable so drop_in_flight can flush the channels.
+            self._track_deliveries = True
+
     # -- channels ----------------------------------------------------------
 
     def channel(self, src: int, dst: int) -> Channel:
@@ -134,8 +171,10 @@ class Network:
         ch = self._channels.get(key)
         if ch is None:
             rng = self.sim.rng.stream(f"net.{src}->{dst}")
-            ch = Channel(src, dst, rng, fifo=self.fifo)
+            ch = Channel(src, dst, rng, fifo=self.fifo,
+                         direct=self.topology.connected(src, dst))
             self._channels[key] = ch
+            self._chan_fast[src * self._tn + dst] = ch
         return ch
 
     def channels(self) -> list[Channel]:
@@ -144,48 +183,115 @@ class Network:
 
     # -- sending -----------------------------------------------------------
 
-    def send(self, src: int, dst: int, payload: Any = None, *, size: int = 0,
+    def send(self, src: int, dst: int, payload: Any = None, size: int = 0,
              kind: str = "app", meta: dict[str, Any] | None = None,
              overhead_bytes: int = 0) -> Message:
-        """Send one message; returns the envelope (already scheduled)."""
+        """Send one message; returns the envelope (already scheduled).
+
+        Hot path (once per message in every experiment): locals are
+        hoisted, channel stats and counters are updated inline, the trace
+        call is guarded so a disabled recorder costs nothing, the ``meta``
+        dict is adopted (not copied), and the delivery event is pushed
+        onto the simulator heap directly — the ``schedule_at`` frame is
+        measurable at one call per message.  Parameters are positional
+        (not keyword-only) so hot callers skip keyword packing.
+        """
         if dst not in self.processes:
             raise ValueError(f"unknown destination process {dst}")
         if src == dst:
             raise ValueError(f"process {src} cannot send to itself")
-        msg = Message(src=src, dst=dst, kind=kind, payload=payload,
-                      size=size, overhead_bytes=overhead_bytes,
-                      send_time=self.sim.now)
-        if meta:
-            msg.meta.update(meta)
-        ch = self.channel(src, dst)
-        delay = self._path_latency(src, dst, msg.total_bytes, ch)
+        sim = self.sim
+        now = sim.now
+        total = size + overhead_bytes
+        # Message.__init__ inlined (keep the stores in sync with it): one
+        # envelope per send, and the constructor frame is measurable.
+        msg = Message.__new__(Message)
+        msg.src = src
+        msg.dst = dst
+        msg.kind = kind
+        msg.payload = payload
+        msg.meta = {} if meta is None else meta
+        msg.size = size
+        msg.overhead_bytes = overhead_bytes
+        msg.send_time = now
+        msg.deliver_time = None
+        msg.uid = _next_uid()
+        try:
+            ch = self._chan_fast[src * self._tn + dst]
+        except KeyError:
+            ch = self.channel(src, dst)
+        if ch.direct:
+            delay = self._const_delay
+            if delay is None:
+                delay = self.latency.sample(ch.rng, src, dst, total)
+        else:
+            delay = self._path_latency(src, dst, total, ch)
         # NIC serialization: the message departs when the sender's NIC is
         # free and occupies it for its transmission time.
         if self.nic_bandwidth is not None:
-            tx = msg.total_bytes / self.nic_bandwidth
-            depart = max(self.sim.now, self._nic_free_at.get(src, 0.0))
+            tx = total / self.nic_bandwidth
+            depart = max(now, self._nic_free_at.get(src, 0.0))
             self._nic_free_at[src] = depart + tx
-            delay += (depart - self.sim.now) + tx
+            delay += (depart - now) + tx
         # Shared-medium serialization: every message contends for one
         # fabric, so bulk transfers delay unrelated traffic.
         if self.medium_bandwidth is not None:
-            tx = msg.total_bytes / self.medium_bandwidth
-            depart = max(self.sim.now, self._medium_free_at)
+            tx = total / self.medium_bandwidth
+            depart = max(now, self._medium_free_at)
             self._medium_free_at = depart + tx
-            delay += (depart - self.sim.now) + tx
-        arrival = ch.arrival_time(self.sim.now, delay)
-        ch.stats.on_send(msg)
-        self._bump(self.sent_by_kind, kind)
-        self.bytes_by_kind[kind] = (
-            self.bytes_by_kind.get(kind, 0) + msg.total_bytes)
-        self.overhead_by_kind[kind] = (
-            self.overhead_by_kind.get(kind, 0) + msg.overhead_bytes)
-        self.sim.trace.record(self.sim.now, "msg.send", src,
-                              uid=msg.uid, dst=dst, kind=kind,
-                              bytes=msg.total_bytes)
-        ev = self.sim.schedule_at(arrival, lambda: self._deliver(msg, ch),
-                                  priority=EventPriority.DELIVERY)
-        self._pending_deliveries[msg.uid] = ev
+            delay += (depart - now) + tx
+        # Non-FIFO arrival is simply now + delay; only FIFO channels need
+        # the clamping logic in Channel.arrival_time.
+        if ch.fifo:
+            arrival = ch.arrival_time(now, delay)
+        else:
+            arrival = now + delay
+        stats = ch.stats
+        stats.messages += 1
+        stats.bytes += total
+        flight = stats.in_flight + 1
+        stats.in_flight = flight
+        if flight > stats.max_in_flight:
+            stats.max_in_flight = flight
+        # try/except beats .get(): the key exists on every send but the
+        # kind's first, and the happy path is two subscripts, no method call.
+        counts = self.sent_by_kind
+        try:
+            counts[kind] += 1
+        except KeyError:
+            counts[kind] = 1
+        counts = self.bytes_by_kind
+        try:
+            counts[kind] += total
+        except KeyError:
+            counts[kind] = total
+        counts = self.overhead_by_kind
+        try:
+            counts[kind] += overhead_bytes
+        except KeyError:
+            counts[kind] = overhead_bytes
+        tr = sim.trace
+        if tr.enabled:
+            tr.record(now, "msg.send", src, uid=msg.uid, dst=dst, kind=kind,
+                      bytes=total)
+        # Inlined Simulator.schedule_at (arrival >= now by construction:
+        # every latency model draws a positive delay and the serialization
+        # terms only add).  partial beats a lambda here: fewer allocations
+        # (no closure cells) and a C-level call.
+        sim._seq = seq = sim._seq + 1
+        heap = sim._heap
+        if self._track_deliveries:
+            # Faults in play: wrap in a cancellable Event and track it so
+            # drop_in_flight can flush the channel.
+            ev = Event(arrival, _DELIVERY, seq, partial(self._deliver, msg, ch))
+            ev._owner = sim
+            heappush(heap, (arrival, _DELIVERY, seq, ev))
+            self._pending_deliveries[msg.uid] = ev
+        else:
+            heappush(heap, (arrival, _DELIVERY, seq,
+                            partial(self._deliver, msg, ch)))
+        if len(heap) > sim.peak_pending:
+            sim.peak_pending = len(heap)
         return msg
 
     def broadcast(self, src: int, payload: Any = None, *, size: int = 0,
@@ -217,24 +323,46 @@ class Network:
         return total
 
     def _deliver(self, msg: Message, ch: Channel) -> None:
-        self._pending_deliveries.pop(msg.uid, None)
-        if self.delivery_gate is not None and not self.delivery_gate(msg):
+        sim = self.sim
+        now = sim.now
+        if self._track_deliveries:
+            self._pending_deliveries.pop(msg.uid, None)
+        gate = self._delivery_gate
+        if gate is not None and not gate(msg):
             # Gates attribute their refusal by stamping meta["drop_cause"]
             # (failure injector: "crashed"; partitions: "partition"; chaos:
             # "chaos.*"); an unstamped refusal is a generic gate drop.
             cause = msg.meta.get("drop_cause", "gate")
             ch.stats.on_drop(msg, cause=cause)
-            self.sim.trace.record(self.sim.now, "msg.drop", msg.dst,
-                                  uid=msg.uid, src=msg.src, kind=msg.kind,
-                                  cause=cause)
+            tr = sim.trace
+            if tr.enabled:
+                tr.record(now, "msg.drop", msg.dst, uid=msg.uid,
+                          src=msg.src, kind=msg.kind, cause=cause)
             return
-        msg.deliver_time = self.sim.now
-        ch.stats.on_deliver(msg)
-        self._bump(self.delivered_by_kind, msg.kind)
-        self.sim.trace.record(self.sim.now, "msg.deliver", msg.dst,
-                              uid=msg.uid, src=msg.src, kind=msg.kind,
-                              bytes=msg.total_bytes)
-        self.processes[msg.dst]._deliver(msg)
+        msg.deliver_time = now
+        stats = ch.stats
+        stats.in_flight -= 1
+        stats.delivered += 1
+        kind = msg.kind
+        counts = self.delivered_by_kind
+        try:
+            counts[kind] += 1
+        except KeyError:
+            counts[kind] = 1
+        tr = sim.trace
+        if tr.enabled:
+            tr.record(now, "msg.deliver", msg.dst, uid=msg.uid,
+                      src=msg.src, kind=kind,
+                      bytes=msg.size + msg.overhead_bytes)
+        # SimProcess._deliver inlined (halted check + count + dispatch):
+        # one call frame per delivered message.  Keep in sync with
+        # SimProcess._deliver, which remains the entry point for direct
+        # callers.
+        proc = self.processes[msg.dst]
+        if proc.halted:
+            return
+        proc.delivered_count += 1
+        proc.on_message(msg)
 
     @staticmethod
     def _bump(counter: dict[str, int], kind: str) -> None:

@@ -193,6 +193,7 @@ class ModelProcess:
         nm._ck_end_sent = set(m._ck_end_sent)
         nm._ck_bgn_sent = set(m._ck_bgn_sent)
         nm._suppressed_csn = m._suppressed_csn
+        nm._pb = None  # interned piggyback is per-instance, never shared
         new.machine = nm
         new.pid = self.pid
         new.took = set(self.took)
@@ -331,6 +332,7 @@ class ModelSystem:
             m._ck_end_sent = set(ck_end)
             m._ck_bgn_sent = set(ck_bgn)
             m._suppressed_csn = suppressed
+            m._pb = None  # interned piggyback cache starts cold
             p = ModelProcess.__new__(ModelProcess)
             p.machine = m
             p.pid = pid

@@ -16,9 +16,15 @@ protocol — the comparison experiments depend on exactly this property.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any
 
+from ..des.events import EventPriority
 from ..net.message import Message
+
+#: Plain int of the timer band — what ``host.set_timeout`` uses; the hot
+#: closure workloads schedule with it directly.
+_TIMER = int(EventPriority.TIMER)
 
 
 class AppBehavior:
@@ -29,6 +35,11 @@ class AppBehavior:
 
     def on_message(self, host: Any, msg: Message) -> None:
         """Called for every delivered application message (payload intact)."""
+
+
+# Marker hosts use to skip dispatching the inherited no-op handler on the
+# per-delivery hot path (send-only behaviours like RingApp inherit it).
+AppBehavior.on_message.app_noop = True  # type: ignore[attr-defined]
 
 
 class SilentApp(AppBehavior):
@@ -73,25 +84,54 @@ class UniformRandomApp(AppBehavior):
         self.reply_prob = reply_prob
 
     def on_start(self, host: Any) -> None:
-        if self.rate > 0:
-            self._schedule_next(host)
-
-    def _schedule_next(self, host: Any) -> None:
-        rng = host.sim.rng.stream(f"app.{host.pid}")
-        gap = float(rng.exponential(1.0 / self.rate))
-        if host.now + gap >= self.horizon:
+        # One send/reschedule closure per host, with the RNG stream handle,
+        # mean gap and payload hoisted: sends are this workload's hot path
+        # and per-fire stream lookups / tuple builds add up.  Draw order is
+        # identical to the naive version (gap, then destination per fire).
+        if self.rate <= 0:
             return
-        host.set_timeout(gap, lambda: self._fire(host))
-
-    def _fire(self, host: Any) -> None:
-        rng = host.sim.rng.stream(f"app.{host.pid}")
+        sim = host.sim
+        rng = sim.rng.stream(f"app.{host.pid}")
+        exponential = rng.exponential
+        integers = rng.integers
+        mean_gap = 1.0 / self.rate
+        horizon = self.horizon
+        size = self.msg_size
+        pid = host.pid
         n = host.network.n
-        if n > 1:
-            dst = int(rng.integers(0, n - 1))
-            if dst >= host.pid:
-                dst += 1
-            host.app_send(dst, ("data", host.pid), size=self.msg_size)
-        self._schedule_next(host)
+        payload = ("data", pid)
+        app_send = host.app_send
+        inc = host.incarnation
+        # Heap alias for the inlined re-arm below: drain_cancelled compacts
+        # the heap *in place*, so the alias stays valid for the whole run.
+        heap = sim._heap
+
+        def schedule_next() -> None:
+            gap = float(exponential(mean_gap))
+            t = sim.now + gap
+            if t >= horizon:
+                return
+            # sim.schedule_fast inlined (gap >= 0 by construction): one
+            # heap tuple per re-arm, no Event, no call frame.  Keep in
+            # sync with Simulator.schedule_fast.
+            sim._seq = seq = sim._seq + 1
+            heappush(heap, (t, _TIMER, seq, fire))
+            if len(heap) > sim.peak_pending:
+                sim.peak_pending = len(heap)
+
+        def fire() -> None:
+            # Inline staleness guard (what set_timeout's wrapper checks):
+            # a crashed or rolled-back process drops the old send chain.
+            if host.halted or host.incarnation != inc:
+                return
+            if n > 1:
+                dst = int(integers(0, n - 1))
+                if dst >= pid:
+                    dst += 1
+                app_send(dst, payload, size)
+            schedule_next()
+
+        schedule_next()
 
     def on_message(self, host: Any, msg: Message) -> None:
         if self.reply_prob <= 0.0 or host.now >= self.horizon:
@@ -121,22 +161,41 @@ class RingApp(AppBehavior):
         self.msg_size = msg_size
 
     def on_start(self, host: Any) -> None:
-        self._arm(host)
-
-    def _arm(self, host: Any) -> None:
-        if host.now + self.period >= self.horizon:
-            return
-        host.set_timeout(self.period, lambda: self._fire(host))
-
-    def _fire(self, host: Any) -> None:
+        # Everything about a ring sender is constant (successor, payload,
+        # period), so one self-rescheduling closure replaces the
+        # per-fire method dispatch + tuple/lambda builds of the naive
+        # version.  Guard conditions and event order are unchanged.
+        period = self.period
+        horizon = self.horizon
         n = host.network.n
-        if n > 1:
-            host.app_send((host.pid + 1) % n, ("ring", host.pid),
-                          size=self.msg_size)
-        self._arm(host)
+        dst = (host.pid + 1) % n
+        payload = ("ring", host.pid)
+        size = self.msg_size
+        has_peer = n > 1
+        sim = host.sim
+        app_send = host.app_send
+        inc = host.incarnation
+        # Heap alias for the inlined re-arm below: drain_cancelled compacts
+        # the heap *in place*, so the alias stays valid for the whole run.
+        heap = sim._heap
 
-    def on_message(self, host: Any, msg: Message) -> None:
-        pass
+        def fire() -> None:
+            # Inline staleness guard (what set_timeout's wrapper checks).
+            if host.halted or host.incarnation != inc:
+                return
+            if has_peer:
+                app_send(dst, payload, size)
+            t = sim.now + period
+            if t < horizon:
+                # sim.schedule_fast inlined (period > 0 by validation);
+                # keep in sync with Simulator.schedule_fast.
+                sim._seq = seq = sim._seq + 1
+                heappush(heap, (t, _TIMER, seq, fire))
+                if len(heap) > sim.peak_pending:
+                    sim.peak_pending = len(heap)
+
+        if sim.now + period < horizon:
+            sim.schedule_fast(period, fire, _TIMER)
 
 
 class ClientServerApp(AppBehavior):
@@ -225,9 +284,6 @@ class BurstyApp(AppBehavior):
                 host.app_send(dst, ("burst", host.pid), size=self.msg_size)
             self._send_loop(host, burst_end)
         host.set_timeout(gap, fire)
-
-    def on_message(self, host: Any, msg: Message) -> None:
-        pass
 
 
 class PipelineApp(AppBehavior):

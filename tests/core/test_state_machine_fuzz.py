@@ -108,6 +108,32 @@ def test_machine_total_and_invariant_preserving(pid, config, seq):
         prev_csn = m.csn
 
 
+@settings(max_examples=200, deadline=None)
+@given(pid=st.integers(min_value=0, max_value=N - 1), config=configs,
+       seq=sequences)
+def test_interned_piggyback_equals_fresh(pid, config, seq):
+    """The piggyback cache is an invisible optimisation: after ANY input
+    the interned instance equals a freshly frozen snapshot of
+    (csn, stat, tentSet), and repeated calls without mutation return the
+    *same* object (the interning the hot path relies on)."""
+    m = OptimisticStateMachine(pid, N, config=config)
+    uid = 7000
+    for step in seq:
+        uid += 1
+        if step[0] == "app":
+            m.on_app_receive(step[1], uid)
+        elif step[0] == "ctl":
+            m.on_control(step[1], step[2])
+        elif step[0] == "timer":
+            m.on_timer()
+        else:
+            m.initiate()
+        pb = m.piggyback()
+        assert pb == Piggyback(csn=m.csn, stat=m.stat,
+                               tent_set=frozenset(m.tent_set))
+        assert m.piggyback() is pb
+
+
 @settings(max_examples=100, deadline=None)
 @given(config=configs, seq=sequences)
 def test_fuzzed_anomalies_never_advance_state(config, seq):

@@ -9,6 +9,7 @@ from repro.des import (
     SchedulingError,
     SimulationLimitExceeded,
     Simulator,
+    Timer,
 )
 
 
@@ -108,6 +109,38 @@ class TestCancellation:
         sim.drain_cancelled()
         assert sim.pending == 10
         sim.run()
+
+    def test_cancellation_churn_auto_compacts(self):
+        # Regression: the checkpoint-timer pattern — arm, cancel, re-arm —
+        # used to leave every cancelled entry in the heap until it drained
+        # by clock advance.  With >256 cancelled entries dominating the
+        # heap, _note_cancelled must compact in place.
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        peak = 0
+        for _ in range(1000):
+            timer.start(1000.0)  # re-arm: cancels the pending expiration
+            peak = max(peak, len(sim._heap))
+        # 999 cancellations happened; without compaction the heap would
+        # hold ~1000 entries.  The auto-compaction bound is _COMPACT_MIN
+        # cancelled entries plus the single live one.
+        assert peak <= 300
+        assert len(sim._heap) <= 300
+        assert sim._cancelled <= 256
+        timer.cancel()
+        sim.run()
+
+    def test_auto_compaction_keeps_live_events_intact(self):
+        sim = Simulator()
+        out = []
+        for i in range(20):
+            sim.schedule(2000.0 + i, lambda i=i: out.append(i))
+        t = Timer(sim, lambda: out.append("fire"))
+        for _ in range(600):
+            t.start(1000.0)
+        t.cancel()
+        sim.run()
+        assert out == list(range(20))
 
 
 class TestGuards:

@@ -29,7 +29,8 @@ from repro.harness import (
     run_many,
     sweep,
 )
-from repro.harness.executor import CACHE_VERSION, JobError, MetricsView
+from repro.api import MetricsView
+from repro.harness.executor import CACHE_VERSION, JobError
 
 
 def small_cfg(**kw) -> ExperimentConfig:

@@ -3,12 +3,15 @@
 Satellite contract of the observability PR: the three result types —
 ``RunResult`` (simulator, in-process), ``RunSummary`` (harness,
 picklable) and ``LiveRunReport`` (live runtime) — all satisfy the
-``repro.api.RunOutcome`` protocol, and the pre-unification import paths
+``repro.api.RunOutcome`` protocol.  The pre-unification import paths
 (``MetricsView`` from the executor module, ``RunResult`` from
-``repro.live``) keep working as deprecation shims.
+``repro.live``) are *retired* — these tests pin the removal so the
+shims don't silently creep back.
 """
 
 from __future__ import annotations
+
+import pytest
 
 from repro.api import MetricsView, RunOutcome
 from repro.harness import ExperimentConfig, run_experiment
@@ -29,14 +32,17 @@ def _live_report(consistent: bool = True) -> LiveRunReport:
                          conformance=conformance, wall_seconds=2.0)
 
 
-class TestImportCompat:
-    def test_metrics_view_reexported_from_executor(self):
+class TestShimsRetired:
+    def test_metrics_view_not_reexported_from_executor(self):
         from repro.harness import executor
-        assert executor.MetricsView is MetricsView
+        assert not hasattr(executor, "MetricsView")
 
-    def test_live_run_result_alias(self):
-        from repro.live import RunResult
-        assert RunResult is LiveRunReport
+    def test_live_run_result_alias_removed(self):
+        with pytest.raises(ImportError):
+            from repro.live import RunResult  # noqa: F401
+        import repro.live as live
+        assert "RunResult" not in live.__all__
+        assert LiveRunReport in {getattr(live, n) for n in live.__all__}
 
 
 class TestRunOutcomeProtocol:
