@@ -25,6 +25,7 @@ from .plan import (
     PARTITION_KINDS,
     STORAGE_KINDS,
     WIRE_KINDS,
+    fault_plan_key,
     single_fault_plan,
 )
 
@@ -76,6 +77,7 @@ __all__ = [
     "chaos_storage",
     "default_des_plan",
     "default_live_plan",
+    "fault_plan_key",
     "lost_messages",
     "run_des_cell",
     "run_live_cell",

@@ -21,12 +21,13 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..harness.executor import config_key
 from ..harness.experiment import ExperimentConfig, run_experiment
 from ..net.message import Message
 from ..net.network import Network
 from ..recovery.partition import PartitionInjector
 from ..recovery.restart import RecoveryManager
-from .plan import ChaosError, Fault, FaultPlan, single_fault_plan
+from .plan import ChaosError, Fault, FaultPlan, fault_plan_key, single_fault_plan
 
 #: Spacing for duplicate/reorder/delay redeliveries (mirrors the partition
 #: injector's heal spacing: deterministic order, no zero-duration bursts).
@@ -95,8 +96,18 @@ class DesChaosInjector:
                                           kind=msg.kind)
                     return False
             elif fault.kind == "duplicate":
-                if rng.random() < fault.p:
+                # A copy is never itself duplicated: redelivery re-runs
+                # this gate (crash/partition state may have changed), and
+                # without the marker a p=1.0 window turns one message
+                # into a self-replicating chain of REDELIVERY_SPACING-
+                # spaced copies — millions of events before the window
+                # closes (found by `repro fuzz`; the meta dict is
+                # per-message whenever an injector is installed, so the
+                # stamp cannot cross-contaminate interned piggybacks).
+                if "chaos.duplicated" not in msg.meta \
+                        and rng.random() < fault.p:
                     self._count("duplicate")
+                    msg.meta["chaos.duplicated"] = True
                     self.sim.trace.record(now, "chaos.duplicate", msg.dst,
                                           uid=msg.uid, src=msg.src,
                                           kind=msg.kind)
@@ -251,8 +262,15 @@ def _last_fault_end(plan: FaultPlan) -> float:
 
 def run_des_cell(kind: str, seed: int = 0,
                  plan: FaultPlan | None = None,
-                 tracer: Any | None = None) -> dict[str, Any]:
-    """Run one DES matrix cell; returns a picklable outcome record."""
+                 tracer: Any | None = None,
+                 cache: Any | None = None) -> dict[str, Any]:
+    """Run one DES matrix cell; returns a picklable outcome record.
+
+    ``cache`` (a :class:`~repro.harness.executor.ResultCache`) memoizes the
+    outcome record.  The key salts in :func:`fault_plan_key` — the config
+    hash alone is blind to the injected plan, and two cells differing only
+    in fault plan must never collide on a cached result.
+    """
     if plan is None:
         plan = default_des_plan(kind, seed)
     plan.validate()
@@ -261,6 +279,13 @@ def run_des_cell(kind: str, seed: int = 0,
         checkpoint_interval=DES_INTERVAL, timeout=DES_TIMEOUT,
         state_bytes=1_000_000,
         workload_kwargs={"rate": 1.0, "msg_size": 512})
+    key = ""
+    if cache is not None and tracer is None:
+        key = config_key(
+            cfg, salt=f"chaos-cell:{kind}:{fault_plan_key(plan)}")
+        hit = cache.load_json(key)
+        if hit is not None and "cell" in hit:
+            return hit["cell"]
     holder: dict[str, Any] = {}
 
     def before_run(sim: Any, net: Any, storage: Any, runtime: Any) -> None:
@@ -304,12 +329,13 @@ def run_des_cell(kind: str, seed: int = 0,
     if rm is not None:
         recovered = recovered and len(rm.events) == len(
             list(plan.crash_faults()))
-    return {
+    cell = {
         "runtime": "des",
         "fault": kind,
         "seed": seed,
         "consistent": consistent,
         "recovered": recovered,
+        "truncated": result.truncated,
         "injected": injected,
         "recovered_actions": {
             "redelivered": sum(1 for rec in result.sim.trace.records
@@ -325,3 +351,6 @@ def run_des_cell(kind: str, seed: int = 0,
         "dropped_by_cause": dropped_by_cause,
         "makespan": result.sim.now,
     }
+    if cache is not None and key:
+        cache.store_json(key, {"cell": cell})
+    return cell

@@ -29,6 +29,9 @@ The vocabulary (``Fault.kind``):
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -203,3 +206,19 @@ def single_fault_plan(kind: str, seed: int = 0, **kwargs: Any) -> FaultPlan:
     fault = Fault(kind=kind, **kwargs)
     fault.validate()
     return FaultPlan(faults=(fault,), seed=seed)
+
+
+def fault_plan_key(plan: FaultPlan | None) -> str:
+    """Short content hash of a plan, for result-cache key salts.
+
+    Two runs that share an :class:`ExperimentConfig` but differ in the
+    injected fault plan must never collide on a cached result —
+    ``config_key`` hashes only the config, so chaos/fuzz callers fold
+    this digest into the cache salt.  ``None`` (no injection) hashes to
+    a distinct constant rather than colliding with the empty plan.
+    """
+    if plan is None:
+        return "no-plan"
+    canonical = json.dumps(plan.as_dict(), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]

@@ -36,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Any, Sequence
 
 from .harness import (
@@ -685,6 +686,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     rounds kept finalizing).  ``--no-retries`` is the discrimination
     mode: the live drop cell must then fail.
     """
+    if args.plan is not None:
+        return _chaos_replay_plan(args)
     from .chaos import DEFAULT_KINDS, run_matrix
     kinds = (tuple(k for k in args.kinds.split(",") if k)
              if args.kinds else DEFAULT_KINDS)
@@ -708,6 +711,108 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _chaos_replay_plan(args: argparse.Namespace) -> int:
+    """``repro chaos --plan FILE``: replay one saved plan or fuzz input.
+
+    Two file shapes are accepted: a bare :class:`FaultPlan` JSON (run
+    through the standard DES conformance cell) and a full fuzz-input
+    JSON with ``plan``/``schedule`` keys — e.g. a shrunk counterexample's
+    ``input.json`` — which replays through the fuzz oracle, including
+    its protocol ``--mutate`` if the bug needs one to reproduce.  Exit 0
+    when the replay is healthy, 1 when it violates.
+    """
+    from .chaos import FaultPlan, run_des_cell
+    try:
+        payload = json.loads(Path(args.plan).read_text("utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read plan file {args.plan!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if "schedule" in payload:
+        from .fuzz import FuzzInput, run_input
+        inp = FuzzInput.from_dict(payload)
+        inp.validate()
+        outcome = run_input(inp, mutation=args.mutate)
+        if args.format == "json":
+            print(json.dumps(outcome, indent=2, sort_keys=True))
+        else:
+            verdict = ("VIOLATES: "
+                       + "; ".join(f"{v['kind']} — {v['detail']}"
+                                   for v in outcome["violations"])
+                       if outcome["violations"] else "ok")
+            print(f"fuzz input replay ({args.plan}): {verdict}")
+            print(f"  rounds={outcome['rounds']}"
+                  f" events={outcome['events']}"
+                  f" injected={outcome['injected']}")
+        return 1 if outcome["violations"] else 0
+    if args.mutate is not None:
+        print("--mutate needs a fuzz-input file (with a schedule), not a"
+              " bare fault plan", file=sys.stderr)
+        return 2
+    plan = FaultPlan.from_dict(payload)
+    plan.validate()
+    cell = run_des_cell("plan", seed=args.seed, plan=plan,
+                        cache=_cache_from(args)
+                        if hasattr(args, "cache_dir") else None)
+    ok = cell["consistent"] and not cell["truncated"]
+    if args.format == "json":
+        print(json.dumps(cell, indent=2, sort_keys=True))
+    else:
+        status = "ok" if ok else "VIOLATES"
+        print(f"plan replay ({args.plan}): {status}"
+              f" consistent={cell['consistent']}"
+              f" truncated={cell['truncated']}"
+              f" injected={cell['injected']}")
+    return 0 if ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``repro fuzz``: a coverage-guided fault-plan fuzzing campaign.
+
+    Exit codes: 0 — campaign completed with no violation; 1 — a
+    violation was found (shrunk counterexample written under
+    ``<dir>/crashes/``); 2 — usage error.
+    """
+    if args.budget is None and args.iterations is None:
+        args.budget = 60.0
+    if args.budget is not None and args.budget <= 0:
+        print("--budget must be positive", file=sys.stderr)
+        return 2
+    if args.iterations is not None and args.iterations <= 0:
+        print("--iterations must be positive", file=sys.stderr)
+        return 2
+    from .fuzz import run_campaign
+
+    def on_stats(line: str) -> None:
+        print(line, file=sys.stderr)
+
+    report = run_campaign(
+        budget_s=args.budget, max_execs=args.iterations, jobs=args.jobs,
+        seed=args.seed, mutation=args.mutate, root=args.dir,
+        shrink=not args.no_shrink, resume=args.resume, on_stats=on_stats)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"fuzz campaign: {report.executions} executions in"
+              f" {report.elapsed_s:.1f}s, corpus={report.corpus_size},"
+              f" coverage={report.coverage_edges} edges,"
+              f" errors={report.errors}")
+        if report.counterexample is not None:
+            cx = report.counterexample
+            kinds = ", ".join(v["kind"] for v in cx["violations"])
+            print(f"VIOLATION ({kinds}): counterexample with"
+                  f" {cx['events']} events after {cx['shrink_runs']}"
+                  f" shrink runs")
+            print(f"  bundle: {cx['crash_dir']}")
+            print(f"  replay: repro chaos --plan"
+                  f" {cx['crash_dir']}/input.json"
+                  + (f" --mutate {report.mutation}"
+                     if report.mutation else ""))
+        else:
+            print("no violations found")
+    return 1 if report.found else 0
 
 
 def _parse_server(raw: str) -> tuple[str, int] | None:
@@ -1055,9 +1160,50 @@ def build_parser() -> argparse.ArgumentParser:
                         "discrimination mode: the drop cell must fail")
     p.add_argument("--run-root", default=None,
                    help="keep live cell run directories under this path")
+    p.add_argument("--plan", default=None, metavar="FILE",
+                   help="replay one saved fault plan (or fuzz-input "
+                        "counterexample) through the conformance checks "
+                        "instead of running the matrix")
+    p.add_argument("--mutate", choices=("drop-ck-req",), default=None,
+                   help="with --plan on a fuzz input: re-apply the "
+                        "protocol mutation the counterexample was found "
+                        "against")
+    p.add_argument("--no-cache", action="store_true",
+                   help="do not read/write the on-disk result cache")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="result cache directory (plan replays are keyed "
+                        "by config + fault-plan content hash)")
     p.add_argument("--format", choices=("text", "json"), default="text")
     _add_trace_args(p)
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided fault-plan fuzzing: mutate (plan, workload, "
+             "config) inputs, judge each run against the Theorem 1/2 "
+             "conformance oracle, shrink any violation (repro.fuzz)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="wall-clock budget in seconds (default 60 when "
+                        "no --iterations)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after this many executions")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the execution fan-out")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed: mutation and scheduling decisions "
+                        "replay deterministically")
+    p.add_argument("--mutate", choices=("drop-ck-req",), default=None,
+                   help="inject a known protocol mutation (discrimination "
+                        "mode: the campaign must find it)")
+    p.add_argument("--dir", default=".repro-fuzz",
+                   help="corpus + crash bundle directory")
+    p.add_argument("--resume", action="store_true",
+                   help="reload a previous campaign's corpus from --dir")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report the first violating input without "
+                        "delta-debugging it")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser(
         "serve",

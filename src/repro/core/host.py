@@ -65,6 +65,39 @@ _NORMAL = Status.NORMAL
 _TENTATIVE = Status.TENTATIVE
 
 
+def _receive_case(mstat: Status, pstat: Status, pcsn: int, mcsn: int) -> str:
+    """§3.4.3 case label for an app receive, from the receiver's view.
+
+    Mirrors the dispatch order of
+    :meth:`OptimisticStateMachine.on_app_receive` (and the inlined fast
+    paths in :meth:`OptimisticProcess.on_message`) without mutating any
+    state: ``1`` normal/normal, ``2a``–``2d`` tentative/tentative,
+    ``3a``–``3c`` tentative/normal, ``4a``–``4c`` normal/tentative.
+    ``1x`` is the normal/normal future-csn anomaly.
+    """
+    if mstat is _NORMAL:
+        if pstat is _TENTATIVE:
+            if pcsn == mcsn + 1:
+                return "4b"
+            if pcsn > mcsn + 1:
+                return "4c"
+            return "4a"
+        return "1" if pcsn <= mcsn else "1x"
+    if pstat is _NORMAL:
+        if pcsn == mcsn:
+            return "3b"
+        if pcsn > mcsn:
+            return "3c"
+        return "3a"
+    if pcsn == mcsn:
+        return "2b"
+    if pcsn == mcsn + 1:
+        return "2c"
+    if pcsn > mcsn + 1:
+        return "2d"
+    return "2a"
+
+
 class OptimisticRuntime:
     """Shared context for one simulated run of the optimistic protocol."""
 
@@ -267,6 +300,11 @@ class OptimisticProcess(SimProcess):
         self.anomalies: list[str] = []
         self.ctl_sent: dict[str, int] = {}
         self.finalize_reasons: dict[str, int] = {}
+        #: §3.4.3 receive-case histogram, populated only when a harness
+        #: (the fuzzer's coverage map) switches it on by assigning a dict;
+        #: ``None`` keeps the app-receive hot path to a single attribute
+        #: load + identity check.
+        self.case_counts: dict[str, int] | None = None
         #: Simulated application state: a fold over processed message uids
         #: (see :func:`repro.core.types.fold_digest`) — makes recovery's
         #: restore-and-replay semantics checkable.
@@ -408,6 +446,10 @@ class OptimisticProcess(SimProcess):
             pb = msg.meta["pb"]
             pcsn = pb.csn
             mcsn = machine.csn
+            cc = self.case_counts
+            if cc is not None:
+                label = _receive_case(mstat, pb.stat, pcsn, mcsn)
+                cc[label] = cc.get(label, 0) + 1
             # §3.4.3's no-effect and merge-only cases inlined — the
             # overwhelming majority of receives both outside and inside
             # checkpoint rounds; every state-changing case (take, finalize,

@@ -1,0 +1,161 @@
+"""The on-disk fuzz corpus: coverage-earning seeds under ``.repro-fuzz/``.
+
+Layout::
+
+    <root>/
+      corpus/<signature>.json     one entry per coverage-adding input
+      crashes/<signature>/        one directory per shrunk counterexample
+        input.json                the minimized FuzzInput (replayable)
+        plan.json                 just its FaultPlan (for `repro chaos --plan`)
+        report.json               violations + outcome summary
+        trace.jsonl               obs-schema trace (`repro trace report`)
+
+Every entry file stores the full input dict plus the coverage tokens it
+contributed, so a later campaign can rebuild its coverage map without
+re-running anything.  Replay is exact: the input embeds the plan, the
+plan embeds the injector's RNG seed, and the DES is deterministic — the
+same entry file always reproduces the same trace bytes.
+
+Energy biases parent selection toward inputs that recently added many
+tokens and are cheap to run (small size metric): classic greybox
+scheduling, kept deliberately simple and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from .coverage import coverage_signature
+from .inputs import FuzzInput
+
+DEFAULT_ROOT = ".repro-fuzz"
+
+
+@dataclass
+class CorpusEntry:
+    """One corpus member: an input plus the coverage it bought."""
+
+    input: FuzzInput
+    tokens: frozenset[str]
+    new_tokens: int
+    added_iter: int
+
+    @property
+    def signature(self) -> str:
+        return coverage_signature(self.tokens)
+
+    def energy(self) -> float:
+        """Selection weight: recent coverage value over input size."""
+        return (1.0 + 2.0 * self.new_tokens) / (1.0 + 0.02 * self.input.size())
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {"input": self.input.as_dict(),
+                "tokens": sorted(self.tokens),
+                "new_tokens": self.new_tokens,
+                "added_iter": self.added_iter}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "CorpusEntry":
+        return cls(input=FuzzInput.from_dict(d.get("input", {})),
+                   tokens=frozenset(d.get("tokens", ())),
+                   new_tokens=int(d.get("new_tokens", 0)),
+                   added_iter=int(d.get("added_iter", 0)))
+
+
+class Corpus:
+    """The set of coverage-adding inputs, mirrored to disk."""
+
+    def __init__(self, root: str | Path = DEFAULT_ROOT) -> None:
+        self.root = Path(root)
+        self.entries: list[CorpusEntry] = []
+        self._sigs: set[str] = set()
+
+    @property
+    def corpus_dir(self) -> Path:
+        return self.root / "corpus"
+
+    @property
+    def crashes_dir(self) -> Path:
+        return self.root / "crashes"
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- membership ---------------------------------------------------------
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Admit an entry (dedup by coverage signature); persist it."""
+        sig = entry.signature
+        if sig in self._sigs:
+            return False
+        self._sigs.add(sig)
+        self.entries.append(entry)
+        self.corpus_dir.mkdir(parents=True, exist_ok=True)
+        path = self.corpus_dir / f"{sig}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(entry.as_dict(), sort_keys=True,
+                                  indent=1), "utf-8")
+        tmp.replace(path)
+        return True
+
+    def load(self) -> int:
+        """Re-admit persisted entries (for campaign resume); returns count."""
+        if not self.corpus_dir.is_dir():
+            return 0
+        loaded = 0
+        for path in sorted(self.corpus_dir.glob("*.json")):
+            try:
+                entry = CorpusEntry.from_dict(
+                    json.loads(path.read_text("utf-8")))
+                entry.input.validate()
+            except (ValueError, KeyError):
+                continue
+            sig = entry.signature
+            if sig not in self._sigs:
+                self._sigs.add(sig)
+                self.entries.append(entry)
+                loaded += 1
+        return loaded
+
+    def all_tokens(self) -> set[str]:
+        """Union of every entry's tokens (rebuilds a CoverageMap)."""
+        out: set[str] = set()
+        for e in self.entries:
+            out |= e.tokens
+        return out
+
+    # -- scheduling ---------------------------------------------------------
+
+    def pick(self, rng: Any) -> CorpusEntry:
+        """Energy-weighted parent selection (numpy Generator)."""
+        if not self.entries:
+            raise ValueError("empty corpus")
+        weights = [e.energy() for e in self.entries]
+        total = sum(weights)
+        probs = [w / total for w in weights]
+        i = int(rng.choice(len(self.entries), p=probs))
+        return self.entries[i]
+
+    # -- crash artifacts ----------------------------------------------------
+
+    def write_crash(self, name: str, input_: FuzzInput,
+                    report: dict[str, Any],
+                    trace_lines: Iterable[str] | None = None) -> Path:
+        """Persist a counterexample bundle; returns its directory."""
+        crash_dir = self.crashes_dir / name
+        crash_dir.mkdir(parents=True, exist_ok=True)
+        (crash_dir / "input.json").write_text(
+            json.dumps(input_.as_dict(), sort_keys=True, indent=1), "utf-8")
+        (crash_dir / "plan.json").write_text(
+            json.dumps(input_.plan.as_dict(), sort_keys=True, indent=1),
+            "utf-8")
+        (crash_dir / "report.json").write_text(
+            json.dumps(report, sort_keys=True, indent=1), "utf-8")
+        if trace_lines is not None:
+            (crash_dir / "trace.jsonl").write_text(
+                "".join(trace_lines), "utf-8")
+        return crash_dir

@@ -1,0 +1,95 @@
+"""Protocol-state coverage: behavioral tokens folded into a signature.
+
+Coverage is what turns random fault injection into *search*: a mutant
+earns a corpus slot only if its run exercised a protocol behavior no
+earlier run did.  Tokens are derived exclusively from run *behavior* —
+§3.4.3 receive-case hits, finalize reasons, control traffic, injected
+fault kinds crossed with their recovery outcome, rollback/redelivery
+counts — never from the input configuration, so two inputs that drive
+the protocol identically dedup to one corpus entry.
+
+Counts are bucketed into powers of two before tokenization: the token
+``case:2b:8`` means "Case 2(b) fired 8–15 times", which separates
+regimes (none / once / a few / many) without making every count change
+look like new coverage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+
+def _bucket(count: int) -> int:
+    """Power-of-two bucket floor: 0, 1, 2, 4, 8, ..."""
+    if count <= 0:
+        return 0
+    b = 1
+    while b * 2 <= count:
+        b *= 2
+    return b
+
+
+def coverage_tokens(outcome: dict[str, Any]) -> frozenset[str]:
+    """The behavioral token set of one run outcome (see `oracle.run_input`)."""
+    tokens: set[str] = set()
+    add = tokens.add
+    for case, count in outcome.get("case_counts", {}).items():
+        add(f"case:{case}:{_bucket(count)}")
+    for reason, count in outcome.get("finalize_reasons", {}).items():
+        add(f"fin:{reason}")
+        add(f"fin:{reason}:{_bucket(count)}")
+    for ctype, count in outcome.get("ctl_sent", {}).items():
+        add(f"ctl:{ctype}:{_bucket(count)}")
+    recovered = "recovered" if outcome.get("recovered") else "degraded"
+    for kind, count in outcome.get("injected", {}).items():
+        add(f"chaos:{kind}:{_bucket(count)}")
+        add(f"chaos:{kind}:{recovered}")
+    for cause in outcome.get("dropped_by_cause", {}):
+        add(f"drop:{cause}")
+    actions = outcome.get("recovered_actions", {})
+    add(f"rollbacks:{_bucket(actions.get('rollbacks', 0))}")
+    add(f"redelivered:{_bucket(actions.get('redelivered', 0))}")
+    for depth in outcome.get("rollback_depths", []):
+        add(f"rollback-depth:{_bucket(depth)}")
+    add(f"rounds:{_bucket(outcome.get('rounds', 0))}")
+    add(f"post-fault-rounds:{_bucket(outcome.get('post_fault_rounds', 0))}")
+    if outcome.get("anomalies"):
+        add("anomaly")
+    if outcome.get("orphans"):
+        add("orphans")
+    if outcome.get("truncated"):
+        add("truncated")
+    return frozenset(tokens)
+
+
+def coverage_signature(tokens: Iterable[str]) -> str:
+    """Stable short hash of a token set (corpus entry identity)."""
+    blob = "\n".join(sorted(tokens)).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class CoverageMap:
+    """The campaign-global set of tokens seen so far."""
+
+    def __init__(self) -> None:
+        self.tokens: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def add(self, tokens: Iterable[str]) -> frozenset[str]:
+        """Fold a run's tokens in; returns the strictly-new ones."""
+        new = frozenset(tokens) - self.tokens
+        self.tokens |= new
+        return new
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {"tokens": sorted(self.tokens)}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "CoverageMap":
+        cm = cls()
+        cm.tokens = set(d.get("tokens", ()))
+        return cm

@@ -1,0 +1,285 @@
+"""Seeded mutation operators over (FaultPlan, schedule, config) inputs.
+
+Each operator takes a valid :class:`~repro.fuzz.inputs.FuzzInput` and a
+:class:`numpy.random.Generator` and returns a candidate — which
+:meth:`Mutator.mutate` then revalidates through the *existing* plan
+validator plus the fuzz-domain envelope.  Invalid candidates are simply
+retried with a different operator: the validator is the source of truth
+for what the injector may legally be asked to do, and mutation never
+gets to relitigate it.
+
+Determinism: the Mutator owns one ``default_rng(seed)`` stream; a
+campaign's mutant sequence is a pure function of (campaign seed, parent
+selection order), so runs replay exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..chaos.des import CRASH_RECOVERY_DELAY
+from ..chaos.plan import ChaosError, Fault, FaultPlan
+from .inputs import (
+    HORIZON_RANGE,
+    INTERVAL_MIN,
+    MAX_DELAY,
+    MAX_FAULTS,
+    MSG_SIZE_RANGE,
+    N_RANGE,
+    P_MIN,
+    RATE_RANGE,
+    TIMEOUT_MIN,
+    TOPOLOGIES,
+    WORKLOADS,
+    FuzzInput,
+    WorkloadSchedule,
+)
+
+Rng = np.random.Generator
+
+#: Wire/storage kinds an added fault may draw (crash/partition have their
+#: own dedicated operators because they carry structured parameters).
+_ADDABLE = ("drop", "duplicate", "reorder", "delay",
+            "torn-write", "fsync-fail", "slow-flush")
+
+
+def _u(rng: Rng, lo: float, hi: float) -> float:
+    return float(rng.uniform(lo, hi))
+
+
+def _window(rng: Rng, inp: FuzzInput, slack: float = 0.0) -> tuple[float, float]:
+    """A random finite fault window inside the input's fault budget."""
+    budget = inp.fault_budget_end() - slack
+    start = _u(rng, 0.0, max(budget - 5.0, 1.0))
+    end = _u(rng, start + 2.0, max(budget, start + 2.5))
+    return start, min(end, budget)
+
+
+def _replace_fault(inp: FuzzInput, i: int, f: Fault) -> FuzzInput:
+    faults = list(inp.plan.faults)
+    faults[i] = f
+    return inp.derive(plan=FaultPlan(faults=tuple(faults),
+                                     seed=inp.plan.seed))
+
+
+def _pick(rng: Rng, seq: tuple) -> object:
+    return seq[int(rng.integers(len(seq)))]
+
+
+# -- plan operators ---------------------------------------------------------
+
+def add_fault(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """Append one random wire/storage fault in a fresh window."""
+    kind = str(_pick(rng, _ADDABLE))
+    start, end = _window(rng, inp,
+                         slack=MAX_DELAY if kind == "delay" else 0.0)
+    kw: dict = {"kind": kind, "p": _u(rng, P_MIN, 1.0),
+                "start": start, "end": end}
+    if kind == "drop":
+        kw["frames"] = ("app",)
+    elif kind in ("duplicate", "reorder", "delay"):
+        kw["frames"] = ("app", "ctl") if rng.random() < 0.5 else ("app",)
+    if kind == "delay":
+        kw["delay"] = _u(rng, 0.5, MAX_DELAY)
+    if kind == "slow-flush":
+        kw["delay"] = _u(rng, 0.1, 2.0)
+    return inp.derive(plan=FaultPlan(
+        faults=inp.plan.faults + (Fault(**kw),), seed=inp.plan.seed))
+
+
+def add_partition(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """Append a partition fault over a random two-group cut."""
+    if inp.n < 2:
+        raise ChaosError("partition needs n >= 2")
+    cut = 1 + int(rng.integers(inp.n - 1))
+    pids = list(rng.permutation(inp.n))
+    start, end = _window(rng, inp)
+    fault = Fault(kind="partition", start=start, end=end,
+                  group_a=tuple(int(p) for p in pids[:cut]),
+                  group_b=tuple(int(p) for p in pids[cut:]))
+    return inp.derive(plan=FaultPlan(
+        faults=inp.plan.faults + (fault,), seed=inp.plan.seed))
+
+
+def add_crash(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """Append a crash of a random pid with recovery inside the budget."""
+    budget = inp.fault_budget_end()
+    at = _u(rng, 5.0, max(budget - CRASH_RECOVERY_DELAY, 5.5))
+    fault = Fault(kind="crash", pid=int(rng.integers(inp.n)), at=at)
+    return inp.derive(plan=FaultPlan(
+        faults=inp.plan.faults + (fault,), seed=inp.plan.seed))
+
+
+def remove_fault(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """Drop one random fault from the plan."""
+    faults = inp.plan.faults
+    if not faults:
+        raise ChaosError("nothing to remove")
+    i = int(rng.integers(len(faults)))
+    return inp.derive(plan=FaultPlan(
+        faults=faults[:i] + faults[i + 1:], seed=inp.plan.seed))
+
+
+def rewindow_fault(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """Move one fault to a fresh window (crashes: a fresh ``at``)."""
+    faults = inp.plan.faults
+    if not faults:
+        raise ChaosError("nothing to re-window")
+    i = int(rng.integers(len(faults)))
+    f = faults[i]
+    if f.kind == "crash":
+        at = _u(rng, 1.0,
+                max(inp.fault_budget_end() - CRASH_RECOVERY_DELAY, 1.5))
+        return _replace_fault(inp, i, Fault(kind="crash", pid=f.pid, at=at))
+    start, end = _window(rng, inp,
+                         slack=f.delay if f.kind == "delay" else 0.0)
+    return _replace_fault(inp, i, Fault(
+        kind=f.kind, p=f.p, start=start, end=end, frames=f.frames,
+        delay=f.delay, group_a=f.group_a, group_b=f.group_b))
+
+
+def retune_fault(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """Perturb a fault's probability / delay / frames / target pid."""
+    faults = inp.plan.faults
+    if not faults:
+        raise ChaosError("nothing to retune")
+    i = int(rng.integers(len(faults)))
+    f = faults[i]
+    if f.kind == "crash":
+        return _replace_fault(inp, i, Fault(
+            kind="crash", pid=int(rng.integers(inp.n)), at=f.at))
+    if f.kind == "partition":
+        return add_partition(remove_fault_at(inp, i), rng)
+    p = float(np.clip(f.p * _u(rng, 0.5, 2.0), P_MIN, 1.0))
+    delay = f.delay
+    if f.kind in ("delay", "slow-flush"):
+        delay = float(np.clip(delay * _u(rng, 0.5, 2.0), 0.1,
+                              MAX_DELAY if f.kind == "delay" else 2.0))
+    frames = f.frames
+    if f.kind in ("duplicate", "reorder", "delay"):
+        frames = ("app", "ctl") if rng.random() < 0.5 else ("app",)
+    return _replace_fault(inp, i, Fault(
+        kind=f.kind, p=p, start=f.start, end=f.end, frames=frames,
+        delay=delay))
+
+
+def remove_fault_at(inp: FuzzInput, i: int) -> FuzzInput:
+    """Drop the fault at index ``i`` (helper for retune/splice)."""
+    faults = inp.plan.faults
+    return inp.derive(plan=FaultPlan(
+        faults=faults[:i] + faults[i + 1:], seed=inp.plan.seed))
+
+
+def splice_plans(inp: FuzzInput, rng: Rng, other: FuzzInput) -> FuzzInput:
+    """Crossover: a random subset of each parent's faults."""
+    pool = list(inp.plan.faults) + list(other.plan.faults)
+    if not pool:
+        raise ChaosError("nothing to splice")
+    keep = [f for f in pool if rng.random() < 0.5]
+    if not keep:
+        keep = [pool[int(rng.integers(len(pool)))]]
+    return inp.derive(plan=FaultPlan(faults=tuple(keep[:MAX_FAULTS]),
+                                     seed=inp.plan.seed))
+
+
+def reseed_plan(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """New RNG streams for the same plan shape (different coin flips)."""
+    return inp.derive(
+        plan=FaultPlan(faults=inp.plan.faults,
+                       seed=int(rng.integers(1 << 30))),
+        seed=int(rng.integers(1 << 30)))
+
+
+# -- schedule / config operators -------------------------------------------
+
+def perturb_rate(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """Scale the workload rate by 0.25-4x, clipped to the envelope."""
+    s = inp.schedule
+    rate = float(np.clip(s.rate * _u(rng, 0.25, 4.0), *RATE_RANGE))
+    return inp.derive(schedule=WorkloadSchedule(
+        workload=s.workload, rate=rate, msg_size=s.msg_size,
+        topology=s.topology))
+
+
+def swap_workload(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """Switch workload generator and jitter the message size."""
+    s = inp.schedule
+    return inp.derive(schedule=WorkloadSchedule(
+        workload=str(_pick(rng, WORKLOADS)), rate=s.rate,
+        msg_size=int(np.clip(int(s.msg_size * _u(rng, 0.5, 2.0)),
+                             *MSG_SIZE_RANGE)),
+        topology=s.topology))
+
+
+def swap_topology(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """Switch the latency topology (complete/ring/star/line)."""
+    s = inp.schedule
+    return inp.derive(schedule=WorkloadSchedule(
+        workload=s.workload, rate=s.rate, msg_size=s.msg_size,
+        topology=str(_pick(rng, TOPOLOGIES))))
+
+
+def perturb_geometry(inp: FuzzInput, rng: Rng) -> FuzzInput:
+    """Jitter (n, horizon, interval, timeout) inside the envelope."""
+    n = int(np.clip(inp.n + int(rng.integers(-1, 2)), *N_RANGE))
+    horizon = float(np.clip(inp.horizon * _u(rng, 0.6, 1.5),
+                            *HORIZON_RANGE))
+    interval = float(np.clip(inp.interval * _u(rng, 0.5, 1.5),
+                             INTERVAL_MIN, horizon / 4.0))
+    timeout = float(np.clip(inp.timeout * _u(rng, 0.5, 1.5),
+                            TIMEOUT_MIN, interval))
+    return inp.derive(n=n, horizon=horizon, interval=interval,
+                      timeout=timeout)
+
+
+#: name -> operator.  Order is part of the campaign's determinism contract.
+OPERATORS: dict[str, Callable[[FuzzInput, Rng], FuzzInput]] = {
+    "add_fault": add_fault,
+    "add_partition": add_partition,
+    "add_crash": add_crash,
+    "remove_fault": remove_fault,
+    "rewindow_fault": rewindow_fault,
+    "retune_fault": retune_fault,
+    "reseed_plan": reseed_plan,
+    "perturb_rate": perturb_rate,
+    "swap_workload": swap_workload,
+    "swap_topology": swap_topology,
+    "perturb_geometry": perturb_geometry,
+}
+
+
+class Mutator:
+    """Draws operators from a seeded stream; yields only valid mutants."""
+
+    def __init__(self, seed: int = 0, max_tries: int = 16) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.max_tries = max_tries
+        self._names = tuple(OPERATORS)
+
+    def mutate(self, inp: FuzzInput,
+               other: FuzzInput | None = None) -> tuple[FuzzInput, str]:
+        """One valid mutant of ``inp`` and the operator that produced it.
+
+        ``other`` (a second corpus parent) enables the splice crossover.
+        Falls back to ``reseed_plan`` — always valid — if every try
+        produced an out-of-envelope candidate.
+        """
+        rng = self.rng
+        for _ in range(self.max_tries):
+            if other is not None and rng.random() < 0.1:
+                name, op = "splice_plans", None
+            else:
+                name = str(self._names[int(rng.integers(len(self._names)))])
+                op = OPERATORS[name]
+            try:
+                cand = (splice_plans(inp, rng, other) if op is None
+                        else op(inp, rng))
+                cand.validate()
+                return cand, name
+            except ChaosError:
+                continue
+        cand = reseed_plan(inp, rng)
+        cand.validate()
+        return cand, "reseed_plan"

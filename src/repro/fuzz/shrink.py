@@ -1,0 +1,190 @@
+"""Delta-debugging shrinker: violating input -> minimal counterexample.
+
+Classic ddmin over the fault list first (drop half, then quarters, down
+to single faults), then per-fault simplification (shorter windows,
+app-only frames), then config minimization (fewer processes, shorter
+horizon, lower rate, plainer workload/topology).  A candidate replaces
+the current best only if it still *violates* — any violation kind, not
+necessarily the original one: a shrink that turns an orphan into a
+deadlock has still found a smaller input exhibiting a protocol bug, and
+holding the kind fixed makes many minima unreachable.
+
+Every candidate runs through the same oracle as the campaign, so the
+final counterexample is replayable by construction; the runner writes it
+out with an obs-schema trace for ``repro trace report``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..chaos.plan import ChaosError, Fault, FaultPlan
+from .inputs import (
+    HORIZON_RANGE,
+    INTERVAL_MIN,
+    N_RANGE,
+    RATE_RANGE,
+    TIMEOUT_MIN,
+    FuzzInput,
+    WorkloadSchedule,
+)
+from .oracle import run_input
+
+Check = Callable[[FuzzInput], bool]
+
+
+def _violates(inp: FuzzInput, mutation: str | None,
+              stats: dict[str, int]) -> bool:
+    try:
+        inp.validate()
+    except ChaosError:
+        return False
+    stats["runs"] = stats.get("runs", 0) + 1
+    return bool(run_input(inp, mutation=mutation)["violations"])
+
+
+def _with_faults(inp: FuzzInput, faults: tuple[Fault, ...]) -> FuzzInput:
+    return inp.derive(plan=FaultPlan(faults=faults, seed=inp.plan.seed))
+
+
+def _ddmin_faults(inp: FuzzInput, check: Check) -> FuzzInput:
+    """Minimize the fault tuple by complement-removal ddmin."""
+    faults = inp.plan.faults
+    granularity = 2
+    while len(faults) >= 1:
+        chunk = max(1, len(faults) // granularity)
+        removed_any = False
+        i = 0
+        while i < len(faults):
+            cand_faults = faults[:i] + faults[i + chunk:]
+            cand = _with_faults(inp, cand_faults)
+            if check(cand):
+                faults = cand_faults
+                removed_any = True
+            else:
+                i += chunk
+        if removed_any:
+            granularity = max(2, granularity - 1)
+        elif chunk == 1:
+            break
+        else:
+            granularity = min(len(faults), granularity * 2)
+        if not faults:
+            break
+    return _with_faults(inp, faults)
+
+
+def _simplify_faults(inp: FuzzInput, check: Check) -> FuzzInput:
+    """Per-fault: try app-only frames, then a halved window."""
+    best = inp
+    for i, f in enumerate(best.plan.faults):
+        if f.kind in ("duplicate", "reorder", "delay") \
+                and tuple(f.frames) != ("app",):
+            cand = _replace(best, i, _derive_fault(f, frames=("app",)))
+            if check(cand):
+                best = cand
+        f = best.plan.faults[i]
+        if f.end is not None and f.kind != "crash":
+            mid = f.start + (f.end - f.start) / 2.0
+            if mid - f.start >= 2.0:
+                cand = _replace(best, i, _derive_fault(f, end=mid))
+                if check(cand):
+                    best = cand
+    return best
+
+
+def _derive_fault(f: Fault, **changes: Any) -> Fault:
+    d = f.as_dict()
+    d.update(changes)
+    return Fault.from_dict(d)
+
+
+def _replace(inp: FuzzInput, i: int, f: Fault) -> FuzzInput:
+    faults = list(inp.plan.faults)
+    faults[i] = f
+    return _with_faults(inp, tuple(faults))
+
+
+def _shrink_config(inp: FuzzInput, check: Check) -> FuzzInput:
+    """Walk every config axis toward its floor while still violating."""
+    best = inp
+    # Fewer processes (plan pids must stay valid — check() revalidates).
+    while best.n > N_RANGE[0]:
+        cand = best.derive(n=best.n - 1)
+        if not check(cand):
+            break
+        best = cand
+    # Shorter horizon, halving steps; interval/timeout ride down with it.
+    while best.horizon > HORIZON_RANGE[0]:
+        horizon = max(HORIZON_RANGE[0], best.horizon / 2.0)
+        interval = max(INTERVAL_MIN, min(best.interval, horizon / 4.0))
+        timeout = max(TIMEOUT_MIN, min(best.timeout, interval))
+        cand = best.derive(horizon=horizon, interval=interval,
+                           timeout=timeout)
+        if horizon == best.horizon or not check(cand):
+            break
+        best = cand
+    # Tighter rounds shrink the trace even at fixed horizon.
+    while best.interval > INTERVAL_MIN:
+        interval = max(INTERVAL_MIN, best.interval / 2.0)
+        timeout = max(TIMEOUT_MIN, min(best.timeout, interval))
+        cand = best.derive(interval=interval, timeout=timeout)
+        if interval == best.interval or not check(cand):
+            break
+        best = cand
+    # Less traffic -> fewer replay events.
+    s = best.schedule
+    rate = s.rate
+    while rate > RATE_RANGE[0]:
+        rate = max(RATE_RANGE[0], rate / 2.0)
+        cand = best.derive(schedule=WorkloadSchedule(
+            workload=s.workload, rate=rate, msg_size=s.msg_size,
+            topology=s.topology))
+        if cand.schedule.rate == best.schedule.rate or not check(cand):
+            break
+        best = cand
+        s = best.schedule
+    # Plainest environment that still fails.
+    for workload in ("uniform",):
+        if s.workload != workload:
+            cand = best.derive(schedule=WorkloadSchedule(
+                workload=workload, rate=s.rate, msg_size=s.msg_size,
+                topology=s.topology))
+            if check(cand):
+                best = cand
+                s = best.schedule
+    if s.topology != "complete":
+        cand = best.derive(schedule=WorkloadSchedule(
+            workload=s.workload, rate=s.rate, msg_size=s.msg_size,
+            topology="complete"))
+        if check(cand):
+            best = cand
+    return best
+
+
+def shrink_input(inp: FuzzInput, mutation: str | None = None,
+                 max_rounds: int = 4) -> tuple[FuzzInput, dict[str, int]]:
+    """Minimize a violating input; returns (minimal input, shrink stats).
+
+    Iterates ddmin -> fault simplification -> config shrink until a full
+    round makes no progress (or ``max_rounds`` passes), measured by the
+    input's size metric.  The input must violate on entry; the result is
+    guaranteed to still violate.
+    """
+    stats: dict[str, int] = {"runs": 0}
+
+    def check(cand: FuzzInput) -> bool:
+        return _violates(cand, mutation, stats)
+
+    if not check(inp):
+        raise ValueError("shrink_input requires a violating input")
+    best = inp
+    for _ in range(max_rounds):
+        size_before = best.size()
+        best = _ddmin_faults(best, check)
+        best = _simplify_faults(best, check)
+        best = _shrink_config(best, check)
+        if best.size() >= size_before:
+            break
+    stats["final_size"] = best.size()
+    return best, stats

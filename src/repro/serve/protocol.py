@@ -94,6 +94,7 @@ SPEC_FIELDS: dict[str, dict[str, tuple[tuple[type, ...], Any]]] = {
         "interval": (_NUM, 30.0),
         "jobs": ((int,), 1),
         "verify": ((bool,), True),
+        "timeout_s": (_NUM, None),
     },
     "chaos-matrix": {
         "kinds": ((list,), ["drop", "crash"]),
@@ -102,6 +103,7 @@ SPEC_FIELDS: dict[str, dict[str, tuple[tuple[type, ...], Any]]] = {
         "transport": ((str,), "local"),
         "duration": (_NUM, 2.5),
         "jobs": ((int,), 1),
+        "timeout_s": (_NUM, None),
     },
     "live-run": {
         "n": ((int,), 3),
@@ -113,6 +115,7 @@ SPEC_FIELDS: dict[str, dict[str, tuple[tuple[type, ...], Any]]] = {
         "seed": ((int,), 0),
         "crash_at": (_NUM, None),
         "workload": ((str,), "uniform"),
+        "timeout_s": (_NUM, None),
     },
     "bench": {
         "values": ((list,), [8]),
@@ -121,6 +124,7 @@ SPEC_FIELDS: dict[str, dict[str, tuple[tuple[type, ...], Any]]] = {
         "seed": ((int,), 0),
         "repeats": ((int,), 1),
         "jobs": ((int,), 2),
+        "timeout_s": (_NUM, None),
     },
 }
 
@@ -137,7 +141,7 @@ def _check_field(kind: str, name: str, value: Any,
                  types: tuple[type, ...]) -> Any:
     """One typed spec field: exact type check (bool is not an int)."""
     if value is None and types == _NUM:
-        return None                    # optional numeric (crash_at)
+        return None          # optional numeric (crash_at, timeout_s)
     if isinstance(value, bool) and bool not in types:
         raise ProtocolError(
             f"{kind} spec field {name!r} must be "
@@ -147,6 +151,10 @@ def _check_field(kind: str, name: str, value: Any,
             f"{kind} spec field {name!r} must be "
             f"{'/'.join(t.__name__ for t in types)}, "
             f"got {type(value).__name__}")
+    if name == "timeout_s" and value is not None and value <= 0:
+        raise ProtocolError(
+            f"{kind} spec field 'timeout_s' must be positive, "
+            f"got {value!r}")
     if isinstance(value, list):
         elems = _LIST_ELEMENTS[name]
         if not value:

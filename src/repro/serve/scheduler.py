@@ -251,14 +251,31 @@ class Scheduler:
                         cancel: threading.Event) -> None:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self._mark_running, record)
+        fut = loop.run_in_executor(None, self._run_body, record, cancel)
+        # Per-job wall-clock watchdog (spec field ``timeout_s``): on
+        # expiry set the cooperative cancel event and wait for the body
+        # to drain — executor threads cannot be killed, so a body that
+        # ignores its cancel event still holds the future until it
+        # returns.  The verdict is ``failed`` with a ``timeout:`` cause
+        # (not ``cancelled`` — nobody asked for the job to stop).
+        timeout_s = record.spec.get("timeout_s")
+        timed_out = False
+        if timeout_s is not None:
+            done, _ = await asyncio.wait({fut}, timeout=timeout_s)
+            timed_out = not done
+            if timed_out:
+                cancel.set()
         try:
-            result = await loop.run_in_executor(
-                None, self._run_body, record, cancel)
+            result = await fut
             error = None
         except Exception as exc:  # body bugs become failed jobs
             result, error = None, f"{type(exc).__name__}: {exc}"
+        if timed_out:
+            result = None
+            error = f"timeout: exceeded timeout_s={timeout_s}"
         await loop.run_in_executor(
-            None, self._finish, record, result, error, cancel.is_set())
+            None, self._finish, record, result, error,
+            cancel.is_set() and not timed_out)
         self.tasks.pop(record.id, None)
         self.cancels.pop(record.id, None)
         self.kick()

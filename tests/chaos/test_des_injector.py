@@ -47,3 +47,34 @@ def test_drop_cell_attributes_drops_to_chaos():
     out = run_des_cell("drop", seed=2)
     by_cause = out["dropped_by_cause"]
     assert by_cause.get("chaos.drop", 0) == out["injected"]["drop"]
+
+
+def test_duplicate_copies_are_never_themselves_duplicated():
+    # Regression (found by `repro fuzz`): redelivery re-runs the gate
+    # chain, so without the once-only marker a p=1.0 duplicate window
+    # turned one delivery into a self-replicating micro-spaced chain —
+    # millions of events before the window closed.
+    plan = single_fault_plan("duplicate", seed=0, p=1.0,
+                             start=5.0, end=15.0, frames=("app",))
+    out = run_des_cell("duplicate", seed=0, plan=plan)
+    # The buggy injector hit the event cap (truncated); with the marker
+    # each original is copied exactly once, so the run stays bounded.
+    assert out["consistent"] and not out["truncated"]
+    assert 0 < out["injected"]["duplicate"] < 10_000
+
+
+def test_cache_key_includes_fault_plan_content(tmp_path):
+    # Regression: two runs with the same config but different plans must
+    # never collide in the ResultCache (the key used to hash only the
+    # ExperimentConfig, so the second plan was served the first's cell).
+    from repro.harness.executor import ResultCache
+
+    cache = ResultCache(tmp_path / "cache")
+    mild = single_fault_plan("drop", seed=3, p=0.05, start=5.0, end=10.0)
+    harsh = single_fault_plan("drop", seed=3, p=0.9, start=5.0, end=40.0)
+    a = run_des_cell("drop", seed=3, plan=mild, cache=cache)
+    b = run_des_cell("drop", seed=3, plan=harsh, cache=cache)
+    assert a["injected"] != b["injected"]
+    # And each keyed entry replays from cache, not by accident.
+    assert run_des_cell("drop", seed=3, plan=mild, cache=cache) == a
+    assert run_des_cell("drop", seed=3, plan=harsh, cache=cache) == b

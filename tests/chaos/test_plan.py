@@ -9,6 +9,7 @@ from repro.chaos import (
     ChaosError,
     Fault,
     FaultPlan,
+    fault_plan_key,
     single_fault_plan,
 )
 
@@ -101,3 +102,24 @@ class TestRoundTrip:
         assert [i for i, _ in plan.storage_faults()] == [1]
         assert [i for i, _ in plan.partition_faults()] == [2]
         assert plan.crash_faults() == []
+
+
+class TestFaultPlanKey:
+    def test_key_is_stable_and_content_addressed(self):
+        a = FaultPlan(faults=(Fault(kind="drop", p=0.2, end=30.0),), seed=1)
+        b = FaultPlan(faults=(Fault(kind="drop", p=0.2, end=30.0),), seed=1)
+        assert fault_plan_key(a) == fault_plan_key(b)
+        assert len(fault_plan_key(a)) == 16
+
+    def test_key_distinguishes_plan_content(self):
+        base = FaultPlan(faults=(Fault(kind="drop", p=0.2, end=30.0),),
+                         seed=1)
+        keys = {
+            fault_plan_key(base),
+            fault_plan_key(FaultPlan(faults=base.faults, seed=2)),
+            fault_plan_key(FaultPlan(
+                faults=(Fault(kind="drop", p=0.3, end=30.0),), seed=1)),
+            fault_plan_key(None),
+        }
+        assert len(keys) == 4
+        assert fault_plan_key(None) == "no-plan"

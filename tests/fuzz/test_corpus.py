@@ -1,0 +1,115 @@
+"""Corpus persistence, scheduling, and the byte-identical-replay property."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.plan import Fault, FaultPlan
+from repro.fuzz import (
+    Corpus,
+    CorpusEntry,
+    FuzzInput,
+    WorkloadSchedule,
+    run_input,
+    seed_inputs,
+)
+from repro.obs import JsonlSink, Tracer
+
+
+def _entry(i, tokens, new=3):
+    return CorpusEntry(input=seed_inputs()[i], tokens=frozenset(tokens),
+                       new_tokens=new, added_iter=i)
+
+
+def test_add_persists_and_dedups_by_signature(tmp_path):
+    corpus = Corpus(tmp_path / "fz")
+    assert corpus.add(_entry(0, {"a", "b"}))
+    assert not corpus.add(_entry(1, {"a", "b"}))  # same coverage -> dup
+    assert corpus.add(_entry(1, {"a", "c"}))
+    assert len(corpus) == 2
+    files = list(corpus.corpus_dir.glob("*.json"))
+    assert len(files) == 2
+    for path in files:
+        entry = CorpusEntry.from_dict(json.loads(path.read_text()))
+        entry.input.validate()
+
+
+def test_load_rebuilds_corpus_for_resume(tmp_path):
+    first = Corpus(tmp_path / "fz")
+    first.add(_entry(0, {"a"}))
+    first.add(_entry(1, {"b"}))
+    (first.corpus_dir / "junk.json").write_text("{not json")
+
+    again = Corpus(tmp_path / "fz")
+    assert again.load() == 2           # the junk file is skipped
+    assert again.all_tokens() == {"a", "b"}
+    assert again.load() == 0           # idempotent
+
+
+def test_pick_is_energy_weighted_and_deterministic(tmp_path):
+    corpus = Corpus(tmp_path / "fz")
+    corpus.add(_entry(0, {"a"}, new=50))   # high energy
+    corpus.add(_entry(1, {"b"}, new=0))    # low energy
+    rng = np.random.default_rng(3)
+    picks = [corpus.pick(rng).added_iter for _ in range(200)]
+    assert picks.count(0) > picks.count(1)  # energy bias
+    rng2 = np.random.default_rng(3)
+    assert picks == [corpus.pick(rng2).added_iter for _ in range(200)]
+
+
+def test_write_crash_bundle_layout(tmp_path):
+    corpus = Corpus(tmp_path / "fz")
+    inp = seed_inputs()[1]
+    crash = corpus.write_crash("crash-abc", inp, {"violations": []},
+                               trace_lines=['{"ev": "point"}\n'])
+    assert crash == corpus.crashes_dir / "crash-abc"
+    loaded = FuzzInput.from_dict(
+        json.loads((crash / "input.json").read_text()))
+    assert loaded.as_dict() == inp.as_dict()
+    plan = json.loads((crash / "plan.json").read_text())
+    assert plan == inp.plan.as_dict()
+    assert (crash / "report.json").is_file()
+    assert (crash / "trace.jsonl").read_text() == '{"ev": "point"}\n'
+
+
+# -- the replay property ---------------------------------------------------
+
+_KINDS = ("drop", "duplicate", "reorder", "crash", None)
+
+
+def _replay_trace(inp, path):
+    tracer = Tracer([JsonlSink(path)], host="des")
+    try:
+        run_input(inp, tracer=tracer)
+    finally:
+        tracer.close()
+    return path.read_bytes()
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 1_000), kind=st.sampled_from(_KINDS))
+def test_same_seed_and_plan_replays_byte_identical_traces(
+        tmp_path_factory, seed, kind):
+    """The corpus replay guarantee: (seed, plan) -> identical trace bytes."""
+    if kind == "crash":
+        plan = FaultPlan(faults=(Fault(kind="crash", pid=1, at=8.0),),
+                         seed=seed)
+    elif kind is not None:
+        plan = FaultPlan(faults=(
+            Fault(kind=kind, p=0.3, start=2.0, end=12.0,
+                  frames=("app",)),), seed=seed)
+    else:
+        plan = FaultPlan(seed=seed)
+    inp = FuzzInput(
+        plan=plan, n=3, seed=seed, horizon=40.0, interval=5.0, timeout=5.0,
+        schedule=WorkloadSchedule(workload="uniform", rate=0.5,
+                                  msg_size=64))
+    inp.validate()
+    root = tmp_path_factory.mktemp("replay")
+    first = _replay_trace(inp, root / "a.jsonl")
+    second = _replay_trace(inp, root / "b.jsonl")
+    assert first and first == second

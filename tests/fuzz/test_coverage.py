@@ -1,0 +1,82 @@
+"""Coverage tokenization: behavioral-only, bucketed, stable signatures."""
+
+from __future__ import annotations
+
+from repro.fuzz.coverage import (
+    CoverageMap,
+    _bucket,
+    coverage_signature,
+    coverage_tokens,
+)
+
+_OUTCOME = {
+    "case_counts": {"1": 37, "2b": 3},
+    "finalize_reasons": {"allset": 4},
+    "ctl_sent": {"CK_BGN": 4, "CK_REQ": 4},
+    "injected": {"drop": 9},
+    "recovered": True,
+    "dropped_by_cause": {"chaos.drop": 9},
+    "recovered_actions": {"rollbacks": 2, "redelivered": 0},
+    "rollback_depths": [1, 1],
+    "rounds": 4,
+    "post_fault_rounds": 2,
+    "anomalies": [],
+    "orphans": [],
+    "truncated": False,
+}
+
+
+def test_bucket_is_power_of_two_floor():
+    assert [_bucket(c) for c in (0, 1, 2, 3, 4, 7, 8, 15, 16, 1000)] \
+        == [0, 1, 2, 2, 4, 4, 8, 8, 16, 512]
+
+
+def test_tokens_are_behavioral_and_bucketed():
+    tokens = coverage_tokens(_OUTCOME)
+    assert "case:1:32" in tokens          # 37 -> bucket 32
+    assert "case:2b:2" in tokens
+    assert "fin:allset" in tokens and "fin:allset:4" in tokens
+    assert "chaos:drop:8" in tokens and "chaos:drop:recovered" in tokens
+    assert "drop:chaos.drop" in tokens
+    assert "rollbacks:2" in tokens
+    assert "rollback-depth:1" in tokens
+    assert "rounds:4" in tokens
+    assert "anomaly" not in tokens and "truncated" not in tokens
+    # No token mentions the input configuration.
+    assert not any(t.startswith(("n:", "seed:", "rate:")) for t in tokens)
+
+
+def test_counts_in_same_bucket_dedup():
+    a = coverage_tokens(_OUTCOME)
+    bumped = dict(_OUTCOME, case_counts={"1": 40, "2b": 3})
+    assert coverage_tokens(bumped) == a          # 37 and 40 share bucket 32
+    regime = dict(_OUTCOME, case_counts={"1": 80, "2b": 3})
+    assert coverage_tokens(regime) != a          # 80 crosses to bucket 64
+
+
+def test_violation_flags_become_tokens():
+    bad = dict(_OUTCOME, anomalies=["x"], orphans=[{"k": 1}],
+               truncated=True)
+    tokens = coverage_tokens(bad)
+    assert {"anomaly", "orphans", "truncated"} <= tokens
+
+
+def test_signature_is_order_independent_and_stable():
+    tokens = coverage_tokens(_OUTCOME)
+    sig = coverage_signature(tokens)
+    assert sig == coverage_signature(sorted(tokens))
+    assert sig == coverage_signature(list(tokens)[::-1])
+    assert len(sig) == 16
+    assert sig != coverage_signature(set(tokens) | {"extra"})
+
+
+def test_coverage_map_returns_strictly_new_tokens():
+    cm = CoverageMap()
+    first = cm.add({"a", "b"})
+    assert first == {"a", "b"} and len(cm) == 2
+    second = cm.add({"b", "c"})
+    assert second == {"c"} and len(cm) == 3
+    assert cm.add({"a", "b", "c"}) == frozenset()
+    # Round-trip for campaign resume.
+    again = CoverageMap.from_dict(cm.as_dict())
+    assert again.tokens == cm.tokens

@@ -1,0 +1,51 @@
+"""The shrinker: minimal counterexamples that still violate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.plan import Fault, FaultPlan
+from repro.fuzz import run_input, seed_inputs, shrink_input
+
+
+def _violating_seed():
+    for inp in seed_inputs():
+        if run_input(inp, mutation="drop-ck-req")["violations"]:
+            return inp
+    raise AssertionError("no seed violates under drop-ck-req")
+
+
+def test_shrink_produces_a_smaller_still_violating_input():
+    bad = _violating_seed()
+    minimal, stats = shrink_input(bad, mutation="drop-ck-req")
+    assert minimal.size() <= bad.size()
+    assert stats["runs"] >= 1
+    assert stats["final_size"] == minimal.size()
+    minimal.validate()
+    outcome = run_input(minimal, mutation="drop-ck-req")
+    assert outcome["violations"], "shrink lost the violation"
+    # The acceptance bar: a counterexample small enough to read.
+    assert outcome["events"] <= 30
+
+
+def test_ddmin_removes_irrelevant_faults():
+    # Pad the violating seed with faults that play no part in the bug;
+    # ddmin must strip them all (the minimal plan needs none: the
+    # mutation alone starves the wave).
+    bad = _violating_seed()
+    budget = bad.fault_budget_end()
+    noise = tuple(
+        Fault(kind="duplicate", p=0.2, start=1.0 + i, end=min(8.0 + i, budget),
+              frames=("app",))
+        for i in range(3))
+    padded = bad.derive(plan=FaultPlan(
+        faults=bad.plan.faults + noise, seed=bad.plan.seed))
+    padded.validate()
+    minimal, _stats = shrink_input(padded, mutation="drop-ck-req")
+    assert len(minimal.plan.faults) == 0
+
+
+def test_shrink_requires_a_violating_input():
+    clean = seed_inputs()[0]
+    with pytest.raises(ValueError):
+        shrink_input(clean, mutation=None)

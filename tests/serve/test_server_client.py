@@ -153,6 +153,34 @@ def test_cancel_queued_and_running_jobs(tmp_path):
         assert client.cancel(running)["state"] == "cancelled"
 
 
+def test_timeout_s_fails_hung_job_and_sets_cancel_event(tmp_path):
+    with _Harness(tmp_path / "state") as h:
+        client = h.client()
+        job_id = client.submit(
+            "live-run", {"n": 3, "duration": 30.0, "timeout_s": 0.5})["id"]
+        _await_state(client, job_id, "running")
+        cancel = h.scheduler.cancels[job_id]
+        record = _await_state(client, job_id, "failed")
+        assert record["error"].startswith("timeout:")
+        assert "timeout_s=0.5" in record["error"]
+        # The watchdog signals the body through the same cooperative
+        # cancel event drain() and client.cancel() use.
+        assert cancel.is_set()
+        # A job that finishes inside its budget is untouched by it.
+        quick = client.wait(client.submit(
+            "live-run", {"n": 3, "duration": 0.5, "timeout_s": 30.0})["id"])
+        assert quick["state"] == "done"
+
+
+def test_timeout_s_must_be_positive(tmp_path):
+    with _Harness(tmp_path / "state") as h:
+        client = h.client()
+        with pytest.raises(ServeClientError) as err:
+            client.submit("bench", {"timeout_s": 0})
+        assert err.value.status == 400
+        assert "timeout_s" in str(err.value)
+
+
 def test_artifacts_are_served_and_traversal_is_refused(tmp_path):
     with _Harness(tmp_path / "state") as h:
         client = h.client()
